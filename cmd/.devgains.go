@@ -1,0 +1,37 @@
+package main
+
+import (
+	"fmt"
+	"safeflow/internal/plant"
+)
+
+func main() {
+	p := plant.DefaultPendulum()
+	A, B := p.Linearize()
+	ad, bd := plant.Discretize(A, B, 0.01)
+	q := plant.Eye(4)
+	q.Set(0, 0, 1)  // track
+	q.Set(1, 1, 2)  // trackVel
+	q.Set(2, 2, 12) // angle
+	q.Set(3, 3, 1)  // angleVel
+	k, err := plant.DLQR(ad, bd, q, 1.0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("safety K (track, trackVel, angle, angleVel) = %.4f %.4f %.4f %.4f\n", k[0], k[1], k[2], k[3])
+
+	// Simulate from 0.06 rad with saturation ±5 and 1-period delay.
+	x := []float64{0, 0, 0.06, 0}
+	u := 0.0
+	maxA := 0.0
+	for i := 0; i < 6000; i++ {
+		x = plant.RK4(p, x, u, 0.01)
+		un := -(k[0]*x[0] + k[1]*x[1] + k[2]*x[2] + k[3]*x[3])
+		if un > 5 { un = 5 }
+		if un < -5 { un = -5 }
+		u = un
+		if a := x[2]; a < 0 { a = -a }
+		if a := x[2]; a > maxA { maxA = a }
+	}
+	fmt.Printf("final angle %.5f track %.4f max angle %.4f\n", x[2], x[0], maxA)
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPendulumScenarios(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-steps", "1500"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", code, errOut.String())
+	}
+	text := out.String()
+	if strings.Count(text, "=== ") != 3 {
+		t.Errorf("want 3 scenarios:\n%s", text)
+	}
+	if !strings.Contains(text, "UNMONITORED") || !strings.Contains(text, "PENDULUM FELL") {
+		t.Errorf("unmonitored scenario must fall:\n%s", text)
+	}
+	if strings.Count(text, "balanced") != 2 {
+		t.Errorf("monitored scenarios must balance:\n%s", text)
+	}
+	if !strings.Contains(text, "angle ") {
+		t.Errorf("strip chart missing:\n%s", text)
+	}
+}
+
+func TestPendulumFaults(t *testing.T) {
+	for _, fault := range []string{"saturate", "nan", "freeze"} {
+		var out, errOut strings.Builder
+		code := run([]string{"-steps", "1200", "-fault", fault}, &out, &errOut)
+		if code != 0 {
+			t.Errorf("fault %s: exit = %d", fault, code)
+		}
+	}
+}
+
+func TestPendulumBadFault(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-fault", "gremlins"}, &out, &errOut); code != 2 {
+		t.Errorf("bad fault exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown fault") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+}
+
+func TestPendulumConcurrent(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-concurrent", "-steps", "1200"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "contained under every interleaving") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}

@@ -1,0 +1,131 @@
+// Command safeflow analyzes the core component of an embedded control
+// system for safe value flow: every non-core value communicated through
+// shared memory must be run-time monitored before reaching critical data.
+//
+// Usage:
+//
+//	safeflow [flags] <dir>
+//	safeflow [flags] <file.c> [file.c ...]
+//
+// Flags:
+//
+//	-name s        system name used in the report (default: the path)
+//	-alias mode    alias analysis: subset (default) or unify
+//	-exponential   use the unoptimized per-call-path phase 3
+//	-root fn       analysis entry function (repeatable; default: callerless functions)
+//	-quiet         print only the summary line
+//
+// Exit status: 0 when the system is clean, 1 when any warning, error
+// dependency, or restriction violation is reported, 2 on usage or
+// compilation errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"safeflow/internal/corpus"
+	"safeflow/pkg/safeflow"
+)
+
+type stringList []string
+
+func (s *stringList) String() string { return fmt.Sprint([]string(*s)) }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("safeflow", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		name        = fs.String("name", "", "system name used in the report")
+		aliasMode   = fs.String("alias", "subset", "alias analysis: subset or unify")
+		exponential = fs.Bool("exponential", false, "use the unoptimized per-call-path phase 3")
+		quiet       = fs.Bool("quiet", false, "print only the summary line")
+		format      = fs.String("format", "text", "output format: text or json")
+		corpusName  = fs.String("corpus", "", "analyze an embedded evaluation system: IP, \"Generic Simplex\", or \"Double IP\"")
+		roots       stringList
+	)
+	fs.Var(&roots, "root", "analysis entry function (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if fs.NArg() == 0 && *corpusName == "" {
+		fmt.Fprintln(stderr, "usage: safeflow [flags] <dir | file.c ...>")
+		fs.PrintDefaults()
+		return 2
+	}
+
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(stderr, "safeflow: unknown format %q\n", *format)
+		return 2
+	}
+	opts := safeflow.Options{Exponential: *exponential, Roots: roots}
+	switch *aliasMode {
+	case "subset":
+		opts.PointsTo = safeflow.ModeSubset
+	case "unify":
+		opts.PointsTo = safeflow.ModeUnify
+	default:
+		fmt.Fprintf(stderr, "safeflow: unknown alias mode %q\n", *aliasMode)
+		return 2
+	}
+
+	var rep *safeflow.Report
+	var err error
+	if *corpusName != "" {
+		rep, err = analyzeCorpus(*corpusName, opts)
+	} else {
+		target := fs.Arg(0)
+		sysName := *name
+		if sysName == "" {
+			sysName = target
+		}
+		if info, statErr := os.Stat(target); statErr == nil && info.IsDir() {
+			rep, err = safeflow.AnalyzeDir(sysName, target, opts)
+		} else {
+			rep, err = safeflow.AnalyzeFiles(sysName, fs.Args(), opts)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "safeflow: %v\n", err)
+		return 2
+	}
+
+	switch {
+	case *format == "json":
+		if err := safeflow.WriteReportJSON(stdout, rep); err != nil {
+			fmt.Fprintf(stderr, "safeflow: %v\n", err)
+			return 2
+		}
+	case *quiet:
+		fmt.Fprintf(stdout, "%s: %d warnings, %d error dependencies, %d control-dependence reports, %d violations\n",
+			rep.Name, len(rep.Warnings), len(rep.ErrorsData), len(rep.ErrorsControlOnly), len(rep.Violations))
+	default:
+		safeflow.WriteReport(stdout, rep)
+	}
+	if rep.Clean() {
+		return 0
+	}
+	return 1
+}
+
+// analyzeCorpus resolves one of the embedded Table 1 evaluation systems.
+func analyzeCorpus(name string, opts safeflow.Options) (*safeflow.Report, error) {
+	for _, sys := range corpus.All() {
+		if sys.Name == name {
+			return sys.Analyze(opts)
+		}
+	}
+	return nil, fmt.Errorf("unknown corpus system %q (have: IP, Generic Simplex, Double IP)", name)
+}

@@ -1,0 +1,140 @@
+// doubleip: the double inverted pendulum workflow — demonstrate the
+// propagation-assumption defect the paper reports for this system (an
+// unmonitored tuning value "believed display-only" that actually reaches
+// the control output), then run the double-pendulum Simplex loop.
+//
+// Run with: go run ./examples/doubleip
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"safeflow/pkg/safeflow"
+	"safeflow/pkg/simplexrt"
+)
+
+// A trimmed double-IP core with the invalid propagation assumption.
+const dipCore = `
+typedef struct { double a1; double a2; int seq; int pad; } SHMData;
+typedef struct { double control; int ready; int pad; } SHMCmd;
+typedef struct { double stiffness; double blend; int valid; int pad; } SHMTuning;
+
+SHMData   *feedback;
+SHMCmd    *noncoreCmd;
+SHMTuning *tuning;
+
+double localA1;
+double localA2;
+double stiffness;
+
+void initComm()
+/***SafeFlow Annotation shminit /***/
+{
+    int shmid;
+    void *base;
+    shmid = shmget(4662, sizeof(SHMData) + sizeof(SHMCmd) + sizeof(SHMTuning), 0666);
+    base = shmat(shmid, 0, 0);
+    feedback = (SHMData *) base;
+    noncoreCmd = (SHMCmd *) (feedback + 1);
+    tuning = (SHMTuning *) (noncoreCmd + 1);
+    InitCheck(base, sizeof(SHMData) + sizeof(SHMCmd) + sizeof(SHMTuning));
+    /***SafeFlow Annotation assume(shmvar(feedback, sizeof(SHMData))) /***/
+    /***SafeFlow Annotation assume(shmvar(noncoreCmd, sizeof(SHMCmd))) /***/
+    /***SafeFlow Annotation assume(shmvar(tuning, sizeof(SHMTuning))) /***/
+    /***SafeFlow Annotation assume(noncore(feedback)) /***/
+    /***SafeFlow Annotation assume(noncore(noncoreCmd)) /***/
+    /***SafeFlow Annotation assume(noncore(tuning)) /***/
+}
+
+/* monitorTuning validates the stiffness multiplier before use. */
+int monitorTuning()
+/***SafeFlow Annotation assume(core(tuning, 0, sizeof(SHMTuning))) /***/
+{
+    double s;
+    if (tuning->valid == 0) { return 0; }
+    s = tuning->stiffness;
+    if (s < 0.5) { return 0; }
+    if (s > 2.0) { return 0; }
+    stiffness = s;
+    return 1;
+}
+
+/* DEFECT: reads the blend factor unmonitored "for the display". */
+double displayBlend()
+{
+    return tuning->blend;
+}
+
+double decision(double safeU)
+/***SafeFlow Annotation assume(core(noncoreCmd, 0, sizeof(SHMCmd))) /***/
+{
+    double u;
+    if (noncoreCmd->ready == 0) { return safeU; }
+    u = noncoreCmd->control;
+    if (u > 10.0) { return safeU; }
+    if (u < -10.0) { return safeU; }
+    return u;
+}
+
+int main()
+{
+    int k;
+    double b;
+    double safeU;
+    double u;
+    double output;
+    initComm();
+    monitorTuning();
+    for (k = 0; k < 8000; k++) {
+        localA1 = readSensor(0);
+        localA2 = readSensor(1);
+        safeU = -(stiffness * 40.0 * localA1 + 8.0 * localA2);
+        u = decision(safeU);
+        b = displayBlend();
+        printf("blend=%f\n", b);
+        /* The invalid assumption: b was believed display-only, but the
+           blended dispatch below carries it into the actuator output. */
+        output = (1.0 - b) * safeU + b * u;
+        /***SafeFlow Annotation assert(safe(output)) /***/
+        writeDA(0, output);
+        wait(0.005);
+    }
+    return 0;
+}
+`
+
+func main() {
+	fmt.Println("### Step 1: SafeFlow invalidates the 'display-only' assumption")
+	rep, err := safeflow.AnalyzeString("double-ip-core", dipCore, safeflow.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doubleip: %v\n", err)
+		os.Exit(1)
+	}
+	safeflow.WriteReport(os.Stdout, rep)
+	if len(rep.ErrorsData) == 0 {
+		fmt.Fprintln(os.Stderr, "expected the propagation defect to be reported")
+		os.Exit(1)
+	}
+
+	fmt.Println("\n### Step 2: balance the double inverted pendulum under a non-core fault")
+	tr, err := simplexrt.Run(simplexrt.Config{
+		Plant:     simplexrt.DefaultDoublePendulum(),
+		DT:        0.005,
+		Steps:     6000,
+		InitState: []float64{0, 0, 0.05, 0, 0.03, 0},
+		Fault:     simplexrt.FaultNaN,
+		FaultStep: 3000,
+		ShmKey:    0x4300,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doubleip: %v\n", err)
+		os.Exit(1)
+	}
+	outcome := "balanced"
+	if tr.Diverged {
+		outcome = "FELL"
+	}
+	fmt.Printf("  double pendulum: complex=%5.1f%% rejected=%4d max|a1|=%.3f max|a2|=%.3f  %s\n",
+		100*tr.FracNonCore(), tr.Rejected, tr.MaxAbsState[2], tr.MaxAbsState[4], outcome)
+}

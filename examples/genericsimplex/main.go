@@ -1,0 +1,140 @@
+// genericsimplex: the configurable-plant Simplex workflow — run the
+// Simplex loop on a user-configured linear plant, and demonstrate the
+// feedback-rigging defect the paper found in the generic Simplex system:
+// the core re-reads its own published feedback from shared memory inside
+// the recoverability computation, which a non-core component can rig.
+//
+// Run with: go run ./examples/genericsimplex
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"safeflow/pkg/safeflow"
+	"safeflow/pkg/simplexrt"
+)
+
+// A generic Simplex core configured by shared-memory state, carrying the
+// paper's feedback-rigging defect in computeSafe().
+const genericCore = `
+typedef struct { double s0; double s1; int seq; int pad; } SHMData;
+typedef struct { double control; int ready; int pad; } SHMCmd;
+
+SHMData *feedback;
+SHMCmd  *noncoreCtrl;
+
+double k0;
+double k1;
+double localS0;
+double localS1;
+
+void initComm()
+/***SafeFlow Annotation shminit /***/
+{
+    int shmid;
+    void *base;
+    shmid = shmget(4661, sizeof(SHMData) + sizeof(SHMCmd), 0666);
+    base = shmat(shmid, 0, 0);
+    feedback = (SHMData *) base;
+    noncoreCtrl = (SHMCmd *) (feedback + 1);
+    InitCheck(base, sizeof(SHMData) + sizeof(SHMCmd));
+    /***SafeFlow Annotation assume(shmvar(feedback, sizeof(SHMData))) /***/
+    /***SafeFlow Annotation assume(shmvar(noncoreCtrl, sizeof(SHMCmd))) /***/
+    /***SafeFlow Annotation assume(noncore(feedback)) /***/
+    /***SafeFlow Annotation assume(noncore(noncoreCtrl)) /***/
+}
+
+void sense()
+{
+    localS0 = readSensor(0);
+    localS1 = readSensor(1);
+    feedback->s0 = localS0;
+    feedback->s1 = localS1;
+}
+
+/* DEFECT: derives the fall-back output from the shared copy of the
+ * feedback instead of the core-local one. A faulty or malicious non-core
+ * component can overwrite feedback between the write in sense() and this
+ * read, rigging the value the core falls back to. */
+double computeSafe()
+{
+    double a;
+    double b;
+    a = feedback->s0;
+    b = feedback->s1;
+    return -(k0 * a + k1 * b);
+}
+
+double decision(double safeU)
+/***SafeFlow Annotation assume(core(noncoreCtrl, 0, sizeof(SHMCmd))) /***/
+{
+    double u;
+    if (noncoreCtrl->ready == 0) { return safeU; }
+    u = noncoreCtrl->control;
+    if (u > 5.0) { return safeU; }
+    if (u < -5.0) { return safeU; }
+    return u;
+}
+
+int main()
+{
+    int k;
+    double su;
+    double u;
+    initComm();
+    for (k = 0; k < 4000; k++) {
+        sense();
+        su = computeSafe();
+        u = decision(su);
+        /***SafeFlow Annotation assert(safe(u)) /***/
+        writeDA(0, u);
+        wait(0.01);
+    }
+    return 0;
+}
+`
+
+func main() {
+	fmt.Println("### Step 1: SafeFlow finds the feedback-rigging defect")
+	rep, err := safeflow.AnalyzeString("generic-simplex-core", genericCore, safeflow.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genericsimplex: %v\n", err)
+		os.Exit(1)
+	}
+	safeflow.WriteReport(os.Stdout, rep)
+	if rep.Clean() {
+		fmt.Fprintln(os.Stderr, "expected the defect to be reported")
+		os.Exit(1)
+	}
+
+	fmt.Println("\n### Step 2: run the generic Simplex loop on a configured plant")
+	// A configurable second-order unstable plant (inverted-pendulum-like
+	// pole pair), as the generic Simplex system's configuration file would
+	// describe it.
+	configured := &simplexrt.LTI{
+		A: simplexrt.MatFrom([][]float64{
+			{0, 1},
+			{9.8, -0.1},
+		}),
+		B: simplexrt.MatFrom([][]float64{{0}, {1}}),
+	}
+	tr, err := simplexrt.Run(simplexrt.Config{
+		Plant:     configured,
+		InitState: []float64{0.08, 0},
+		Steps:     3000,
+		Fault:     simplexrt.FaultSaturate,
+		FaultStep: 1500,
+		ShmKey:    0x4200,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genericsimplex: %v\n", err)
+		os.Exit(1)
+	}
+	outcome := "stabilized"
+	if tr.Diverged {
+		outcome = "DIVERGED"
+	}
+	fmt.Printf("  configured plant: complex=%5.1f%% rejected=%4d max|x0|=%.3f  %s\n",
+		100*tr.FracNonCore(), tr.Rejected, tr.MaxAbsState[0], outcome)
+}

@@ -1,0 +1,117 @@
+// navdisplay: the paper's opening example — in a passenger jet, the
+// navigation system (core) interacts with the passenger entertainment
+// system (non-core) to provide distance-to-destination information. Data
+// must flow outward freely, but nothing the entertainment subsystem
+// writes may reach the navigation computations unmonitored.
+//
+// Two variants of the navigation core are analyzed:
+//
+//  1. a defective one where a "display preferences" value from the
+//     entertainment region silently reaches the route-progress
+//     computation used for fuel management (critical data);
+//  2. the corrected one where the only entertainment-facing flow is the
+//     outward publication of distance-to-destination.
+//
+// Run with: go run ./examples/navdisplay
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"safeflow/pkg/safeflow"
+)
+
+const navCore = `
+typedef struct { double lat; double lon; double dist; int seq; } NavOut;
+typedef struct { double unitsFactor; int wantsMetric; int seq; } EntPrefs;
+
+NavOut   *navOut;    /* written by core for the entertainment system */
+EntPrefs *entPrefs;  /* written by the entertainment system          */
+
+double routeRemaining;
+double fuelPerKm;
+
+void initComm()
+/***SafeFlow Annotation shminit /***/
+{
+	void *base;
+	base = shmat(shmget(77, sizeof(NavOut) + sizeof(EntPrefs), 0), 0, 0);
+	navOut = (NavOut *) base;
+	entPrefs = (EntPrefs *) (navOut + 1);
+	InitCheck(base, sizeof(NavOut) + sizeof(EntPrefs));
+	/***SafeFlow Annotation assume(shmvar(navOut, sizeof(NavOut))) /***/
+	/***SafeFlow Annotation assume(shmvar(entPrefs, sizeof(EntPrefs))) /***/
+	/***SafeFlow Annotation assume(noncore(navOut)) /***/
+	/***SafeFlow Annotation assume(noncore(entPrefs)) /***/
+}
+
+void publishDistance(int seq)
+{
+	navOut->dist = routeRemaining;
+	navOut->seq = seq;
+}
+
+double estimateFuel()
+{
+	double scale;
+	/* DEFECT: the display units factor from the entertainment region
+	   leaks into the fuel estimate used by the flight-management core. */
+	scale = entPrefs->unitsFactor;
+	return routeRemaining * scale * fuelPerKm;
+}
+
+int main()
+{
+	int k;
+	double fuelNeeded;
+	initComm();
+	routeRemaining = 1520.0;
+	fuelPerKm = 3.1;
+	for (k = 0; k < 1000; k++) {
+		routeRemaining = routeRemaining - 0.4;
+		publishDistance(k);
+		fuelNeeded = estimateFuel();
+		/***SafeFlow Annotation assert(safe(fuelNeeded)) /***/
+		writeDA(0, fuelNeeded);
+		wait(1.0);
+	}
+	return 0;
+}
+`
+
+func main() {
+	fmt.Println("### Navigation core with the entertainment-units leak")
+	rep, err := safeflow.AnalyzeString("nav-defective", navCore, safeflow.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "navdisplay: %v\n", err)
+		os.Exit(1)
+	}
+	safeflow.WriteReport(os.Stdout, rep)
+	if len(rep.ErrorsData) == 0 {
+		fmt.Fprintln(os.Stderr, "expected the units-factor leak to be reported")
+		os.Exit(1)
+	}
+
+	// The fix: fuel management uses core units only; the conversion for
+	// display happens on the outward path (or after monitoring).
+	fixed := strings.Replace(navCore, `	double scale;
+	/* DEFECT: the display units factor from the entertainment region
+	   leaks into the fuel estimate used by the flight-management core. */
+	scale = entPrefs->unitsFactor;
+	return routeRemaining * scale * fuelPerKm;`,
+		`	return routeRemaining * fuelPerKm;`, 1)
+
+	fmt.Println("\n### Corrected core: entertainment data never enters navigation computations")
+	rep2, err := safeflow.AnalyzeString("nav-fixed", fixed, safeflow.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "navdisplay: %v\n", err)
+		os.Exit(1)
+	}
+	safeflow.WriteReport(os.Stdout, rep2)
+	if !rep2.Clean() {
+		os.Exit(1)
+	}
+	fmt.Println("\nOutward flow (distance-to-destination) is unrestricted; inward flow is monitored or absent.")
+}

@@ -1,0 +1,3 @@
+module safeflow
+
+go 1.22

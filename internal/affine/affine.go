@@ -1,0 +1,304 @@
+// Package affine implements the linear-constraint machinery behind
+// SafeFlow's array restrictions A1/A2 (paper §3.2): affine expressions
+// over symbolic variables, inequality systems, and a Fourier–Motzkin
+// eliminator with integer tightening standing in for the Omega solver the
+// paper uses.
+//
+// Soundness direction: Infeasible() returning true is exact (the integer
+// system has no solution, so the guarded access cannot go out of bounds);
+// returning false is conservative (rational feasibility does not always
+// imply an integer point, so the checker may report a violation that
+// cannot actually occur — a false positive, never a false negative).
+package affine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Var identifies a symbolic integer variable.
+type Var int
+
+// Expr is an affine expression: sum of coefficient*variable plus a
+// constant. The zero value is the constant 0.
+type Expr struct {
+	Coef  map[Var]int64
+	Const int64
+}
+
+// NewExpr returns the constant expression c.
+func NewExpr(c int64) Expr { return Expr{Const: c} }
+
+// NewVarExpr returns the expression 1*v.
+func NewVarExpr(v Var) Expr { return Expr{Coef: map[Var]int64{v: 1}} }
+
+// clone copies the expression.
+func (e Expr) clone() Expr {
+	out := Expr{Const: e.Const}
+	if len(e.Coef) > 0 {
+		out.Coef = make(map[Var]int64, len(e.Coef))
+		for v, c := range e.Coef {
+			out.Coef[v] = c
+		}
+	}
+	return out
+}
+
+// Add returns e + f.
+func (e Expr) Add(f Expr) Expr {
+	out := e.clone()
+	out.Const += f.Const
+	for v, c := range f.Coef {
+		out.setCoef(v, out.coef(v)+c)
+	}
+	return out
+}
+
+// Sub returns e - f.
+func (e Expr) Sub(f Expr) Expr { return e.Add(f.Scale(-1)) }
+
+// Scale returns k*e.
+func (e Expr) Scale(k int64) Expr {
+	out := Expr{Const: e.Const * k}
+	if len(e.Coef) > 0 {
+		out.Coef = make(map[Var]int64, len(e.Coef))
+		for v, c := range e.Coef {
+			if c*k != 0 {
+				out.Coef[v] = c * k
+			}
+		}
+	}
+	return out
+}
+
+func (e Expr) coef(v Var) int64 { return e.Coef[v] }
+
+func (e *Expr) setCoef(v Var, c int64) {
+	if e.Coef == nil {
+		e.Coef = make(map[Var]int64)
+	}
+	if c == 0 {
+		delete(e.Coef, v)
+		return
+	}
+	e.Coef[v] = c
+}
+
+// IsConst reports whether the expression has no variables.
+func (e Expr) IsConst() bool { return len(e.Coef) == 0 }
+
+// Vars returns the variables with nonzero coefficients, sorted.
+func (e Expr) Vars() []Var {
+	out := make([]Var, 0, len(e.Coef))
+	for v := range e.Coef {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the expression.
+func (e Expr) String() string {
+	var sb strings.Builder
+	for i, v := range e.Vars() {
+		c := e.Coef[v]
+		if i > 0 && c >= 0 {
+			sb.WriteByte('+')
+		}
+		if c == 1 {
+			fmt.Fprintf(&sb, "x%d", v)
+		} else if c == -1 {
+			fmt.Fprintf(&sb, "-x%d", v)
+		} else {
+			fmt.Fprintf(&sb, "%d*x%d", c, v)
+		}
+	}
+	if sb.Len() == 0 {
+		return fmt.Sprintf("%d", e.Const)
+	}
+	if e.Const > 0 {
+		fmt.Fprintf(&sb, "+%d", e.Const)
+	} else if e.Const < 0 {
+		fmt.Fprintf(&sb, "%d", e.Const)
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Systems
+
+// Constraint asserts Expr <= 0 over the integers.
+type Constraint struct {
+	E Expr
+}
+
+// String renders the constraint.
+func (c Constraint) String() string { return c.E.String() + " <= 0" }
+
+// LE builds the constraint a <= b, i.e. a-b <= 0.
+func LE(a, b Expr) Constraint { return Constraint{E: a.Sub(b)} }
+
+// LT builds a < b over the integers, i.e. a-b+1 <= 0.
+func LT(a, b Expr) Constraint {
+	e := a.Sub(b)
+	e.Const++
+	return Constraint{E: e}
+}
+
+// GE builds a >= b.
+func GE(a, b Expr) Constraint { return LE(b, a) }
+
+// GT builds a > b.
+func GT(a, b Expr) Constraint { return LT(b, a) }
+
+// EQ builds a == b as the pair a<=b, b<=a.
+func EQ(a, b Expr) []Constraint { return []Constraint{LE(a, b), LE(b, a)} }
+
+// System is a conjunction of constraints.
+type System struct {
+	Cons []Constraint
+}
+
+// Add appends constraints.
+func (s *System) Add(cs ...Constraint) { s.Cons = append(s.Cons, cs...) }
+
+// Clone copies the system.
+func (s *System) Clone() *System {
+	out := &System{Cons: make([]Constraint, len(s.Cons))}
+	for i, c := range s.Cons {
+		out.Cons[i] = Constraint{E: c.E.clone()}
+	}
+	return out
+}
+
+// String renders the system.
+func (s *System) String() string {
+	var parts []string
+	for _, c := range s.Cons {
+		parts = append(parts, c.String())
+	}
+	return strings.Join(parts, " && ")
+}
+
+// maxConstraints bounds Fourier–Motzkin blowup; systems beyond the bound
+// are conservatively reported feasible.
+const maxConstraints = 4096
+
+// Infeasible reports whether the system has no integer solution. True is
+// exact; false is conservative (see the package comment).
+func (s *System) Infeasible() bool {
+	cons := make([]Expr, 0, len(s.Cons))
+	for _, c := range s.Cons {
+		cons = append(cons, normalize(c.E))
+	}
+
+	for {
+		// Constant contradictions?
+		vars := map[Var]bool{}
+		for _, e := range cons {
+			if e.IsConst() {
+				if e.Const > 0 {
+					return true
+				}
+				continue
+			}
+			for v := range e.Coef {
+				vars[v] = true
+			}
+		}
+		if len(vars) == 0 {
+			return false
+		}
+		// Pick the variable appearing in the fewest upper×lower products.
+		best, bestCost := Var(-1), int(^uint(0)>>1)
+		for v := range vars {
+			up, lo := 0, 0
+			for _, e := range cons {
+				switch {
+				case e.coef(v) > 0:
+					up++
+				case e.coef(v) < 0:
+					lo++
+				}
+			}
+			cost := up * lo
+			if cost < bestCost || (cost == bestCost && v < best) {
+				best, bestCost = v, cost
+			}
+		}
+		cons = eliminate(cons, best)
+		if len(cons) > maxConstraints {
+			return false // give up conservatively
+		}
+	}
+}
+
+// eliminate removes variable v by Fourier–Motzkin combination.
+func eliminate(cons []Expr, v Var) []Expr {
+	var uppers, lowers, rest []Expr
+	for _, e := range cons {
+		switch {
+		case e.coef(v) > 0:
+			uppers = append(uppers, e) // a*v + r <= 0, a>0 → v <= -r/a
+		case e.coef(v) < 0:
+			lowers = append(lowers, e) // -b*v + r <= 0, b>0 → v >= r/b
+		default:
+			rest = append(rest, e)
+		}
+	}
+	out := rest
+	for _, up := range uppers {
+		a := up.coef(v)
+		for _, lo := range lowers {
+			b := -lo.coef(v)
+			// b*up + a*lo eliminates v: b*(a v + ru) + a*(-b v + rl) <= 0.
+			combined := up.Scale(b).Add(lo.Scale(a))
+			combined.setCoef(v, 0)
+			out = append(out, normalize(combined))
+		}
+	}
+	return out
+}
+
+// normalize divides by the gcd of the variable coefficients and floors the
+// constant — the integer tightening that makes FM exact on the unit-
+// coefficient systems array subscripts produce.
+func normalize(e Expr) Expr {
+	g := int64(0)
+	for _, c := range e.Coef {
+		g = gcd(g, abs(c))
+	}
+	if g <= 1 {
+		return e
+	}
+	out := Expr{Coef: make(map[Var]int64, len(e.Coef))}
+	for v, c := range e.Coef {
+		out.Coef[v] = c / g
+	}
+	// e' * g + const <= 0  →  e' <= floor(-const/g)  →  e' + ceil(const/g) <= 0.
+	out.Const = ceilDiv(e.Const, g)
+	return out
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func abs(a int64) int64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b > 0 {
+		q++
+	}
+	return q
+}

@@ -1,0 +1,166 @@
+package affine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExprArithmetic(t *testing.T) {
+	x, y := Var(1), Var(2)
+	e := NewVarExpr(x).Scale(2).Add(NewVarExpr(y)).Add(NewExpr(3)) // 2x+y+3
+	f := e.Sub(NewVarExpr(y))                                      // 2x+3
+	if f.coef(y) != 0 {
+		t.Errorf("y coefficient = %d, want 0", f.coef(y))
+	}
+	if f.coef(x) != 2 || f.Const != 3 {
+		t.Errorf("got %v, want 2*x1+3", f)
+	}
+}
+
+func TestInfeasibleSimple(t *testing.T) {
+	x := Var(1)
+	tests := []struct {
+		name string
+		sys  func() *System
+		want bool // infeasible?
+	}{
+		{
+			"x>=0 and x<=-1", func() *System {
+				s := &System{}
+				s.Add(GE(NewVarExpr(x), NewExpr(0)))
+				s.Add(LE(NewVarExpr(x), NewExpr(-1)))
+				return s
+			}, true,
+		},
+		{
+			"x>=0 and x<=10", func() *System {
+				s := &System{}
+				s.Add(GE(NewVarExpr(x), NewExpr(0)))
+				s.Add(LE(NewVarExpr(x), NewExpr(10)))
+				return s
+			}, false,
+		},
+		{
+			"0<=x<10 and x>=10", func() *System {
+				s := &System{}
+				s.Add(GE(NewVarExpr(x), NewExpr(0)))
+				s.Add(LT(NewVarExpr(x), NewExpr(10)))
+				s.Add(GE(NewVarExpr(x), NewExpr(10)))
+				return s
+			}, true,
+		},
+		{
+			"constant contradiction", func() *System {
+				s := &System{}
+				s.Add(LE(NewExpr(5), NewExpr(3)))
+				return s
+			}, true,
+		},
+		{
+			"empty system", func() *System { return &System{} }, false,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.sys().Infeasible(); got != tc.want {
+				t.Errorf("Infeasible() = %v, want %v (system: %s)", got, tc.want, tc.sys())
+			}
+		})
+	}
+}
+
+// TestInfeasibleTwoVars exercises elimination with coupled variables:
+// i in [0,9], j = i+1, j >= 11 is impossible; j >= 10 is possible.
+func TestInfeasibleTwoVars(t *testing.T) {
+	i, j := Var(1), Var(2)
+	base := func() *System {
+		s := &System{}
+		s.Add(GE(NewVarExpr(i), NewExpr(0)))
+		s.Add(LE(NewVarExpr(i), NewExpr(9)))
+		s.Add(EQ(NewVarExpr(j), NewVarExpr(i).Add(NewExpr(1)))...)
+		return s
+	}
+	s1 := base()
+	s1.Add(GE(NewVarExpr(j), NewExpr(11)))
+	if !s1.Infeasible() {
+		t.Errorf("j=i+1, i<=9, j>=11 should be infeasible")
+	}
+	s2 := base()
+	s2.Add(GE(NewVarExpr(j), NewExpr(10)))
+	if s2.Infeasible() {
+		t.Errorf("j=i+1, i<=9, j>=10 should be feasible (i=9)")
+	}
+}
+
+// TestIntegerTightening checks the gcd/floor normalization: 2x <= 1 and
+// 2x >= 1 has the rational solution x=1/2 but no integer solution.
+func TestIntegerTightening(t *testing.T) {
+	x := Var(1)
+	s := &System{}
+	s.Add(LE(NewVarExpr(x).Scale(2), NewExpr(1)))
+	s.Add(GE(NewVarExpr(x).Scale(2), NewExpr(1)))
+	if !s.Infeasible() {
+		t.Errorf("2x=1 should have no integer solution")
+	}
+}
+
+// TestArrayBoundsPattern mirrors the A1/A2 use: access a[i+k] in a loop
+// 0<=i<n with n<=N-k is safe; without the n bound it is not provably safe.
+func TestArrayBoundsPattern(t *testing.T) {
+	i, n := Var(1), Var(2)
+	const N, k = 16, 4
+	guard := func() *System {
+		s := &System{}
+		s.Add(GE(NewVarExpr(i), NewExpr(0)))
+		s.Add(LT(NewVarExpr(i), NewVarExpr(n)))
+		return s
+	}
+	idx := NewVarExpr(i).Add(NewExpr(k))
+
+	// With n <= N-k: idx >= N must be infeasible.
+	s := guard()
+	s.Add(LE(NewVarExpr(n), NewExpr(N-k)))
+	s.Add(GE(idx, NewExpr(N)))
+	if !s.Infeasible() {
+		t.Errorf("guarded access should be provably in bounds")
+	}
+
+	// Without the n bound: idx >= N is feasible — a potential violation.
+	s2 := guard()
+	s2.Add(GE(idx, NewExpr(N)))
+	if s2.Infeasible() {
+		t.Errorf("unguarded access must not be provably in bounds")
+	}
+}
+
+// Property: a box system 0<=x<=hi is feasible for hi>=0 and infeasible for
+// hi<0, no matter how the bound is scaled.
+func TestQuickBoxFeasibility(t *testing.T) {
+	f := func(hiRaw int16, scaleRaw uint8) bool {
+		hi := int64(hiRaw)
+		scale := int64(scaleRaw%7) + 1
+		x := Var(1)
+		s := &System{}
+		s.Add(GE(NewVarExpr(x).Scale(scale), NewExpr(0)))
+		s.Add(LE(NewVarExpr(x).Scale(scale), NewExpr(hi*scale)))
+		return s.Infeasible() == (hi < 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding constraints never turns an infeasible system feasible.
+func TestQuickMonotonicity(t *testing.T) {
+	f := func(a, b int8) bool {
+		x := Var(1)
+		s := &System{}
+		s.Add(GE(NewVarExpr(x), NewExpr(int64(a))))
+		s.Add(LE(NewVarExpr(x), NewExpr(int64(a)-1))) // always infeasible
+		s.Add(LE(NewVarExpr(x), NewExpr(int64(b))))
+		return s.Infeasible()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

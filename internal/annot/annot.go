@@ -1,0 +1,422 @@
+// Package annot parses the SafeFlow annotation language embedded in C
+// comments. The grammar (paper §3.1, §3.2.1, §3.4.3) is:
+//
+//	annotation := "assume" "(" fact ")"
+//	            | "assert" "(" "safe" "(" ident ")" ")"
+//	            | "shminit"
+//	fact       := "core" "(" ident "," size "," size ")"
+//	            | "shmvar" "(" ident "," size ")"
+//	            | "noncore" "(" ident ")"
+//	size       := size "+" size | size "*" size | integer | "sizeof" "(" type-name ")"
+//
+// Size expressions are resolved to byte counts with a TypeSizer supplied by
+// the caller (the semantic analyzer knows struct and typedef sizes).
+package annot
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TypeSizer resolves a type name appearing inside sizeof(...) to its byte
+// size.
+type TypeSizer interface {
+	SizeofType(name string) (int64, bool)
+}
+
+// TypeSizerFunc adapts a function to the TypeSizer interface.
+type TypeSizerFunc func(name string) (int64, bool)
+
+// SizeofType implements TypeSizer.
+func (f TypeSizerFunc) SizeofType(name string) (int64, bool) { return f(name) }
+
+// Fact is one parsed annotation.
+type Fact interface {
+	fact()
+	String() string
+}
+
+// CoreFact is assume(core(ptr, offset, size)): within the annotated
+// monitoring function (and its callees), the shared-memory locations
+// reachable from ptr in [offset, offset+size) may be treated as core.
+type CoreFact struct {
+	Ptr    string
+	Offset int64
+	Size   int64
+}
+
+// ShmInitFact marks an initializing function (shminit).
+type ShmInitFact struct{}
+
+// ShmVarFact is assume(shmvar(ptr, size)): a post-condition of an
+// initializing function declaring ptr to name size bytes of shared memory.
+type ShmVarFact struct {
+	Ptr  string
+	Size int64
+}
+
+// NonCoreFact is assume(noncore(x)): the shared-memory region named by
+// pointer x — or, in the message-passing extension, the socket descriptor
+// x — may be written by non-core components.
+type NonCoreFact struct {
+	Name string
+}
+
+// AssertSafeFact is assert(safe(x)): the local value x is critical data
+// and must not depend on unmonitored non-core values.
+type AssertSafeFact struct {
+	Var string
+}
+
+func (*CoreFact) fact()       {}
+func (*ShmInitFact) fact()    {}
+func (*ShmVarFact) fact()     {}
+func (*NonCoreFact) fact()    {}
+func (*AssertSafeFact) fact() {}
+
+// String implements Fact.
+func (f *CoreFact) String() string {
+	return fmt.Sprintf("assume(core(%s, %d, %d))", f.Ptr, f.Offset, f.Size)
+}
+
+// String implements Fact.
+func (f *ShmInitFact) String() string { return "shminit" }
+
+// String implements Fact.
+func (f *ShmVarFact) String() string {
+	return fmt.Sprintf("assume(shmvar(%s, %d))", f.Ptr, f.Size)
+}
+
+// String implements Fact.
+func (f *NonCoreFact) String() string { return fmt.Sprintf("assume(noncore(%s))", f.Name) }
+
+// String implements Fact.
+func (f *AssertSafeFact) String() string { return fmt.Sprintf("assert(safe(%s))", f.Var) }
+
+// Parse parses one annotation body (the text following the "SafeFlow
+// Annotation" marker, possibly containing several ';'- or
+// newline-separated annotations) and returns the facts.
+func Parse(body string, sizer TypeSizer) ([]Fact, error) {
+	var facts []Fact
+	for _, piece := range splitAnnotations(body) {
+		f, err := parseOne(piece, sizer)
+		if err != nil {
+			return nil, fmt.Errorf("annotation %q: %w", piece, err)
+		}
+		facts = append(facts, f)
+	}
+	if len(facts) == 0 {
+		return nil, fmt.Errorf("empty annotation body")
+	}
+	return facts, nil
+}
+
+// splitAnnotations splits a body on ';' and newlines, dropping empties.
+func splitAnnotations(body string) []string {
+	var out []string
+	for _, part := range strings.FieldsFunc(body, func(r rune) bool { return r == ';' || r == '\n' }) {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseOne(s string, sizer TypeSizer) (Fact, error) {
+	p := &parser{src: s, sizer: sizer}
+	f, err := p.annotation()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.off != len(p.src) {
+		return nil, fmt.Errorf("trailing text %q", p.src[p.off:])
+	}
+	return f, nil
+}
+
+type parser struct {
+	src   string
+	off   int
+	sizer TypeSizer
+}
+
+func (p *parser) skipSpace() {
+	for p.off < len(p.src) {
+		switch p.src[p.off] {
+		case ' ', '\t', '\r', '\n':
+			p.off++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) word() string {
+	p.skipSpace()
+	start := p.off
+	for p.off < len(p.src) && isWordByte(p.src[p.off]) {
+		p.off++
+	}
+	return p.src[start:p.off]
+}
+
+func isWordByte(ch byte) bool {
+	return ch == '_' || ch >= 'a' && ch <= 'z' || ch >= 'A' && ch <= 'Z' || ch >= '0' && ch <= '9'
+}
+
+func (p *parser) expect(ch byte) error {
+	p.skipSpace()
+	if p.off >= len(p.src) || p.src[p.off] != ch {
+		return fmt.Errorf("expected %q at offset %d", string(ch), p.off)
+	}
+	p.off++
+	return nil
+}
+
+func (p *parser) annotation() (Fact, error) {
+	switch w := p.word(); w {
+	case "assume":
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		f, err := p.assumeFact()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return f, nil
+	case "assert":
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		if kw := p.word(); kw != "safe" {
+			return nil, fmt.Errorf("assert supports only safe(...), got %q", kw)
+		}
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		name := p.word()
+		if name == "" {
+			return nil, fmt.Errorf("safe(...) requires a variable name")
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return &AssertSafeFact{Var: name}, nil
+	case "shminit":
+		return &ShmInitFact{}, nil
+	// The bare fact forms are accepted for convenience (the paper sometimes
+	// writes noncore(shmptr) without the assume wrapper in running text).
+	case "core", "shmvar", "noncore":
+		p.off -= len(w)
+		return p.assumeFact()
+	default:
+		return nil, fmt.Errorf("unknown annotation keyword %q", w)
+	}
+}
+
+func (p *parser) assumeFact() (Fact, error) {
+	switch w := p.word(); w {
+	case "core":
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		ptr := p.word()
+		if ptr == "" {
+			return nil, fmt.Errorf("core(...) requires a pointer name")
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		off, err := p.sizeExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		size, err := p.sizeExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		if size <= 0 {
+			return nil, fmt.Errorf("core(%s): size must be positive, got %d", ptr, size)
+		}
+		if off < 0 {
+			return nil, fmt.Errorf("core(%s): offset must be non-negative, got %d", ptr, off)
+		}
+		return &CoreFact{Ptr: ptr, Offset: off, Size: size}, nil
+	case "shmvar":
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		ptr := p.word()
+		if ptr == "" {
+			return nil, fmt.Errorf("shmvar(...) requires a pointer name")
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		size, err := p.sizeExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		if size <= 0 {
+			return nil, fmt.Errorf("shmvar(%s): size must be positive, got %d", ptr, size)
+		}
+		return &ShmVarFact{Ptr: ptr, Size: size}, nil
+	case "noncore":
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		name := p.word()
+		if name == "" {
+			return nil, fmt.Errorf("noncore(...) requires a name")
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return &NonCoreFact{Name: name}, nil
+	default:
+		return nil, fmt.Errorf("unknown assume fact %q", w)
+	}
+}
+
+// sizeExpr := product ( '+' product )*
+func (p *parser) sizeExpr() (int64, error) {
+	v, err := p.product()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		if p.off < len(p.src) && p.src[p.off] == '+' {
+			p.off++
+			w, err := p.product()
+			if err != nil {
+				return 0, err
+			}
+			v += w
+			continue
+		}
+		return v, nil
+	}
+}
+
+// product := atom ( '*' atom )*
+func (p *parser) product() (int64, error) {
+	v, err := p.atom()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		if p.off < len(p.src) && p.src[p.off] == '*' {
+			p.off++
+			w, err := p.atom()
+			if err != nil {
+				return 0, err
+			}
+			v *= w
+			continue
+		}
+		return v, nil
+	}
+}
+
+func (p *parser) atom() (int64, error) {
+	p.skipSpace()
+	if p.off < len(p.src) && p.src[p.off] >= '0' && p.src[p.off] <= '9' {
+		start := p.off
+		for p.off < len(p.src) && p.src[p.off] >= '0' && p.src[p.off] <= '9' {
+			p.off++
+		}
+		return strconv.ParseInt(p.src[start:p.off], 10, 64)
+	}
+	w := p.word()
+	if w != "sizeof" {
+		return 0, fmt.Errorf("expected integer or sizeof, got %q", w)
+	}
+	if err := p.expect('('); err != nil {
+		return 0, err
+	}
+	// Type names may include "struct X" or trailing '*' (pointer sizes).
+	p.skipSpace()
+	name := p.word()
+	if name == "struct" || name == "union" || name == "unsigned" {
+		name = name + " " + p.word()
+	}
+	stars := 0
+	for {
+		p.skipSpace()
+		if p.off < len(p.src) && p.src[p.off] == '*' {
+			stars++
+			p.off++
+			continue
+		}
+		break
+	}
+	if err := p.expect(')'); err != nil {
+		return 0, err
+	}
+	if stars > 0 {
+		return 4, nil // pointer size on the target (ctypes.PointerSize)
+	}
+	if p.sizer != nil {
+		if sz, ok := p.sizer.SizeofType(name); ok {
+			return sz, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown type %q in sizeof", name)
+}
+
+// ---------------------------------------------------------------------------
+// Function-level fact bundles
+
+// FuncFacts aggregates the annotation facts attached to one function.
+type FuncFacts struct {
+	IsShmInit bool
+	Core      []*CoreFact
+	ShmVars   []*ShmVarFact
+	NonCore   []*NonCoreFact
+}
+
+// Empty reports whether no facts are present.
+func (f *FuncFacts) Empty() bool {
+	return f == nil || (!f.IsShmInit && len(f.Core) == 0 && len(f.ShmVars) == 0 && len(f.NonCore) == 0)
+}
+
+// Collect sorts parsed facts into a FuncFacts bundle. AssertSafeFact is
+// statement-level and rejected here.
+func Collect(facts []Fact) (*FuncFacts, error) {
+	ff := &FuncFacts{}
+	for _, f := range facts {
+		switch x := f.(type) {
+		case *ShmInitFact:
+			ff.IsShmInit = true
+		case *CoreFact:
+			ff.Core = append(ff.Core, x)
+		case *ShmVarFact:
+			ff.ShmVars = append(ff.ShmVars, x)
+		case *NonCoreFact:
+			ff.NonCore = append(ff.NonCore, x)
+		case *AssertSafeFact:
+			return nil, fmt.Errorf("assert(safe(%s)) must precede a statement, not annotate a function", x.Var)
+		}
+	}
+	return ff, nil
+}

@@ -1,0 +1,181 @@
+package annot
+
+import (
+	"strings"
+	"testing"
+)
+
+type sizer map[string]int64
+
+func (s sizer) SizeofType(name string) (int64, bool) {
+	v, ok := s[name]
+	return v, ok
+}
+
+var testSizer = sizer{"SHMData": 40, "SHMCmd": 24, "double": 8, "int": 4}
+
+func parseOneFact(t *testing.T, body string) Fact {
+	t.Helper()
+	facts, err := Parse(body, testSizer)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", body, err)
+	}
+	if len(facts) != 1 {
+		t.Fatalf("Parse(%q) = %d facts, want 1", body, len(facts))
+	}
+	return facts[0]
+}
+
+func TestParseCore(t *testing.T) {
+	tests := []struct {
+		body         string
+		ptr          string
+		offset, size int64
+	}{
+		{"assume(core(noncoreCtrl, 0, sizeof(SHMData)))", "noncoreCtrl", 0, 40},
+		{"assume(core(p, 8, 16))", "p", 8, 16},
+		{"assume(core(p, sizeof(double), 2*sizeof(double)))", "p", 8, 16},
+		{"assume(core(p, 0, sizeof(SHMData)+sizeof(SHMCmd)))", "p", 0, 64},
+		{"core(p, 0, 8)", "p", 0, 8}, // bare form accepted
+	}
+	for _, tc := range tests {
+		t.Run(tc.body, func(t *testing.T) {
+			f, ok := parseOneFact(t, tc.body).(*CoreFact)
+			if !ok {
+				t.Fatalf("fact = %T", parseOneFact(t, tc.body))
+			}
+			if f.Ptr != tc.ptr || f.Offset != tc.offset || f.Size != tc.size {
+				t.Errorf("got %+v, want {%s %d %d}", f, tc.ptr, tc.offset, tc.size)
+			}
+		})
+	}
+}
+
+func TestParseShmVar(t *testing.T) {
+	f, ok := parseOneFact(t, "assume(shmvar(feedback, sizeof(SHMData)))").(*ShmVarFact)
+	if !ok || f.Ptr != "feedback" || f.Size != 40 {
+		t.Errorf("got %#v", f)
+	}
+	// Pointer sizeof.
+	g := parseOneFact(t, "assume(shmvar(tbl, 4*sizeof(int*)))").(*ShmVarFact)
+	if g.Size != 16 {
+		t.Errorf("pointer sizeof: size = %d, want 16", g.Size)
+	}
+	// struct keyword form.
+	s := sizer{"struct Data": 32}
+	facts, err := Parse("assume(shmvar(d, sizeof(struct Data)))", s)
+	if err != nil {
+		t.Fatalf("struct sizeof: %v", err)
+	}
+	if facts[0].(*ShmVarFact).Size != 32 {
+		t.Errorf("struct sizeof: %+v", facts[0])
+	}
+}
+
+func TestParseNonCoreAndInit(t *testing.T) {
+	if f, ok := parseOneFact(t, "assume(noncore(feedback))").(*NonCoreFact); !ok || f.Name != "feedback" {
+		t.Errorf("noncore: %#v", f)
+	}
+	if _, ok := parseOneFact(t, "shminit").(*ShmInitFact); !ok {
+		t.Error("shminit not recognized")
+	}
+}
+
+func TestParseAssert(t *testing.T) {
+	f, ok := parseOneFact(t, "assert(safe(output))").(*AssertSafeFact)
+	if !ok || f.Var != "output" {
+		t.Errorf("assert: %#v", f)
+	}
+}
+
+func TestParseMultiple(t *testing.T) {
+	facts, err := Parse("assume(noncore(a)); assume(noncore(b))\nassume(shmvar(c, 8))", testSizer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facts) != 3 {
+		t.Fatalf("facts = %d, want 3", len(facts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		body string
+		want string
+	}{
+		{"", "empty"},
+		{"assume(bogus(x))", "unknown assume fact"},
+		{"frobnicate(x)", "unknown annotation keyword"},
+		{"assert(sound(x))", "assert supports only safe"},
+		{"assume(core(p, 0, sizeof(Mystery)))", "unknown type"},
+		{"assume(core(p, 0, 0))", "size must be positive"},
+		{"assume(core(p, 0, 8)) trailing", "trailing text"},
+		{"assume(shmvar(, 8))", "requires a pointer name"},
+		{"assume(core(p, -4, 8))", "expected integer or sizeof"},
+		{"assert(safe())", "requires a variable name"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.body, func(t *testing.T) {
+			_, err := Parse(tc.body, testSizer)
+			if err == nil {
+				t.Fatalf("expected error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCollect(t *testing.T) {
+	facts, err := Parse("shminit", testSizer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	more, err := Parse("assume(shmvar(a, 8)); assume(noncore(a)); assume(core(b, 0, 8))", testSizer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, err := Collect(append(facts, more...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ff.IsShmInit || len(ff.ShmVars) != 1 || len(ff.NonCore) != 1 || len(ff.Core) != 1 {
+		t.Errorf("collected = %#v", ff)
+	}
+	if ff.Empty() {
+		t.Error("Empty() on populated facts")
+	}
+
+	// assert is statement-level: Collect must reject it.
+	bad, err := Parse("assert(safe(x))", testSizer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Collect(bad); err == nil {
+		t.Error("Collect accepted a statement-level assert")
+	}
+
+	var empty *FuncFacts
+	if !empty.Empty() {
+		t.Error("nil FuncFacts should be Empty")
+	}
+}
+
+func TestFactStrings(t *testing.T) {
+	tests := []struct {
+		fact Fact
+		want string
+	}{
+		{&CoreFact{Ptr: "p", Offset: 0, Size: 8}, "assume(core(p, 0, 8))"},
+		{&ShmVarFact{Ptr: "g", Size: 40}, "assume(shmvar(g, 40))"},
+		{&NonCoreFact{Name: "g"}, "assume(noncore(g))"},
+		{&AssertSafeFact{Var: "u"}, "assert(safe(u))"},
+		{&ShmInitFact{}, "shminit"},
+	}
+	for _, tc := range tests {
+		if got := tc.fact.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}

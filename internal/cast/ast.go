@@ -1,0 +1,518 @@
+// Package cast defines the abstract syntax tree for SafeFlow's C subset.
+//
+// The tree is deliberately close to the C grammar: declarations carry
+// declarator-resolved types expressed as TypeExpr trees which the semantic
+// analyzer (package csema) resolves into ctypes.Type values. SafeFlow
+// annotations lexed from comments are attached to the nearest following
+// function definition or statement.
+package cast
+
+import "safeflow/internal/ctoken"
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() ctoken.Pos
+}
+
+// File is one translation unit after preprocessing.
+type File struct {
+	Name  string
+	Decls []Decl
+}
+
+// Pos implements Node.
+func (f *File) Pos() ctoken.Pos {
+	if len(f.Decls) > 0 {
+		return f.Decls[0].Pos()
+	}
+	return ctoken.Pos{File: f.Name, Line: 1, Col: 1}
+}
+
+// ---------------------------------------------------------------------------
+// Type expressions
+
+// TypeExpr is a syntactic type, resolved by csema.
+type TypeExpr interface {
+	Node
+	typeExpr()
+}
+
+// BaseType is a builtin type name possibly with signedness qualifiers
+// already folded in (e.g. "unsigned int" -> Name "unsigned int").
+type BaseType struct {
+	NamePos ctoken.Pos
+	Name    string // void, char, int, long, float, double, unsigned int, ...
+}
+
+// NamedType refers to a typedef name.
+type NamedType struct {
+	NamePos ctoken.Pos
+	Name    string
+}
+
+// StructType is struct/union tag usage or inline definition.
+type StructType struct {
+	Keyword ctoken.Pos
+	IsUnion bool
+	Tag     string       // may be empty for anonymous definitions
+	Fields  []*FieldDecl // nil when this is a bare reference to a tag
+	Defined bool         // true when Fields were written here (even if empty)
+}
+
+// EnumType is an enum usage or inline definition.
+type EnumType struct {
+	Keyword ctoken.Pos
+	Tag     string
+	Members []EnumMember
+	Defined bool
+}
+
+// EnumMember is one enumerator, with an optional explicit value.
+type EnumMember struct {
+	NamePos ctoken.Pos
+	Name    string
+	Value   Expr // nil for implicit
+}
+
+// PointerType is a pointer to an element type.
+type PointerType struct {
+	StarPos ctoken.Pos
+	Elem    TypeExpr
+}
+
+// ArrayType is an array of Elem with an optional constant length.
+type ArrayType struct {
+	LbrackPos ctoken.Pos
+	Elem      TypeExpr
+	Len       Expr // nil for unsized ("[]")
+}
+
+// FuncType is a function type (used for declarators).
+type FuncType struct {
+	LparenPos ctoken.Pos
+	Result    TypeExpr
+	Params    []*ParamDecl
+	Variadic  bool
+}
+
+// Pos implementations.
+func (t *BaseType) Pos() ctoken.Pos    { return t.NamePos }
+func (t *NamedType) Pos() ctoken.Pos   { return t.NamePos }
+func (t *StructType) Pos() ctoken.Pos  { return t.Keyword }
+func (t *EnumType) Pos() ctoken.Pos    { return t.Keyword }
+func (t *PointerType) Pos() ctoken.Pos { return t.StarPos }
+func (t *ArrayType) Pos() ctoken.Pos   { return t.LbrackPos }
+func (t *FuncType) Pos() ctoken.Pos    { return t.LparenPos }
+
+func (*BaseType) typeExpr()    {}
+func (*NamedType) typeExpr()   {}
+func (*StructType) typeExpr()  {}
+func (*EnumType) typeExpr()    {}
+func (*PointerType) typeExpr() {}
+func (*ArrayType) typeExpr()   {}
+func (*FuncType) typeExpr()    {}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+// Decl is a top-level or block-level declaration.
+type Decl interface {
+	Node
+	decl()
+}
+
+// StorageClass describes the storage-class specifier of a declaration.
+type StorageClass int
+
+// Storage classes. None means no explicit specifier.
+const (
+	StorageNone StorageClass = iota + 1
+	StorageExtern
+	StorageStatic
+	StorageTypedef
+)
+
+// VarDecl declares one variable (file- or block-scope).
+type VarDecl struct {
+	NamePos ctoken.Pos
+	Name    string
+	Type    TypeExpr
+	Storage StorageClass
+	Init    Expr // nil if absent
+}
+
+// FieldDecl is a struct/union member.
+type FieldDecl struct {
+	NamePos ctoken.Pos
+	Name    string
+	Type    TypeExpr
+}
+
+// ParamDecl is one function parameter.
+type ParamDecl struct {
+	NamePos ctoken.Pos
+	Name    string // may be empty in prototypes
+	Type    TypeExpr
+}
+
+// FuncDecl is a function definition or prototype (Body nil for prototypes).
+type FuncDecl struct {
+	NamePos     ctoken.Pos
+	Name        string
+	Type        *FuncType
+	Storage     StorageClass
+	Body        *BlockStmt // nil for prototypes
+	Annotations []Annotation
+}
+
+// TypedefDecl binds a name to a type.
+type TypedefDecl struct {
+	NamePos ctoken.Pos
+	Name    string
+	Type    TypeExpr
+}
+
+// RecordDecl is a standalone struct/union/enum definition ("struct S {...};").
+type RecordDecl struct {
+	Type TypeExpr // *StructType or *EnumType with Defined=true
+}
+
+// Pos implementations.
+func (d *VarDecl) Pos() ctoken.Pos     { return d.NamePos }
+func (d *FieldDecl) Pos() ctoken.Pos   { return d.NamePos }
+func (d *ParamDecl) Pos() ctoken.Pos   { return d.NamePos }
+func (d *FuncDecl) Pos() ctoken.Pos    { return d.NamePos }
+func (d *TypedefDecl) Pos() ctoken.Pos { return d.NamePos }
+func (d *RecordDecl) Pos() ctoken.Pos  { return d.Type.Pos() }
+
+func (*VarDecl) decl()     {}
+func (*FieldDecl) decl()   {}
+func (*ParamDecl) decl()   {}
+func (*FuncDecl) decl()    {}
+func (*TypedefDecl) decl() {}
+func (*RecordDecl) decl()  {}
+
+// ---------------------------------------------------------------------------
+// Annotations
+
+// Annotation is one parsed SafeFlow annotation comment, still in raw form;
+// package annot interprets the body.
+type Annotation struct {
+	AtPos ctoken.Pos
+	Body  string
+}
+
+// Pos implements Node.
+func (a Annotation) Pos() ctoken.Pos { return a.AtPos }
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is a statement.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+// BlockStmt is a braced statement list; block-scope declarations appear as
+// DeclStmt items.
+type BlockStmt struct {
+	LbracePos ctoken.Pos
+	List      []Stmt
+}
+
+// DeclStmt wraps block-scope declarations.
+type DeclStmt struct {
+	Decls []*VarDecl
+}
+
+// ExprStmt is an expression evaluated for effect.
+type ExprStmt struct {
+	X Expr
+}
+
+// EmptyStmt is a lone semicolon.
+type EmptyStmt struct {
+	SemiPos ctoken.Pos
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	IfPos ctoken.Pos
+	Cond  Expr
+	Then  Stmt
+	Else  Stmt // nil if absent
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	WhilePos ctoken.Pos
+	Cond     Expr
+	Body     Stmt
+}
+
+// DoWhileStmt is a do { } while loop.
+type DoWhileStmt struct {
+	DoPos ctoken.Pos
+	Body  Stmt
+	Cond  Expr
+}
+
+// ForStmt is a for loop; Init may be a DeclStmt or ExprStmt.
+type ForStmt struct {
+	ForPos ctoken.Pos
+	Init   Stmt // nil if absent
+	Cond   Expr // nil if absent
+	Post   Expr // nil if absent
+	Body   Stmt
+}
+
+// ReturnStmt returns from a function.
+type ReturnStmt struct {
+	RetPos ctoken.Pos
+	X      Expr // nil for bare return
+}
+
+// BreakStmt breaks a loop or switch.
+type BreakStmt struct{ KwPos ctoken.Pos }
+
+// ContinueStmt continues a loop.
+type ContinueStmt struct{ KwPos ctoken.Pos }
+
+// SwitchStmt is a switch over an integer expression.
+type SwitchStmt struct {
+	SwitchPos ctoken.Pos
+	Tag       Expr
+	Body      []*CaseClause
+}
+
+// CaseClause is one case or default arm (fallthrough is preserved: the arm
+// lists only its own statements and Fallthrough says whether control
+// continues into the next arm).
+type CaseClause struct {
+	CasePos     ctoken.Pos
+	Values      []Expr // nil => default
+	Body        []Stmt
+	Fallthrough bool
+}
+
+// LabeledStmt is "name: stmt" (goto targets).
+type LabeledStmt struct {
+	NamePos ctoken.Pos
+	Name    string
+	Stmt    Stmt
+}
+
+// GotoStmt is "goto name;".
+type GotoStmt struct {
+	KwPos ctoken.Pos
+	Name  string
+}
+
+// AnnotatedStmt attaches annotations to the statement that follows them.
+type AnnotatedStmt struct {
+	Annotations []Annotation
+	Stmt        Stmt
+}
+
+// Pos implementations.
+func (s *BlockStmt) Pos() ctoken.Pos   { return s.LbracePos }
+func (s *DeclStmt) Pos() ctoken.Pos    { return s.Decls[0].Pos() }
+func (s *ExprStmt) Pos() ctoken.Pos    { return s.X.Pos() }
+func (s *EmptyStmt) Pos() ctoken.Pos   { return s.SemiPos }
+func (s *IfStmt) Pos() ctoken.Pos      { return s.IfPos }
+func (s *WhileStmt) Pos() ctoken.Pos   { return s.WhilePos }
+func (s *DoWhileStmt) Pos() ctoken.Pos { return s.DoPos }
+func (s *ForStmt) Pos() ctoken.Pos     { return s.ForPos }
+func (s *ReturnStmt) Pos() ctoken.Pos  { return s.RetPos }
+func (s *BreakStmt) Pos() ctoken.Pos   { return s.KwPos }
+func (s *ContinueStmt) Pos() ctoken.Pos {
+	return s.KwPos
+}
+func (s *SwitchStmt) Pos() ctoken.Pos  { return s.SwitchPos }
+func (s *CaseClause) Pos() ctoken.Pos  { return s.CasePos }
+func (s *LabeledStmt) Pos() ctoken.Pos { return s.NamePos }
+func (s *GotoStmt) Pos() ctoken.Pos    { return s.KwPos }
+func (s *AnnotatedStmt) Pos() ctoken.Pos {
+	if len(s.Annotations) > 0 {
+		return s.Annotations[0].AtPos
+	}
+	return s.Stmt.Pos()
+}
+
+func (*BlockStmt) stmt()     {}
+func (*DeclStmt) stmt()      {}
+func (*ExprStmt) stmt()      {}
+func (*EmptyStmt) stmt()     {}
+func (*IfStmt) stmt()        {}
+func (*WhileStmt) stmt()     {}
+func (*DoWhileStmt) stmt()   {}
+func (*ForStmt) stmt()       {}
+func (*ReturnStmt) stmt()    {}
+func (*BreakStmt) stmt()     {}
+func (*ContinueStmt) stmt()  {}
+func (*SwitchStmt) stmt()    {}
+func (*CaseClause) stmt()    {}
+func (*LabeledStmt) stmt()   {}
+func (*GotoStmt) stmt()      {}
+func (*AnnotatedStmt) stmt() {}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is an expression.
+type Expr interface {
+	Node
+	expr()
+}
+
+// Ident is a name use.
+type Ident struct {
+	NamePos ctoken.Pos
+	Name    string
+}
+
+// IntLit is an integer literal (value already decoded).
+type IntLit struct {
+	LitPos ctoken.Pos
+	Value  int64
+	Text   string
+}
+
+// FloatLit is a floating literal.
+type FloatLit struct {
+	LitPos ctoken.Pos
+	Value  float64
+	Text   string
+}
+
+// StrLit is a string literal (unescaped contents).
+type StrLit struct {
+	LitPos ctoken.Pos
+	Value  string
+}
+
+// ParenExpr preserves explicit parentheses.
+type ParenExpr struct {
+	LparenPos ctoken.Pos
+	X         Expr
+}
+
+// UnaryExpr is a prefix unary operation: - ! ~ * & ++ -- (prefix).
+type UnaryExpr struct {
+	OpPos ctoken.Pos
+	Op    ctoken.Kind
+	X     Expr
+}
+
+// PostfixExpr is x++ or x--.
+type PostfixExpr struct {
+	OpPos ctoken.Pos
+	Op    ctoken.Kind // INC or DEC
+	X     Expr
+}
+
+// BinaryExpr is a binary operation (arithmetic, comparison, logical).
+type BinaryExpr struct {
+	OpPos ctoken.Pos
+	Op    ctoken.Kind
+	X, Y  Expr
+}
+
+// AssignExpr is assignment, possibly compound (+= etc.).
+type AssignExpr struct {
+	OpPos ctoken.Pos
+	Op    ctoken.Kind // ASSIGN..SHRASSIGN
+	LHS   Expr
+	RHS   Expr
+}
+
+// CondExpr is the ternary conditional.
+type CondExpr struct {
+	QPos ctoken.Pos
+	Cond Expr
+	Then Expr
+	Else Expr
+}
+
+// CallExpr is a function call. Only direct calls by name are supported —
+// the SafeFlow subset forbids function pointers, matching the paper's
+// restriction that the analyzed core components use direct calls.
+type CallExpr struct {
+	LparenPos ctoken.Pos
+	Fun       Expr // usually *Ident
+	Args      []Expr
+}
+
+// IndexExpr is array indexing a[i].
+type IndexExpr struct {
+	LbrackPos ctoken.Pos
+	X         Expr
+	Index     Expr
+}
+
+// MemberExpr is x.f (Arrow false) or p->f (Arrow true).
+type MemberExpr struct {
+	DotPos ctoken.Pos
+	X      Expr
+	Name   string
+	Arrow  bool
+}
+
+// CastExpr is (T)x.
+type CastExpr struct {
+	LparenPos ctoken.Pos
+	Type      TypeExpr
+	X         Expr
+}
+
+// SizeofExpr is sizeof(T) or sizeof expr.
+type SizeofExpr struct {
+	KwPos ctoken.Pos
+	Type  TypeExpr // non-nil for sizeof(type)
+	X     Expr     // non-nil for sizeof expr
+}
+
+// Pos implementations.
+func (e *Ident) Pos() ctoken.Pos       { return e.NamePos }
+func (e *IntLit) Pos() ctoken.Pos      { return e.LitPos }
+func (e *FloatLit) Pos() ctoken.Pos    { return e.LitPos }
+func (e *StrLit) Pos() ctoken.Pos      { return e.LitPos }
+func (e *ParenExpr) Pos() ctoken.Pos   { return e.LparenPos }
+func (e *UnaryExpr) Pos() ctoken.Pos   { return e.OpPos }
+func (e *PostfixExpr) Pos() ctoken.Pos { return e.X.Pos() }
+func (e *BinaryExpr) Pos() ctoken.Pos  { return e.X.Pos() }
+func (e *AssignExpr) Pos() ctoken.Pos  { return e.LHS.Pos() }
+func (e *CondExpr) Pos() ctoken.Pos    { return e.Cond.Pos() }
+func (e *CallExpr) Pos() ctoken.Pos    { return e.Fun.Pos() }
+func (e *IndexExpr) Pos() ctoken.Pos   { return e.X.Pos() }
+func (e *MemberExpr) Pos() ctoken.Pos  { return e.X.Pos() }
+func (e *CastExpr) Pos() ctoken.Pos    { return e.LparenPos }
+func (e *SizeofExpr) Pos() ctoken.Pos  { return e.KwPos }
+
+func (*Ident) expr()       {}
+func (*IntLit) expr()      {}
+func (*FloatLit) expr()    {}
+func (*StrLit) expr()      {}
+func (*ParenExpr) expr()   {}
+func (*UnaryExpr) expr()   {}
+func (*PostfixExpr) expr() {}
+func (*BinaryExpr) expr()  {}
+func (*AssignExpr) expr()  {}
+func (*CondExpr) expr()    {}
+func (*CallExpr) expr()    {}
+func (*IndexExpr) expr()   {}
+func (*MemberExpr) expr()  {}
+func (*CastExpr) expr()    {}
+func (*SizeofExpr) expr()  {}
+
+// Unparen strips any number of ParenExpr wrappers.
+func Unparen(e Expr) Expr {
+	for {
+		p, ok := e.(*ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,128 @@
+package cast_test
+
+import (
+	"strings"
+	"testing"
+
+	"safeflow/internal/cast"
+	"safeflow/internal/clex"
+	"safeflow/internal/cparse"
+)
+
+func parse(t *testing.T, src string) *cast.File {
+	t.Helper()
+	l := clex.New("t.c", src)
+	toks := l.All()
+	if errs := l.Errors(); len(errs) > 0 {
+		t.Fatalf("lex: %v", errs)
+	}
+	p := cparse.New("t.c", toks)
+	f, err := p.ParseFile()
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+func TestPrintContainsConstructs(t *testing.T) {
+	src := `
+typedef struct { double a; int n; } S;
+S *shared;
+static int counter;
+
+int helper(S *p, int k)
+/***SafeFlow Annotation assume(core(p, 0, sizeof(S))) /***/
+{
+	int i;
+	double acc;
+	acc = 0.0;
+	for (i = 0; i < k; i++) {
+		acc += p->a * 2.0;
+	}
+	if (acc > 10.0) {
+		return 1;
+	} else {
+		return 0;
+	}
+}
+
+int main()
+{
+	int r;
+	r = helper(shared, counter > 0 ? counter : 1);
+	/***SafeFlow Annotation assert(safe(r)) /***/
+	switch (r) {
+	case 0:
+		printf("zero\n");
+		break;
+	default:
+		printf("other\n");
+	}
+	while (r > 0) {
+		r--;
+	}
+	return r;
+}
+`
+	out := cast.Print(parse(t, src))
+	for _, want := range []string{
+		"typedef struct",
+		"S *shared;",
+		"static int counter;",
+		"/***SafeFlow Annotation assume(core(p, 0, sizeof(S))) /***/",
+		"for (i = 0; ",
+		"acc += ",
+		"switch (r) {",
+		"default:",
+		"while (",
+		"? counter : 1",
+		"assert(safe(r))",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPrintRoundTrip checks the printer emits parseable C that reprints to
+// the same text (parse → print → parse → print is a fixpoint).
+func TestPrintRoundTrip(t *testing.T) {
+	src := `
+typedef struct { double x[4]; int used; } Buf;
+Buf ring;
+double take(Buf *b, int i)
+{
+	double v;
+	v = b->x[i] + ring.x[0];
+	b->used = b->used - 1;
+	return -v * 2.0;
+}
+int main()
+{
+	int j;
+	double total;
+	total = 0.0;
+	for (j = 0; j < 4; j++) {
+		total += take(&ring, j);
+	}
+	do {
+		j--;
+	} while (j > 0);
+	return (int) total;
+}
+`
+	first := cast.Print(parse(t, src))
+	second := cast.Print(parse(t, first))
+	if first != second {
+		t.Errorf("print not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}
+
+func TestPrintExprPrecedenceExplicit(t *testing.T) {
+	f := parse(t, "int x = 1 + 2 * 3;")
+	vd := f.Decls[0].(*cast.VarDecl)
+	out := cast.PrintExpr(vd.Init)
+	if out != "1 + (2 * 3)" {
+		t.Errorf("printed expr = %q", out)
+	}
+}

@@ -1,0 +1,224 @@
+// Package core orchestrates the complete SafeFlow analysis — the paper's
+// three phases over the compiled IR of a core component:
+//
+//  1. shared-memory region and pointer identification (internal/shmflow),
+//  2. language-restriction enforcement P1–P3/A1–A2 (internal/restrict),
+//  3. unmonitored-access warnings and critical-data dependency errors
+//     (internal/vfg), backed by the alias analysis (internal/pointsto).
+//
+// The Report it produces carries everything Table 1 of the paper reports
+// per system: annotation counts, warnings, error dependencies, and the
+// control-only dependencies that the paper's experience maps to false
+// positives requiring manual inspection.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"safeflow/internal/callgraph"
+	"safeflow/internal/cpp"
+	"safeflow/internal/frontend"
+	"safeflow/internal/ir"
+	"safeflow/internal/irgen"
+	"safeflow/internal/pointsto"
+	"safeflow/internal/restrict"
+	"safeflow/internal/shmflow"
+	"safeflow/internal/vfg"
+)
+
+// Options tune the analysis.
+type Options struct {
+	// PointsTo selects the alias-analysis solver (default ModeSubset, the
+	// field-sensitive inclusion solver).
+	PointsTo pointsto.Mode
+	// Exponential switches phase 3 to the paper's unoptimized per-call-path
+	// analysis (ablation A-2).
+	Exponential bool
+	// Roots names entry functions for phase 3 (default: functions without
+	// callers).
+	Roots []string
+	// Defines predefines preprocessor macros.
+	Defines map[string]string
+}
+
+// Report is the complete analysis output for one system.
+type Report struct {
+	Name    string
+	Module  *ir.Module
+	Regions []*shmflow.Region
+
+	// AnnotationErrors are malformed or unresolvable annotations (phase 1).
+	AnnotationErrors []error
+	// Violations are restriction violations (phase 2).
+	Violations []restrict.Violation
+	// Warnings are unmonitored non-core value accesses (phase 3a) — the
+	// paper reports these contain no false positives or negatives.
+	Warnings []*vfg.Source
+	// ErrorsData are critical-data dependencies with at least one data-flow
+	// path from an unmonitored value (the paper's real error dependencies).
+	ErrorsData []*vfg.ErrorDep
+	// ErrorsControlOnly are dependencies established only through control
+	// flow — the paper's false-positive class, flagged for manual
+	// inspection with their value-flow traces.
+	ErrorsControlOnly []*vfg.ErrorDep
+
+	// LinesOfCode counts non-blank source lines across the analyzed files.
+	LinesOfCode int
+	// AnnotationLines counts SafeFlow annotation comments.
+	AnnotationLines int
+	// UnitsAnalyzed is the number of (function, context) solves phase 3
+	// performed (the A-2 ablation metric).
+	UnitsAnalyzed int
+}
+
+// TotalErrors returns all reported error dependencies (data + control).
+func (r *Report) TotalErrors() int { return len(r.ErrorsData) + len(r.ErrorsControlOnly) }
+
+// Clean reports whether the analysis found nothing to flag.
+func (r *Report) Clean() bool {
+	return len(r.AnnotationErrors) == 0 && len(r.Violations) == 0 &&
+		len(r.Warnings) == 0 && r.TotalErrors() == 0
+}
+
+// AnalyzeSources compiles and analyzes the translation units named by
+// cFiles against the given source tree.
+func AnalyzeSources(name string, sources cpp.Source, cFiles []string, opts Options) (*Report, error) {
+	res, err := frontend.Compile(name, sources, cFiles, frontend.Options{Defines: opts.Defines})
+	if err != nil {
+		return nil, fmt.Errorf("safeflow: %w", err)
+	}
+	rep := AnalyzeModule(name, res, opts)
+	rep.LinesOfCode, rep.AnnotationLines = countSourceStats(sources, cFiles)
+	return rep, nil
+}
+
+// AnalyzeString analyzes a single-buffer program (quickstart, tests).
+func AnalyzeString(name, src string, opts Options) (*Report, error) {
+	return AnalyzeSources(name, cpp.MapSource{"main.c": src}, []string{"main.c"}, opts)
+}
+
+// AnalyzeModule runs phases 1–3 on an already-compiled module.
+func AnalyzeModule(name string, res *irgen.Result, opts Options) *Report {
+	mode := opts.PointsTo
+	if mode == 0 {
+		mode = pointsto.ModeSubset
+	}
+	m := res.Module
+	cg := callgraph.New(m)
+
+	// Phase 1.
+	sf := shmflow.Analyze(m, cg)
+
+	// Phase 2.
+	violations := restrict.Check(m, sf)
+
+	// Phase 3.
+	pts := pointsto.Analyze(m, mode)
+	var roots []*ir.Function
+	for _, r := range opts.Roots {
+		if f := m.FuncByName(r); f != nil {
+			roots = append(roots, f)
+		}
+	}
+	v := vfg.Run(vfg.Config{
+		Module:      m,
+		CG:          cg,
+		SF:          sf,
+		PTS:         pts,
+		AssertVars:  res.AssertVars,
+		Roots:       roots,
+		Exponential: opts.Exponential,
+	})
+
+	rep := &Report{
+		Name:             name,
+		Module:           m,
+		Regions:          sf.Regions,
+		AnnotationErrors: sf.Errors,
+		Violations:       violations,
+		Warnings:         v.Warnings,
+		UnitsAnalyzed:    v.UnitsAnalyzed,
+	}
+
+	// The paper inserts the InitCheck run-time verification into every
+	// initializing function; since we analyze rather than rewrite, verify
+	// it is present wherever shared-memory variables are declared.
+	for initFn := range sf.InitFuncs {
+		if len(sf.Regions) == 0 {
+			break
+		}
+		declaresHere := false
+		for _, r := range sf.Regions {
+			if r.Init == initFn {
+				declaresHere = true
+			}
+		}
+		if !declaresHere {
+			continue
+		}
+		if !callsInitCheck(initFn) {
+			rep.AnnotationErrors = append(rep.AnnotationErrors, fmt.Errorf(
+				"%s: initializing function %q declares shared-memory variables but never calls InitCheck (overlap verification missing)",
+				initFn.Pos, initFn.Name))
+		}
+	}
+	for _, e := range v.Errors {
+		if e.ControlOnly {
+			rep.ErrorsControlOnly = append(rep.ErrorsControlOnly, e)
+		} else {
+			rep.ErrorsData = append(rep.ErrorsData, e)
+		}
+	}
+	return rep
+}
+
+// callsInitCheck reports whether the function (directly) calls InitCheck.
+func callsInitCheck(f *ir.Function) bool {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if c, ok := in.(*ir.Call); ok && c.Callee.Name == "InitCheck" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// countSourceStats counts non-blank lines and annotation comments across
+// the program's files (headers included once each).
+func countSourceStats(sources cpp.Source, cFiles []string) (loc, annots int) {
+	seen := make(map[string]bool)
+	var visit func(name string)
+	visit = func(name string) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		text, err := sources.ReadFile(name)
+		if err != nil {
+			return
+		}
+		for _, line := range strings.Split(text, "\n") {
+			trimmed := strings.TrimSpace(line)
+			if trimmed != "" {
+				loc++
+			}
+			if strings.Contains(line, "SafeFlow Annotation") {
+				annots++
+			}
+			if strings.HasPrefix(trimmed, "#include") {
+				if i := strings.IndexByte(trimmed, '"'); i >= 0 {
+					rest := trimmed[i+1:]
+					if j := strings.IndexByte(rest, '"'); j > 0 {
+						visit(rest[:j])
+					}
+				}
+			}
+		}
+	}
+	for _, f := range cFiles {
+		visit(f)
+	}
+	return loc, annots
+}

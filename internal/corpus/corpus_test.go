@@ -1,0 +1,120 @@
+package corpus
+
+import (
+	"testing"
+
+	"safeflow/internal/core"
+	"safeflow/internal/pointsto"
+)
+
+// TestTable1Counts reproduces Table 1 of the paper: for each prototype
+// system, the number of real error dependencies, warnings (unmonitored
+// non-core accesses), false positives (control-dependence-only reports),
+// and annotation lines.
+func TestTable1Counts(t *testing.T) {
+	for _, sys := range All() {
+		t.Run(sys.Name, func(t *testing.T) {
+			rep, err := sys.Analyze(core.Options{})
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			if len(rep.AnnotationErrors) != 0 {
+				t.Errorf("annotation errors: %v", rep.AnnotationErrors)
+			}
+			if len(rep.Violations) != 0 {
+				t.Errorf("restriction violations: %v", rep.Violations)
+			}
+			if got, want := len(rep.ErrorsData), sys.Expected.Errors; got != want {
+				for _, e := range rep.ErrorsData {
+					t.Logf("  error: %s", e)
+				}
+				t.Errorf("error dependencies = %d, want %d", got, want)
+			}
+			if got, want := len(rep.Warnings), sys.Expected.Warnings; got != want {
+				for _, w := range rep.Warnings {
+					t.Logf("  warning: %s", w)
+				}
+				t.Errorf("warnings = %d, want %d", got, want)
+			}
+			if got, want := len(rep.ErrorsControlOnly), sys.Expected.FalsePositives; got != want {
+				for _, e := range rep.ErrorsControlOnly {
+					t.Logf("  control-only: %s", e)
+				}
+				t.Errorf("false positives = %d, want %d", got, want)
+			}
+			if got, want := rep.AnnotationLines, sys.Expected.AnnotLines; got != want {
+				t.Errorf("annotation lines = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+// TestKillDefectInEverySystem checks the paper's observation that all
+// three systems share the kill-pid error dependency.
+func TestKillDefectInEverySystem(t *testing.T) {
+	for _, sys := range All() {
+		rep, err := sys.Analyze(core.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", sys.Name, err)
+		}
+		found := false
+		for _, e := range rep.ErrorsData {
+			if e.Var == "kill.pid" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no kill.pid error dependency among %d errors", sys.Name, len(rep.ErrorsData))
+		}
+	}
+}
+
+// TestTable1StableAcrossModes checks both alias solvers and the
+// exponential phase-3 variant report identical Table 1 counts.
+func TestTable1StableAcrossModes(t *testing.T) {
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"unify", core.Options{PointsTo: pointsto.ModeUnify}},
+		{"exponential", core.Options{Exponential: true}},
+	}
+	for _, sys := range All() {
+		base, err := sys.Analyze(core.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", sys.Name, err)
+		}
+		for _, v := range variants {
+			rep, err := sys.Analyze(v.opts)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", sys.Name, v.name, err)
+			}
+			if len(rep.ErrorsData) != len(base.ErrorsData) ||
+				len(rep.ErrorsControlOnly) != len(base.ErrorsControlOnly) ||
+				len(rep.Warnings) != len(base.Warnings) {
+				t.Errorf("%s/%s: counts diverge from default (E %d/%d, C %d/%d, W %d/%d)",
+					sys.Name, v.name,
+					len(rep.ErrorsData), len(base.ErrorsData),
+					len(rep.ErrorsControlOnly), len(base.ErrorsControlOnly),
+					len(rep.Warnings), len(base.Warnings))
+			}
+		}
+	}
+}
+
+// TestExponentialCostsMore confirms the ablation premise: the per-call-path
+// variant performs at least as many unit solves as the summary-sharing one.
+func TestExponentialCostsMore(t *testing.T) {
+	sys := DoubleIP()
+	fast, err := sys.Analyze(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := sys.Analyze(core.Options{Exponential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.UnitsAnalyzed < fast.UnitsAnalyzed {
+		t.Errorf("exponential solves %d < summary solves %d", slow.UnitsAnalyzed, fast.UnitsAnalyzed)
+	}
+}

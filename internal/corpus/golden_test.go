@@ -1,0 +1,52 @@
+package corpus
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"safeflow/internal/core"
+	"safeflow/internal/report"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden report files")
+
+// TestGoldenReports locks the complete rendered report of each corpus
+// system against a golden file — any change to diagnostics, ordering,
+// positions, or wording shows up as a diff. Regenerate intentionally with
+// `go test ./internal/corpus -run TestGoldenReports -update`.
+func TestGoldenReports(t *testing.T) {
+	for _, sys := range All() {
+		t.Run(sys.Name, func(t *testing.T) {
+			rep, err := sys.Analyze(core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sb strings.Builder
+			report.Write(&sb, rep)
+			got := sb.String()
+
+			name := strings.ToLower(strings.ReplaceAll(sys.Name, " ", "_"))
+			path := filepath.Join("..", "..", "testdata", "golden", name+".report.txt")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("golden file missing (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("report changed for %s:\n--- got ---\n%s\n--- want ---\n%s",
+					sys.Name, got, string(want))
+			}
+		})
+	}
+}

@@ -1,0 +1,225 @@
+/*
+ * control.c — sensing, per-link safety control laws, the two decision
+ * modules (one per command channel), and the tuning monitor of the DIP
+ * core controller.
+ *
+ * The file carries the system's subtle seeded defect: blendFactor() reads
+ * the tuning region's blend parameter unmonitored, under the assumption
+ * that it feeds only the operator display. main.c mixes it into the
+ * primary control output — the invalid propagation assumption SafeFlow's
+ * evaluation reports discovering in this system.
+ */
+#include "shared.h"
+
+typedef struct {
+    double track;
+    double trackVel;
+    double a1;
+    double a1Vel;
+    double a2;
+    double a2Vel;
+} LocalState;
+
+typedef struct {
+    double stiffness;
+    double damping;
+} LocalTuning;
+
+static LocalState st;
+static LocalTuning lt;
+static double prevTrack;
+static double prevA1;
+static double prevA2;
+
+/* Conservative LQR gains for the two links (synthesized offline). */
+#define K1_TRACK 3.1623
+#define K1_TVEL  4.8921
+#define K1_ANG   78.4412
+#define K1_AVEL  14.0933
+#define K2_ANG   41.2284
+#define K2_AVEL  7.5517
+
+void senseState()
+{
+    double x;
+    double a1;
+    double a2;
+
+    x = readSensor(0) - trackBias();
+    a1 = filteredAngle1(readSensor(1), PERIOD);
+    a2 = filteredAngle2(readSensor(2), PERIOD);
+    st.trackVel = (x - prevTrack) / PERIOD;
+    st.a1Vel = (a1 - prevA1) / PERIOD;
+    st.a2Vel = (a2 - prevA2) / PERIOD;
+    st.track = x;
+    st.a1 = a1;
+    st.a2 = a2;
+    prevTrack = x;
+    prevA1 = a1;
+    prevA2 = a2;
+}
+
+void publishFeedback(int seq)
+{
+    feedback->track = st.track;
+    feedback->trackVel = st.trackVel;
+    feedback->angle1 = st.a1;
+    feedback->angleVel1 = st.a1Vel;
+    feedback->angle2 = st.a2;
+    feedback->angleVel2 = st.a2Vel;
+    feedback->seq = seq;
+}
+
+double safeControl1()
+{
+    double u;
+    u = -(K1_TRACK * st.track + K1_TVEL * st.trackVel
+          + lt.stiffness * K1_ANG * st.a1 + lt.damping * K1_AVEL * st.a1Vel);
+    if (u > UMAX) {
+        u = UMAX;
+    }
+    if (u < -UMAX) {
+        u = -UMAX;
+    }
+    return u;
+}
+
+double safeControl2()
+{
+    double u;
+    u = -(lt.stiffness * K2_ANG * st.a2 + lt.damping * K2_AVEL * st.a2Vel);
+    if (u > UMAX) {
+        u = UMAX;
+    }
+    if (u < -UMAX) {
+        u = -UMAX;
+    }
+    return u;
+}
+
+/* monitorTuning validates the staged stiffness/damping multipliers before
+ * copying them into the core-local tuning set. */
+int monitorTuning()
+/***SafeFlow Annotation assume(core(tuning, 0, sizeof(SHMTuning))) /***/
+{
+    double s;
+    double d;
+
+    if (tuning->valid == 0) {
+        return 0;
+    }
+    s = tuning->stiffness;
+    d = tuning->damping;
+    if (s < 0.5) {
+        return 0;
+    }
+    if (s > TUNEMAX) {
+        return 0;
+    }
+    if (d < 0.5) {
+        return 0;
+    }
+    if (d > TUNEMAX) {
+        return 0;
+    }
+    lt.stiffness = s;
+    lt.damping = d;
+    return 1;
+}
+
+/* blendFactor reads the output mixing factor for the console display.
+ * DEFECT: the read is unmonitored on the assumption that the value never
+ * reaches critical data — but main.c mixes it into output1. */
+double blendFactor()
+{
+    double b;
+
+    b = tuning->blend;
+    if (b < 0.0) {
+        b = 0.0;
+    }
+    if (b > 1.0) {
+        b = 1.0;
+    }
+    return b;
+}
+
+static int checkEnvelope1(double u)
+/***SafeFlow Annotation assume(core(noncoreCmd1, 0, sizeof(SHMCmd))) /***/
+{
+    double pred;
+
+    if (u > UMAX) {
+        return 0;
+    }
+    if (u < -UMAX) {
+        return 0;
+    }
+    pred = st.a1 + PERIOD * st.a1Vel + PERIOD * PERIOD * 4.0 * u;
+    if (fabs(pred) > ENVELOPE) {
+        return 0;
+    }
+    return 1;
+}
+
+static int checkEnvelope2(double u)
+/***SafeFlow Annotation assume(core(noncoreCmd2, 0, sizeof(SHMCmd))) /***/
+{
+    double pred;
+
+    if (u > UMAX) {
+        return 0;
+    }
+    if (u < -UMAX) {
+        return 0;
+    }
+    pred = st.a2 + PERIOD * st.a2Vel + PERIOD * PERIOD * 4.0 * u;
+    if (fabs(pred) > ENVELOPE) {
+        return 0;
+    }
+    return 1;
+}
+
+double decision1(double safeU, int seq)
+/***SafeFlow Annotation assume(core(noncoreCmd1, 0, sizeof(SHMCmd))) /***/
+{
+    double u;
+
+    if (noncoreCmd1->ready == 0) {
+        return safeU;
+    }
+    if (noncoreCmd1->seq != seq) {
+        return safeU;
+    }
+    u = noncoreCmd1->control;
+    if (checkEnvelope1(u)) {
+        return u;
+    }
+    return safeU;
+}
+
+double decision2(double safeU, int seq)
+/***SafeFlow Annotation assume(core(noncoreCmd2, 0, sizeof(SHMCmd))) /***/
+{
+    double u;
+
+    if (noncoreCmd2->ready == 0) {
+        return safeU;
+    }
+    if (noncoreCmd2->seq != seq) {
+        return safeU;
+    }
+    u = noncoreCmd2->control;
+    if (checkEnvelope2(u)) {
+        return u;
+    }
+    return safeU;
+}
+
+void sendOutputs(double u1, double u2)
+{
+    writeDA(0, u1);
+    writeDA(1, u2);
+    display->lastOutput1 = u1;
+    display->lastOutput2 = u2;
+}

@@ -1,0 +1,155 @@
+/*
+ * estimator.c — core-local estimation and sequencing for the DIP
+ * controller: startup self-test over three sensor channels, per-link
+ * complementary filters, a swing-energy estimate used to sequence control
+ * modes safely, and a two-channel actuator slew limiter.
+ *
+ * As with the other systems' core-local libraries, nothing here touches
+ * shared memory; the analysis verifies that the entire estimation path is
+ * free of non-core influence.
+ */
+#include "shared.h"
+
+#define CAL_SAMPLES 24
+#define FILTER_K    0.97
+#define SLEW_LIMIT  1.5
+#define ENERGY_MAX  4.0
+
+static double bias0;
+static double bias1;
+static double bias2;
+static double filtA1;
+static double filtA1Vel;
+static double filtA2;
+static double filtA2Vel;
+static double lastU1;
+static double lastU2;
+static int    healthy;
+
+/* dipSelfTest sweeps the three sensor channels and the two actuator
+ * channels at zero before the loop starts. */
+int dipSelfTest()
+{
+    int ch;
+    double v;
+
+    for (ch = 0; ch < 3; ch++) {
+        v = readSensor(ch);
+        if (fabs(v) > 10.0) {
+            printf("dip: self-test: channel %d out of range (%f)\n", ch, v);
+            return 0;
+        }
+    }
+    writeDA(0, 0.0);
+    writeDA(1, 0.0);
+    healthy = 1;
+    return 1;
+}
+
+/* dipCalibrate estimates static biases with the plant at rest. */
+void dipCalibrate()
+{
+    int i;
+    double s0;
+    double s1;
+    double s2;
+
+    s0 = 0.0;
+    s1 = 0.0;
+    s2 = 0.0;
+    for (i = 0; i < CAL_SAMPLES; i++) {
+        s0 += readSensor(0);
+        s1 += readSensor(1);
+        s2 += readSensor(2);
+        wait(0.002);
+    }
+    bias0 = s0 / CAL_SAMPLES;
+    bias1 = s1 / CAL_SAMPLES;
+    bias2 = s2 / CAL_SAMPLES;
+}
+
+/* filteredAngle1/2 fuse the raw link angles with their integrated rates
+ * (one complementary filter per link). */
+double filteredAngle1(double raw, double dt)
+{
+    double predicted;
+
+    raw = raw - bias1;
+    predicted = filtA1 + filtA1Vel * dt;
+    filtA1 = FILTER_K * predicted + (1.0 - FILTER_K) * raw;
+    filtA1Vel = filtA1Vel + (raw - predicted) * (1.0 - FILTER_K) / dt;
+    return filtA1;
+}
+
+double filteredAngle2(double raw, double dt)
+{
+    double predicted;
+
+    raw = raw - bias2;
+    predicted = filtA2 + filtA2Vel * dt;
+    filtA2 = FILTER_K * predicted + (1.0 - FILTER_K) * raw;
+    filtA2Vel = filtA2Vel + (raw - predicted) * (1.0 - FILTER_K) / dt;
+    return filtA2;
+}
+
+/* swingEnergy is the core's scalar health metric: a weighted sum of link
+ * deflections and rates. Mode upgrades are only sequenced while it is
+ * small; this gate is computed purely from core data. */
+double swingEnergy()
+{
+    double e1;
+    double e2;
+
+    e1 = 9.81 * (1.0 - 1.0 + filtA1 * filtA1 * 0.5) + 0.125 * filtA1Vel * filtA1Vel;
+    e2 = 9.81 * (filtA2 * filtA2 * 0.25) + 0.03 * filtA2Vel * filtA2Vel;
+    return e1 + e2;
+}
+
+/* modeUpgradeAllowed gates control-mode upgrades on the core's own
+ * energy estimate, independent of any non-core request. */
+int modeUpgradeAllowed()
+{
+    if (healthy == 0) {
+        return 0;
+    }
+    if (swingEnergy() > ENERGY_MAX) {
+        return 0;
+    }
+    return 1;
+}
+
+/* slewLimit bounds per-period output changes on both channels. */
+double slewLimit1(double u)
+{
+    double d;
+
+    d = u - lastU1;
+    if (d > SLEW_LIMIT) {
+        u = lastU1 + SLEW_LIMIT;
+    }
+    if (d < -SLEW_LIMIT) {
+        u = lastU1 - SLEW_LIMIT;
+    }
+    lastU1 = u;
+    return u;
+}
+
+double slewLimit2(double u)
+{
+    double d;
+
+    d = u - lastU2;
+    if (d > SLEW_LIMIT) {
+        u = lastU2 + SLEW_LIMIT;
+    }
+    if (d < -SLEW_LIMIT) {
+        u = lastU2 - SLEW_LIMIT;
+    }
+    lastU2 = u;
+    return u;
+}
+
+double trackBias()
+{
+    return bias0;
+}

@@ -1,0 +1,59 @@
+/*
+ * init.c — shared-memory initialization for the DIP core controller.
+ */
+#include "shared.h"
+
+SHMData    *feedback;
+SHMCmd     *noncoreCmd1;
+SHMCmd     *noncoreCmd2;
+SHMStatus  *status;
+SHMTuning  *tuning;
+SHMProcs   *procs;
+SHMDisplay *display;
+
+void initComm()
+/***SafeFlow Annotation shminit /***/
+{
+    int shmid;
+    long total;
+    void *base;
+
+    total = sizeof(SHMData) + 2 * sizeof(SHMCmd) + sizeof(SHMStatus)
+          + sizeof(SHMTuning) + sizeof(SHMProcs) + sizeof(SHMDisplay);
+    shmid = shmget(SHMKEY, total, 0666);
+    if (shmid < 0) {
+        perror("shmget");
+        exit(1);
+    }
+    base = shmat(shmid, 0, 0);
+    feedback    = (SHMData *) base;
+    noncoreCmd1 = (SHMCmd *) (feedback + 1);
+    noncoreCmd2 = noncoreCmd1 + 1;
+    status      = (SHMStatus *) (noncoreCmd2 + 1);
+    tuning      = (SHMTuning *) (status + 1);
+    procs       = (SHMProcs *) (tuning + 1);
+    display     = (SHMDisplay *) (procs + 1);
+    if (InitCheck(base, total) == 0) {
+        fprintf(0, "dip: shared memory layout invalid\n");
+        exit(1);
+    }
+    /***SafeFlow Annotation assume(shmvar(feedback, sizeof(SHMData))) /***/
+    /***SafeFlow Annotation assume(shmvar(noncoreCmd1, sizeof(SHMCmd))) /***/
+    /***SafeFlow Annotation assume(shmvar(noncoreCmd2, sizeof(SHMCmd))) /***/
+    /***SafeFlow Annotation assume(shmvar(status, sizeof(SHMStatus))) /***/
+    /***SafeFlow Annotation assume(shmvar(tuning, sizeof(SHMTuning))) /***/
+    /***SafeFlow Annotation assume(shmvar(procs, sizeof(SHMProcs))) /***/
+    /***SafeFlow Annotation assume(shmvar(display, sizeof(SHMDisplay))) /***/
+    /***SafeFlow Annotation assume(noncore(feedback)) /***/
+    /***SafeFlow Annotation assume(noncore(noncoreCmd1)) /***/
+    /***SafeFlow Annotation assume(noncore(noncoreCmd2)) /***/
+    /***SafeFlow Annotation assume(noncore(status)) /***/
+    /***SafeFlow Annotation assume(noncore(tuning)) /***/
+    /***SafeFlow Annotation assume(noncore(procs)) /***/
+    /***SafeFlow Annotation assume(noncore(display)) /***/
+}
+
+void registerCorePid()
+{
+    procs->corePid = getpid();
+}

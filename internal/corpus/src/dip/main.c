@@ -1,0 +1,113 @@
+/*
+ * main.c — the DIP core controller's periodic loop, mode handling,
+ * telemetry, and shutdown.
+ *
+ * Seeded defects (Table 1's Double IP row):
+ *   - output1 mixes in the unmonitored blend factor (real error: the
+ *     propagation assumption in control.c is invalid);
+ *   - shutdownNonCore() kills the pid read from the unmonitored procs
+ *     region (real error);
+ *   - output2 is gated on an unmonitored ready pre-check and the control
+ *     mode on an unmonitored mode request — the two control-dependence
+ *     reports classified as false positives on inspection.
+ */
+#include "shared.h"
+
+static void logTelemetry(int iter)
+{
+    int hb;
+    int ncIter;
+    double aggr;
+    double ts;
+
+    hb = status->heartbeat;
+    ncIter = status->iteration;
+    aggr = tuning->aggressiveness;
+    ts = noncoreCmd2->timestamp;
+    printf("dip[%d]: hb=%d nc_iter=%d aggr=%f ts=%f\n", iter, hb, ncIter, aggr, ts);
+}
+
+static void shutdownNonCore()
+{
+    int np;
+
+    np = procs->noncorePid;
+    if (np > 0) {
+        kill(np, SIGKILL);
+    }
+}
+
+int main()
+{
+    int iter;
+    int req;
+    int ctrlMode;
+    int r2;
+    double safe1;
+    double safe2;
+    double u1;
+    double u2;
+    double blend;
+    double output1;
+    double output2;
+
+    initComm();
+    registerCorePid();
+    if (dipSelfTest() == 0) {
+        fprintf(0, "dip: self-test failed, refusing to start\n");
+        exit(1);
+    }
+    dipCalibrate();
+    senseState();
+    if (monitorTuning() == 0) {
+        printf("dip: staged tuning rejected, keeping defaults\n");
+    }
+
+    for (iter = 0; iter < MAXITER; iter++) {
+        Lock(0);
+        senseState();
+        publishFeedback(iter);
+        Unlock(0);
+
+        safe1 = safeControl1();
+        safe2 = safeControl2();
+        wait(PERIOD);
+
+        req = status->modeRequest;
+        if (req == MODE_TRACK) {
+            if (modeUpgradeAllowed()) {
+                ctrlMode = MODE_TRACK;
+            } else {
+                ctrlMode = MODE_BALANCE;
+            }
+        } else {
+            ctrlMode = MODE_BALANCE;
+        }
+        /***SafeFlow Annotation assert(safe(ctrlMode)) /***/
+        display->lastMode = ctrlMode;
+
+        Lock(0);
+        u1 = decision1(safe1, iter);
+        blend = blendFactor();
+        output1 = (1.0 - blend) * safe1 + blend * u1;
+        /***SafeFlow Annotation assert(safe(output1)) /***/
+
+        r2 = noncoreCmd2->ready;
+        if (r2 != 0) {
+            output2 = decision2(safe2, iter);
+        } else {
+            output2 = safe2;
+        }
+        Unlock(0);
+        /***SafeFlow Annotation assert(safe(output2)) /***/
+
+        sendOutputs(slewLimit1(output1), slewLimit2(output2));
+
+        if ((iter % 100) == 0) {
+            logTelemetry(iter);
+        }
+    }
+
+    shutdownNonCore();
+    return 0;
+}

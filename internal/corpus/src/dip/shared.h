@@ -1,0 +1,110 @@
+/*
+ * shared.h — shared-memory layout of the double inverted-pendulum (DIP)
+ * controller: the IP controller code base extended with a second pendulum
+ * link, dual non-core command channels, additional control modes, and an
+ * online tuning region staged by the non-core optimizer. Seven
+ * shared-memory variables in one SysV segment.
+ */
+#ifndef DIP_SHARED_H
+#define DIP_SHARED_H
+
+#define SHMKEY   4662
+#define PERIOD   0.005
+#define UMAX     10.0
+#define MAXITER  8000
+#define ENVELOPE 0.30
+#define TUNEMAX  2.0
+#define SIGTERM  15
+#define SIGKILL  9
+#define MODE_BALANCE 0
+#define MODE_TRACK   1
+
+/* Plant feedback: cart plus two links. */
+typedef struct {
+    double track;
+    double trackVel;
+    double angle1;
+    double angleVel1;
+    double angle2;
+    double angleVel2;
+    int    seq;
+    int    pad;
+} SHMData;
+
+/* One non-core command channel (one per control mode family). */
+typedef struct {
+    double control;
+    double timestamp;
+    int    ready;
+    int    seq;
+} SHMCmd;
+
+/* Non-core subsystem status. */
+typedef struct {
+    int modeRequest;  /* requested control mode          */
+    int heartbeat;
+    int iteration;
+    int pad;
+} SHMStatus;
+
+/* Online tuning staged by the non-core optimizer. */
+typedef struct {
+    double stiffness;       /* validated by monitorTuning          */
+    double damping;         /* validated by monitorTuning          */
+    double blend;           /* believed display-only — it is not   */
+    double aggressiveness;  /* display-only metric                 */
+    int    valid;
+    int    pad;
+} SHMTuning;
+
+/* Process registry. */
+typedef struct {
+    int corePid;
+    int noncorePid;
+    int optimizerPid;
+    int pad;
+} SHMProcs;
+
+/* Console display scratch (written by core for the console). */
+typedef struct {
+    double lastOutput1;
+    double lastOutput2;
+    int    lastMode;
+    int    pad;
+} SHMDisplay;
+
+extern SHMData    *feedback;
+extern SHMCmd     *noncoreCmd1;
+extern SHMCmd     *noncoreCmd2;
+extern SHMStatus  *status;
+extern SHMTuning  *tuning;
+extern SHMProcs   *procs;
+extern SHMDisplay *display;
+
+/* init.c */
+void initComm();
+void registerCorePid();
+
+/* estimator.c */
+int    dipSelfTest();
+void   dipCalibrate();
+double filteredAngle1(double raw, double dt);
+double filteredAngle2(double raw, double dt);
+double swingEnergy();
+int    modeUpgradeAllowed();
+double slewLimit1(double u);
+double slewLimit2(double u);
+double trackBias();
+
+/* control.c */
+void   senseState();
+void   publishFeedback(int seq);
+double safeControl1();
+double safeControl2();
+int    monitorTuning();
+double decision1(double safeU, int seq);
+double decision2(double safeU, int seq);
+void   sendOutputs(double u1, double u2);
+double blendFactor();
+
+#endif /* DIP_SHARED_H */

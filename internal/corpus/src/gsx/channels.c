@@ -1,0 +1,193 @@
+/*
+ * channels.c — sensing, gain management, per-channel control laws, the
+ * decision module, and the output log of the generic Simplex core.
+ *
+ * This file carries one of the system's two seeded error dependencies:
+ * computeSafeOutput() reads the sensor feedback back from shared memory
+ * instead of using the core's local copy. Because the feedback region is
+ * writable by the non-core subsystem, a faulty or malicious non-core
+ * component can replace it with values that rig the recoverability check
+ * — exactly the fatal scenario the paper describes for this system.
+ */
+#include "shared.h"
+
+/* Core-local state and validated gains. */
+typedef struct {
+    double s0;
+    double s1;
+    double s2;
+    double s3;
+} LocalState;
+
+typedef struct {
+    double k0;
+    double k1;
+    double k2;
+    double k3;
+} LocalGains;
+
+static LocalState st;
+static LocalGains lg;
+static double pendingLog[LOGN];
+static int npending;
+
+void senseAndPublish(int seq)
+{
+    st.s0 = readSensor(0);
+    st.s1 = readSensor(1);
+    st.s2 = readSensor(2);
+    st.s3 = readSensor(3);
+    feedback->state0 = st.s0;
+    feedback->state1 = st.s1;
+    feedback->state2 = st.s2;
+    feedback->state3 = st.s3;
+    feedback->seq = seq;
+}
+
+/* loadGains is a monitoring function: the staged gains are validated
+ * (range-checked against the plant's stability margins) before they are
+ * copied into the core-local gain set. */
+int loadGains()
+/***SafeFlow Annotation assume(core(gains, 0, sizeof(SHMGains))) /***/
+{
+    double g0;
+    double g1;
+    double g2;
+    double g3;
+
+    if (gains->valid == 0) {
+        return 0;
+    }
+    g0 = gains->k0;
+    g1 = gains->k1;
+    g2 = gains->k2;
+    g3 = gains->k3;
+    if (fabs(g0) > GAINMAX) {
+        return 0;
+    }
+    if (fabs(g1) > GAINMAX) {
+        return 0;
+    }
+    if (fabs(g2) > GAINMAX) {
+        return 0;
+    }
+    if (fabs(g3) > GAINMAX) {
+        return 0;
+    }
+    lg.k0 = g0;
+    lg.k1 = g1;
+    lg.k2 = g2;
+    lg.k3 = g3;
+    return 1;
+}
+
+/* channelOutput computes one channel's control law from the core-local
+ * state and the validated gains. */
+double channelOutput(int chan)
+{
+    double u;
+
+    if (chan == 0) {
+        u = -(lg.k0 * st.s0 + lg.k1 * st.s1);
+    } else {
+        u = -(lg.k2 * st.s2 + lg.k3 * st.s3);
+    }
+    if (u > UMAX) {
+        u = UMAX;
+    }
+    if (u < -UMAX) {
+        u = -UMAX;
+    }
+    return u;
+}
+
+/* computeSafeOutput derives the fall-back output — DEFECT: it re-reads
+ * the published feedback from shared memory rather than using st. */
+double computeSafeOutput()
+{
+    double s0;
+    double s1;
+    double u;
+
+    s0 = feedback->state0;
+    s1 = feedback->state1;
+    u = -(lg.k0 * s0 + lg.k1 * s1);
+    if (u > UMAX) {
+        u = UMAX;
+    }
+    if (u < -UMAX) {
+        u = -UMAX;
+    }
+    return u;
+}
+
+/* useFallbackGains installs the built-in conservative schedule when the
+ * staged gains fail validation. */
+void useFallbackGains()
+{
+    double tmp[4];
+
+    selectBuiltinGains(activePlantType(), tmp);
+    lg.k0 = tmp[0];
+    lg.k1 = tmp[1];
+    lg.k2 = tmp[2];
+    lg.k3 = tmp[3];
+}
+
+static int checkRecoverable(double u)
+{
+    if (u > UMAX) {
+        return 0;
+    }
+    if (u < -UMAX) {
+        return 0;
+    }
+    predictStep(st.s0, st.s1, u, 0.01);
+    if (fabs(predictedPos()) > 1.0) {
+        return 0;
+    }
+    if (fabs(predictedVel()) > 5.0) {
+        return 0;
+    }
+    return 1;
+}
+
+double decision(double safeOut, int seq)
+/***SafeFlow Annotation assume(core(noncoreCtrl, 0, sizeof(SHMCmd))) /***/
+{
+    double u;
+
+    if (noncoreCtrl->ready == 0) {
+        return safeOut;
+    }
+    if (noncoreCtrl->seq != seq) {
+        return safeOut;
+    }
+    u = noncoreCtrl->control;
+    if (checkRecoverable(u)) {
+        return u;
+    }
+    return safeOut;
+}
+
+/* logOutput stages outputs locally and flushes full windows into the
+ * shared log ring for the operator console. */
+void logOutput(double u)
+{
+    int i;
+
+    pendingLog[npending] = u;
+    npending = npending + 1;
+    if (npending == LOGN) {
+        for (i = 0; i < LOGN; i++) {
+            logbuf->buf[i] = pendingLog[i];
+        }
+        logbuf->head = LOGN;
+        npending = 0;
+    }
+}
+
+void sendOutput(int chan, double u)
+{
+    writeDA(chan, u);
+}

@@ -1,0 +1,59 @@
+/*
+ * init.c — shared-memory initialization for the generic Simplex core.
+ * Seven shared-memory variables are carved out of one untyped SysV
+ * segment; all of them are writable by the non-core subsystem (the
+ * configuration tool, the complex controller, and the operator console),
+ * so every one is annotated noncore.
+ */
+#include "shared.h"
+
+SHMData   *feedback;
+SHMCmd    *noncoreCtrl;
+SHMConfig *config;
+SHMStatus *status;
+SHMGains  *gains;
+SHMLog    *logbuf;
+SHMWatch  *watchdog;
+
+void initComm()
+/***SafeFlow Annotation shminit /***/
+{
+    int shmid;
+    long total;
+    void *base;
+
+    total = sizeof(SHMData) + sizeof(SHMCmd) + sizeof(SHMConfig)
+          + sizeof(SHMStatus) + sizeof(SHMGains) + sizeof(SHMLog)
+          + sizeof(SHMWatch);
+    shmid = shmget(SHMKEY, total, 0666);
+    if (shmid < 0) {
+        perror("shmget");
+        exit(1);
+    }
+    base = shmat(shmid, 0, 0);
+    feedback    = (SHMData *) base;
+    noncoreCtrl = (SHMCmd *) (feedback + 1);
+    config      = (SHMConfig *) (noncoreCtrl + 1);
+    status      = (SHMStatus *) (config + 1);
+    gains       = (SHMGains *) (status + 1);
+    logbuf      = (SHMLog *) (gains + 1);
+    watchdog    = (SHMWatch *) (logbuf + 1);
+    if (InitCheck(base, total) == 0) {
+        fprintf(0, "gsx: shared memory layout invalid\n");
+        exit(1);
+    }
+    /***SafeFlow Annotation assume(shmvar(feedback, sizeof(SHMData))) /***/
+    /***SafeFlow Annotation assume(shmvar(noncoreCtrl, sizeof(SHMCmd))) /***/
+    /***SafeFlow Annotation assume(shmvar(config, sizeof(SHMConfig))) /***/
+    /***SafeFlow Annotation assume(shmvar(status, sizeof(SHMStatus))) /***/
+    /***SafeFlow Annotation assume(shmvar(gains, sizeof(SHMGains))) /***/
+    /***SafeFlow Annotation assume(shmvar(logbuf, sizeof(SHMLog))) /***/
+    /***SafeFlow Annotation assume(shmvar(watchdog, sizeof(SHMWatch))) /***/
+    /***SafeFlow Annotation assume(noncore(feedback)) /***/
+    /***SafeFlow Annotation assume(noncore(noncoreCtrl)) /***/
+    /***SafeFlow Annotation assume(noncore(config)) /***/
+    /***SafeFlow Annotation assume(noncore(status)) /***/
+    /***SafeFlow Annotation assume(noncore(gains)) /***/
+    /***SafeFlow Annotation assume(noncore(logbuf)) /***/
+    /***SafeFlow Annotation assume(noncore(watchdog)) /***/
+}

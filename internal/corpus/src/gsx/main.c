@@ -1,0 +1,139 @@
+/*
+ * main.c — the generic Simplex core's periodic loop, mode management and
+ * supervision.
+ *
+ * Seeded defects and the control-dependence flows found by SafeFlow:
+ *
+ *   - superviseNonCore() kills the pid read from the unmonitored watchdog
+ *     region (real error: the non-core side can point it at the core);
+ *   - the channel count, period, operating mode, and both supervision
+ *     kills are gated on unmonitored configuration/status reads — the six
+ *     control-dependence reports the paper's inspection classified as
+ *     false positives (the values themselves are computed safely on every
+ *     path).
+ */
+#include "shared.h"
+
+static int noncoreChildPid;
+
+static int spawnNonCore()
+{
+    int pid;
+
+    pid = fork();
+    if (pid == 0) {
+        /* Child: becomes the non-core controller process (modeled). */
+        exit(0);
+    }
+    return pid;
+}
+
+/* superviseNonCore restarts the non-core controller when its heartbeat
+ * stops. DEFECT: the kill target comes from the unmonitored watchdog
+ * region rather than the core's own record of the child pid. */
+static void superviseNonCore()
+{
+    int alive;
+    int np;
+
+    alive = status->noncoreAlive;
+    if (alive == 0) {
+        np = watchdog->noncorePid;
+        if (np > 0) {
+            kill(np, SIGKILL);
+        }
+        if (noncoreChildPid > 0) {
+            kill(noncoreChildPid, SIGTERM);
+        }
+        noncoreChildPid = spawnNonCore();
+    }
+}
+
+static void handleRequests()
+{
+    int req;
+    int mode;
+
+    req = status->request;
+    if (req == REQ_UPGRADE) {
+        mode = 2;
+    } else {
+        if (req == REQ_DEGRADE) {
+            mode = 1;
+        } else {
+            mode = 0;
+        }
+    }
+    /***SafeFlow Annotation assert(safe(mode)) /***/
+    printf("gsx: operating mode %d\n", mode);
+
+    if (req == REQ_RESTART) {
+        kill(noncoreChildPid, SIGTERM);
+        noncoreChildPid = spawnNonCore();
+    }
+}
+
+int main()
+{
+    int iter;
+    int nch;
+    int fast;
+    double period;
+    double safeOut;
+    double output;
+    double u1;
+    double u2;
+
+    initComm();
+    initPlantLibrary();
+    noncoreChildPid = spawnNonCore();
+    if (loadGains() == 0) {
+        fprintf(0, "gsx: staged gains invalid, using defaults\n");
+        useFallbackGains();
+    }
+
+    nch = config->nchannels;
+    fast = config->fastMode;
+    if (fast != 0) {
+        period = 0.005;
+    } else {
+        period = 0.01;
+    }
+    /***SafeFlow Annotation assert(safe(period)) /***/
+
+    for (iter = 0; iter < MAXITER; iter++) {
+        Lock(0);
+        senseAndPublish(iter);
+        Unlock(0);
+
+        safeOut = computeSafeOutput();
+        wait(period);
+
+        Lock(0);
+        output = decision(safeOut, iter);
+        Unlock(0);
+        /***SafeFlow Annotation assert(safe(output)) /***/
+        sendOutput(0, shapeOutput(output));
+        logOutput(output);
+
+        u1 = 0.0;
+        u2 = 0.0;
+        if (nch > 0) {
+            u1 = channelOutput(0);
+            if (nch > 1) {
+                u2 = channelOutput(1);
+            }
+        }
+        /***SafeFlow Annotation assert(safe(u1)) /***/
+        /***SafeFlow Annotation assert(safe(u2)) /***/
+        sendOutput(1, u1);
+        sendOutput(2, u2);
+
+        coreHeartbeat(iter);
+        if ((iter % 100) == 0) {
+            handleRequests();
+            superviseNonCore();
+        }
+    }
+    return 0;
+}

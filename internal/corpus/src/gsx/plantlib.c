@@ -1,0 +1,112 @@
+/*
+ * plantlib.c — core-local plant-model library of the generic Simplex
+ * implementation: a small gain-schedule table per supported plant type, a
+ * discrete one-step predictor used by the recoverability check, watchdog
+ * heartbeating on the core side, and output shaping.
+ *
+ * All computation here is over core-owned data; the staged gains from the
+ * configuration tool enter only through the monitored loadGains() path in
+ * channels.c.
+ */
+#include "shared.h"
+
+#define NPLANTS     3
+#define NGAINS      4
+#define HEARTBEAT_N 10
+
+/* Built-in conservative gain schedules per plant type (row per plant). */
+static double builtinGains[NPLANTS][NGAINS];
+static double predState0;
+static double predState1;
+static int    heartbeatCountdown;
+static int    plantTypeInUse;
+
+/* initPlantLibrary fills the built-in schedule table; called once at
+ * startup before any control output is produced. */
+void initPlantLibrary()
+{
+    int p;
+    int g;
+    double base;
+
+    for (p = 0; p < NPLANTS; p++) {
+        base = 1.0 + 0.5 * p;
+        for (g = 0; g < NGAINS; g++) {
+            builtinGains[p][g] = base * (g + 1);
+        }
+    }
+    plantTypeInUse = 0;
+    heartbeatCountdown = HEARTBEAT_N;
+}
+
+/* selectBuiltinGains copies one row of the built-in schedule into the
+ * caller's buffer — the fallback when the staged gains fail validation. */
+void selectBuiltinGains(int plantType, double *out)
+{
+    int g;
+
+    if (plantType < 0) {
+        plantType = 0;
+    }
+    if (plantType >= NPLANTS) {
+        plantType = NPLANTS - 1;
+    }
+    plantTypeInUse = plantType;
+    for (g = 0; g < NGAINS; g++) {
+        out[g] = builtinGains[plantType][g];
+    }
+}
+
+/* predictStep advances the core's one-step model of the plant under a
+ * candidate output: a damped double integrator is the conservative model
+ * shared by all supported plants. */
+void predictStep(double s0, double s1, double u, double dt)
+{
+    predState0 = s0 + dt * s1;
+    predState1 = s1 * (1.0 - 0.05 * dt) + dt * u;
+}
+
+double predictedPos()
+{
+    return predState0;
+}
+
+double predictedVel()
+{
+    return predState1;
+}
+
+/* coreHeartbeat decrements the core-side watchdog counter and refreshes
+ * the exported epoch when it expires — the liveness signal the external
+ * watchdog process monitors. */
+void coreHeartbeat(int iter)
+{
+    heartbeatCountdown = heartbeatCountdown - 1;
+    if (heartbeatCountdown <= 0) {
+        watchdog->epoch = iter;
+        heartbeatCountdown = HEARTBEAT_N;
+    }
+}
+
+/* shapeOutput applies a deadband and saturation to the final output so
+ * tiny chatter does not reach the actuator. */
+double shapeOutput(double u)
+{
+    if (u < 0.02) {
+        if (u > -0.02) {
+            return 0.0;
+        }
+    }
+    if (u > UMAX) {
+        return UMAX;
+    }
+    if (u < -UMAX) {
+        return -UMAX;
+    }
+    return u;
+}
+
+int activePlantType()
+{
+    return plantTypeInUse;
+}

@@ -1,0 +1,113 @@
+/*
+ * shared.h — shared-memory layout of the generic Simplex implementation:
+ * a configurable core controller for simple plants, customized through a
+ * configuration region written by the (non-core) operator tooling. Seven
+ * shared-memory variables sit back to back in one SysV segment.
+ */
+#ifndef GSX_SHARED_H
+#define GSX_SHARED_H
+
+#define SHMKEY    4661
+#define MAXITER   4000
+#define UMAX      5.0
+#define GAINMAX   100.0
+#define LOGN      8
+#define MAXCHAN   2
+#define SIGTERM   15
+#define SIGKILL   9
+#define REQ_NONE     0
+#define REQ_DEGRADE  1
+#define REQ_UPGRADE  2
+#define REQ_RESTART  3
+
+/* Plant feedback published by the core each period. */
+typedef struct {
+    double state0;   /* primary plant state (e.g. position)  */
+    double state1;   /* derivative state                     */
+    double state2;   /* secondary channel state              */
+    double state3;   /* secondary derivative                 */
+    int    seq;
+    int    pad;
+} SHMData;
+
+/* Non-core controller's proposed output. */
+typedef struct {
+    double control;
+    double timestamp;
+    int    ready;
+    int    seq;
+} SHMCmd;
+
+/* Operator-tool configuration (written by non-core tooling). */
+typedef struct {
+    int nchannels;   /* 1 or 2 control channels  */
+    int fastMode;    /* halve the control period */
+    int plantType;   /* plant model selector     */
+    int pad;
+} SHMConfig;
+
+/* Non-core subsystem status. */
+typedef struct {
+    int request;       /* REQ_* mode/restart requests   */
+    int noncoreAlive;  /* non-core heartbeat flag       */
+    int heartbeat;
+    int pad;
+} SHMStatus;
+
+/* Plant gains staged by the configuration tool, validated before use. */
+typedef struct {
+    double k0;
+    double k1;
+    double k2;
+    double k3;
+    int    valid;
+    int    pad;
+} SHMGains;
+
+/* Output log ring exported for the operator console. */
+typedef struct {
+    double buf[LOGN];
+    int    head;
+    int    pad;
+} SHMLog;
+
+/* Supervision registry. */
+typedef struct {
+    int noncorePid;
+    int watchdogPid;
+    int epoch;
+    int pad;
+} SHMWatch;
+
+extern SHMData   *feedback;
+extern SHMCmd    *noncoreCtrl;
+extern SHMConfig *config;
+extern SHMStatus *status;
+extern SHMGains  *gains;
+extern SHMLog    *logbuf;
+extern SHMWatch  *watchdog;
+
+/* init.c */
+void initComm();
+
+/* plantlib.c */
+void   initPlantLibrary();
+void   selectBuiltinGains(int plantType, double *out);
+void   predictStep(double s0, double s1, double u, double dt);
+double predictedPos();
+double predictedVel();
+void   coreHeartbeat(int iter);
+double shapeOutput(double u);
+int    activePlantType();
+
+/* channels.c */
+void   senseAndPublish(int seq);
+int    loadGains();
+double channelOutput(int chan);
+double computeSafeOutput();
+double decision(double safeOut, int seq);
+void   useFallbackGains();
+void   logOutput(double u);
+void   sendOutput(int chan, double u);
+
+#endif /* GSX_SHARED_H */

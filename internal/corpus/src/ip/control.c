@@ -1,0 +1,111 @@
+/*
+ * control.c — the IP core controller's sensing, safety control, and the
+ * decision module that monitors the non-core controller's proposals.
+ *
+ * decision() is the monitoring function: its annotation declares the
+ * noncoreCtrl shared-memory variable core within it (and within every
+ * function it calls), so the envelope check may dereference the proposal
+ * safely. All other shared-memory reads in this file go through it.
+ */
+#include "shared.h"
+
+/* Local (core-owned) estimate of the plant state. */
+typedef struct {
+    double angle;
+    double track;
+    double angleVel;
+    double trackVel;
+} LocalState;
+
+static LocalState st;
+static double prevAngle;
+static double prevTrack;
+
+/* Safety-controller gains (conservative discrete LQR, synthesized offline
+ * for the lab cart-pole: u = -(K.x), actuator-positive = cart-right). */
+#define K_TRACK    -0.9512
+#define K_TRACKVEL -2.4553
+#define K_ANGLE    -32.5483
+#define K_ANGLEVEL -8.3048
+
+void senseState()
+{
+    double a;
+    double x;
+
+    a = readSensor(0);
+    x = readSensor(1);
+    st.angleVel = (a - prevAngle) / PERIOD;
+    st.trackVel = (x - prevTrack) / PERIOD;
+    st.angle = a;
+    st.track = x;
+    prevAngle = a;
+    prevTrack = x;
+}
+
+void publishFeedback(int seq)
+{
+    feedback->angle = st.angle;
+    feedback->track = st.track;
+    feedback->angleVel = st.angleVel;
+    feedback->trackVel = st.trackVel;
+    feedback->seq = seq;
+}
+
+double computeSafeControl()
+{
+    double u;
+    u = -(K_TRACK * st.track + K_TRACKVEL * st.trackVel
+          + K_ANGLE * st.angle + K_ANGLEVEL * st.angleVel);
+    if (u > UMAX) {
+        u = UMAX;
+    }
+    if (u < -UMAX) {
+        u = -UMAX;
+    }
+    return u;
+}
+
+/* checkEnvelope predicts the pendulum angle one period ahead under the
+ * proposed output and accepts it only inside the recoverability envelope.
+ * Called from decision(), so the core assumption on noncoreCtrl is
+ * inherited here. */
+static int checkEnvelope()
+{
+    double u;
+    double predAngle;
+
+    u = noncoreCtrl->control;
+    if (u > UMAX) {
+        return 0;
+    }
+    if (u < -UMAX) {
+        return 0;
+    }
+    predAngle = st.angle + PERIOD * st.angleVel - PERIOD * PERIOD * 1.5 * u;
+    if (fabs(predAngle) > ENVELOPE) {
+        return 0;
+    }
+    return 1;
+}
+
+double decision(double safeControl, int seq)
+/***SafeFlow Annotation assume(core(noncoreCtrl, 0, sizeof(SHMCmd))) /***/
+{
+    if (noncoreCtrl->ready == 0) {
+        return safeControl;
+    }
+    if (noncoreCtrl->seq != seq) {
+        /* Stale proposal: the non-core controller missed a period. */
+        return safeControl;
+    }
+    if (checkEnvelope()) {
+        return noncoreCtrl->control;
+    }
+    return safeControl;
+}
+
+void sendControl(double u)
+{
+    writeDA(0, u);
+}

@@ -1,0 +1,131 @@
+/*
+ * estimator.c — core-local sensor conditioning for the IP controller:
+ * startup self-test, per-channel calibration, a complementary filter for
+ * the angle estimate, spike rejection, and an actuator ramp limiter.
+ *
+ * Everything in this file is core-only computation on values the core
+ * itself produced (hardware reads and its own state); it touches no
+ * shared memory and therefore contributes nothing to the SafeFlow
+ * findings — which is itself part of what the analysis verifies.
+ */
+#include "shared.h"
+
+#define CAL_SAMPLES   32
+#define SPIKE_LIMIT   0.35
+#define RAMP_LIMIT    0.8
+#define FILTER_GAIN   0.98
+#define TEST_CHANNELS 2
+
+static double angleBias;
+static double trackBias;
+static double filtAngle;
+static double filtAngleVel;
+static double lastOutput;
+static double lastRawAngle;
+static int    spikeCount;
+static int    calibrated;
+
+/* selfTest exercises both sensor channels and the actuator zero point
+ * before the control loop starts; a failure terminates the core before it
+ * can command the plant. */
+int selfTest()
+{
+    int ch;
+    double v;
+
+    for (ch = 0; ch < TEST_CHANNELS; ch++) {
+        v = readSensor(ch);
+        if (v > 10.0) {
+            printf("ip: self-test: channel %d out of range (%f)\n", ch, v);
+            return 0;
+        }
+        if (v < -10.0) {
+            printf("ip: self-test: channel %d out of range (%f)\n", ch, v);
+            return 0;
+        }
+    }
+    writeDA(0, 0.0);
+    return 1;
+}
+
+/* calibrate estimates static sensor biases from a quiet plant. */
+void calibrate()
+{
+    int i;
+    double sumA;
+    double sumT;
+
+    sumA = 0.0;
+    sumT = 0.0;
+    for (i = 0; i < CAL_SAMPLES; i++) {
+        sumA += readSensor(0);
+        sumT += readSensor(1);
+        wait(0.002);
+    }
+    angleBias = sumA / CAL_SAMPLES;
+    trackBias = sumT / CAL_SAMPLES;
+    calibrated = 1;
+    printf("ip: calibrated: angle bias %f, track bias %f\n", angleBias, trackBias);
+}
+
+/* debounced reads one channel with single-sample spike rejection: a jump
+ * larger than SPIKE_LIMIT against the previous raw sample is discarded in
+ * favor of the previous value (hardware glitch filtering). */
+double debouncedAngle()
+{
+    double raw;
+    double delta;
+
+    raw = readSensor(0) - angleBias;
+    delta = raw - lastRawAngle;
+    if (delta > SPIKE_LIMIT) {
+        spikeCount = spikeCount + 1;
+        raw = lastRawAngle;
+    }
+    if (delta < -SPIKE_LIMIT) {
+        spikeCount = spikeCount + 1;
+        raw = lastRawAngle;
+    }
+    lastRawAngle = raw;
+    return raw;
+}
+
+/* complementaryFilter fuses the debounced angle with the integrated rate
+ * estimate, the classic embedded attitude filter. */
+double complementaryFilter(double rawAngle, double dt)
+{
+    double predicted;
+
+    predicted = filtAngle + filtAngleVel * dt;
+    filtAngle = FILTER_GAIN * predicted + (1.0 - FILTER_GAIN) * rawAngle;
+    filtAngleVel = (rawAngle - predicted) / dt * (1.0 - FILTER_GAIN) + filtAngleVel;
+    return filtAngle;
+}
+
+/* rampLimit bounds the actuator slew rate between consecutive periods so
+ * a controller switch cannot slam the trolley. */
+double rampLimit(double u)
+{
+    double delta;
+
+    delta = u - lastOutput;
+    if (delta > RAMP_LIMIT) {
+        u = lastOutput + RAMP_LIMIT;
+    }
+    if (delta < -RAMP_LIMIT) {
+        u = lastOutput - RAMP_LIMIT;
+    }
+    lastOutput = u;
+    return u;
+}
+
+/* estimatorStats exposes diagnostics for the operator log. */
+int estimatorSpikes()
+{
+    return spikeCount;
+}
+
+int isCalibrated()
+{
+    return calibrated;
+}

@@ -1,0 +1,52 @@
+/*
+ * init.c — shared-memory initialization for the IP core controller.
+ *
+ * The initializing function is annotated shminit: the untyped SysV
+ * attachment forces the pointer casts and pointer arithmetic that
+ * SafeFlow's restrictions otherwise forbid, and its post-conditions
+ * declare the four shared-memory variables, their sizes, and their
+ * non-core writability. InitCheck verifies the layout at bootstrap.
+ */
+#include "shared.h"
+
+SHMData   *feedback;
+SHMCmd    *noncoreCtrl;
+SHMStatus *status;
+SHMPids   *pids;
+
+void initComm()
+/***SafeFlow Annotation shminit /***/
+{
+    int shmid;
+    long total;
+    void *base;
+
+    total = sizeof(SHMData) + sizeof(SHMCmd) + sizeof(SHMStatus) + sizeof(SHMPids);
+    shmid = shmget(SHMKEY, total, 0666);
+    if (shmid < 0) {
+        perror("shmget");
+        exit(1);
+    }
+    base = shmat(shmid, 0, 0);
+    feedback    = (SHMData *) base;
+    noncoreCtrl = (SHMCmd *) (feedback + 1);
+    status      = (SHMStatus *) (noncoreCtrl + 1);
+    pids        = (SHMPids *) (status + 1);
+    if (InitCheck(base, total) == 0) {
+        fprintf(0, "ip: shared memory layout invalid\n");
+        exit(1);
+    }
+    /***SafeFlow Annotation assume(shmvar(feedback, sizeof(SHMData))) /***/
+    /***SafeFlow Annotation assume(shmvar(noncoreCtrl, sizeof(SHMCmd))) /***/
+    /***SafeFlow Annotation assume(shmvar(status, sizeof(SHMStatus))) /***/
+    /***SafeFlow Annotation assume(shmvar(pids, sizeof(SHMPids))) /***/
+    /***SafeFlow Annotation assume(noncore(feedback)) /***/
+    /***SafeFlow Annotation assume(noncore(noncoreCtrl)) /***/
+    /***SafeFlow Annotation assume(noncore(status)) /***/
+    /***SafeFlow Annotation assume(noncore(pids)) /***/
+}
+
+void registerCorePid()
+{
+    pids->corePid = getpid();
+}

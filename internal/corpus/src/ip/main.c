@@ -1,0 +1,100 @@
+/*
+ * main.c — the IP core controller's periodic loop, operator telemetry,
+ * and shutdown path.
+ *
+ * This file carries the system's seeded defects, the ones SafeFlow's
+ * evaluation found in the original lab code:
+ *
+ *   - shutdownNonCore() kills the process id read from the unmonitored
+ *     pids shared-memory variable: the non-core subsystem can overwrite
+ *     it with the core's own pid and make the core kill itself (the
+ *     kill-pid error dependency reported for every system in Table 1);
+ *   - the main loop gates the decision module on an unmonitored read of
+ *     noncoreCtrl->ready, and checkShutdownRequest() gates a kill on an
+ *     unmonitored status flag — the two control-dependence reports the
+ *     paper classifies as false positives after manual inspection.
+ */
+#include "shared.h"
+
+static void logTelemetry(int iter)
+{
+    int hb;
+    int ncIter;
+    int mode;
+    double ts;
+
+    hb = status->heartbeat;
+    ncIter = status->iteration;
+    mode = status->mode;
+    ts = noncoreCtrl->timestamp;
+    printf("ip[%d]: hb=%d nc_iter=%d mode=%d ts=%f spikes=%d\n",
+           iter, hb, ncIter, mode, ts, estimatorSpikes());
+}
+
+static void checkShutdownRequest()
+{
+    int req;
+
+    req = status->shutdownReq;
+    if (req != 0) {
+        printf("ip: shutdown requested from operator console\n");
+        kill(getpid(), SIGTERM);
+    }
+}
+
+static void shutdownNonCore()
+{
+    int np;
+
+    np = pids->noncorePid;
+    if (np > 0) {
+        kill(np, SIGKILL);
+    }
+}
+
+int main()
+{
+    int iter;
+    int ready;
+    double safeControl;
+    double output;
+
+    initComm();
+    registerCorePid();
+    if (selfTest() == 0) {
+        fprintf(0, "ip: self-test failed, refusing to start\n");
+        exit(1);
+    }
+    calibrate();
+    senseState();
+
+    for (iter = 0; iter < MAXITER; iter++) {
+        Lock(0);
+        senseState();
+        publishFeedback(iter);
+        Unlock(0);
+
+        safeControl = computeSafeControl();
+        wait(PERIOD);
+
+        Lock(0);
+        ready = noncoreCtrl->ready;
+        if (ready != 0) {
+            output = decision(safeControl, iter);
+        } else {
+            output = safeControl;
+        }
+        Unlock(0);
+
+        /***SafeFlow Annotation assert(safe(output)) /***/
+        sendControl(rampLimit(output));
+
+        if ((iter % 50) == 0) {
+            logTelemetry(iter);
+        }
+        checkShutdownRequest();
+    }
+
+    shutdownNonCore();
+    return 0;
+}

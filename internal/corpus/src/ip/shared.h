@@ -1,0 +1,81 @@
+/*
+ * shared.h — shared-memory layout and constants of the inverted-pendulum
+ * (IP) Simplex controller. The core component publishes sensor feedback
+ * for the non-core (complex) controller and reads back its proposed
+ * control output, status, and process registry through four shared-memory
+ * variables laid out back to back in one SysV segment.
+ */
+#ifndef IP_SHARED_H
+#define IP_SHARED_H
+
+#define SHMKEY   4660
+#define PERIOD   0.01
+#define UMAX     5.0
+#define MAXITER  6000
+#define ENVELOPE 0.35
+#define SIGTERM  15
+#define SIGKILL  9
+
+/* Plant feedback published by the core controller each period. */
+typedef struct {
+    double angle;     /* pendulum angle from upright (rad)  */
+    double track;     /* cart position on the track (m)     */
+    double angleVel;  /* estimated angular velocity (rad/s) */
+    double trackVel;  /* estimated cart velocity (m/s)      */
+    int    seq;       /* publication sequence number        */
+    int    pad;
+} SHMData;
+
+/* Control command published by the non-core complex controller. */
+typedef struct {
+    double control;    /* proposed actuator output (V)       */
+    double timestamp;  /* non-core controller's wallclock    */
+    int    ready;      /* nonzero once a proposal is present */
+    int    seq;        /* feedback sequence it was based on  */
+} SHMCmd;
+
+/* Miscellaneous status exported by the non-core subsystem. */
+typedef struct {
+    int mode;         /* non-core controller mode            */
+    int heartbeat;    /* incremented by the non-core period  */
+    int iteration;    /* non-core iteration counter          */
+    int shutdownReq;  /* operator console shutdown request   */
+    int verbose;      /* console verbosity                   */
+    int pad;
+} SHMStatus;
+
+/* Process registry for supervision. */
+typedef struct {
+    int corePid;
+    int noncorePid;
+    int watchdogPid;
+    int pad;
+} SHMPids;
+
+/* Shared-memory variables (defined in init.c). */
+extern SHMData   *feedback;
+extern SHMCmd    *noncoreCtrl;
+extern SHMStatus *status;
+extern SHMPids   *pids;
+
+/* init.c */
+void initComm();
+void registerCorePid();
+
+/* estimator.c */
+int    selfTest();
+void   calibrate();
+double debouncedAngle();
+double complementaryFilter(double rawAngle, double dt);
+double rampLimit(double u);
+int    estimatorSpikes();
+int    isCalibrated();
+
+/* control.c */
+void   senseState();
+void   publishFeedback(int seq);
+double computeSafeControl();
+double decision(double safeControl, int seq);
+void   sendControl(double u);
+
+#endif /* IP_SHARED_H */

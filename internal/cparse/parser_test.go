@@ -1,0 +1,415 @@
+package cparse
+
+import (
+	"strings"
+	"testing"
+
+	"safeflow/internal/cast"
+	"safeflow/internal/clex"
+	"safeflow/internal/ctoken"
+)
+
+func parse(t *testing.T, src string) *cast.File {
+	t.Helper()
+	l := clex.New("t.c", src)
+	toks := l.All()
+	if errs := l.Errors(); len(errs) > 0 {
+		t.Fatalf("lex: %v", errs)
+	}
+	p := New("t.c", toks)
+	f, err := p.ParseFile()
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+func parseErr(t *testing.T, src string) error {
+	t.Helper()
+	l := clex.New("t.c", src)
+	p := New("t.c", l.All())
+	_, err := p.ParseFile()
+	return err
+}
+
+func TestGlobalDecls(t *testing.T) {
+	f := parse(t, `
+int a;
+double b = 1.5;
+int c, d;
+static long e;
+extern int f;
+char *s;
+int arr[10];
+int grid[2][3];
+`)
+	names := map[string]bool{}
+	for _, d := range f.Decls {
+		vd, ok := d.(*cast.VarDecl)
+		if !ok {
+			t.Fatalf("unexpected decl %T", d)
+		}
+		names[vd.Name] = true
+	}
+	for _, n := range []string{"a", "b", "c", "d", "e", "f", "s", "arr", "grid"} {
+		if !names[n] {
+			t.Errorf("missing global %q", n)
+		}
+	}
+}
+
+func TestNestedArrayType(t *testing.T) {
+	f := parse(t, "int grid[2][3];")
+	vd := f.Decls[0].(*cast.VarDecl)
+	outer, ok := vd.Type.(*cast.ArrayType)
+	if !ok {
+		t.Fatalf("type = %T", vd.Type)
+	}
+	if v, _ := outer.Len.(*cast.IntLit); v == nil || v.Value != 2 {
+		t.Errorf("outer len = %v, want 2", outer.Len)
+	}
+	inner, ok := outer.Elem.(*cast.ArrayType)
+	if !ok {
+		t.Fatalf("inner type = %T", outer.Elem)
+	}
+	if v, _ := inner.Len.(*cast.IntLit); v == nil || v.Value != 3 {
+		t.Errorf("inner len = %v, want 3", inner.Len)
+	}
+}
+
+func TestTypedefAndUse(t *testing.T) {
+	f := parse(t, `
+typedef struct { int x; int y; } Point;
+Point origin;
+Point *make(Point *src);
+`)
+	if _, ok := f.Decls[0].(*cast.TypedefDecl); !ok {
+		t.Fatalf("decl 0 = %T", f.Decls[0])
+	}
+	vd, ok := f.Decls[1].(*cast.VarDecl)
+	if !ok || vd.Name != "origin" {
+		t.Fatalf("decl 1 = %#v", f.Decls[1])
+	}
+	if _, ok := vd.Type.(*cast.NamedType); !ok {
+		t.Errorf("origin type = %T, want NamedType", vd.Type)
+	}
+	fd, ok := f.Decls[2].(*cast.FuncDecl)
+	if !ok || fd.Name != "make" || fd.Body != nil {
+		t.Fatalf("decl 2 = %#v", f.Decls[2])
+	}
+}
+
+func TestFunctionDefinition(t *testing.T) {
+	f := parse(t, `
+int add(int a, int b)
+{
+	return a + b;
+}
+void nop(void) { }
+int variadicDecl(char *fmt, ...);
+`)
+	add := f.Decls[0].(*cast.FuncDecl)
+	if add.Name != "add" || add.Body == nil || len(add.Type.Params) != 2 {
+		t.Fatalf("add = %#v", add)
+	}
+	nop := f.Decls[1].(*cast.FuncDecl)
+	if len(nop.Type.Params) != 0 {
+		t.Errorf("(void) params = %d", len(nop.Type.Params))
+	}
+	v := f.Decls[2].(*cast.FuncDecl)
+	if !v.Type.Variadic {
+		t.Errorf("variadic flag lost")
+	}
+}
+
+func TestStatements(t *testing.T) {
+	f := parse(t, `
+int fn(int n)
+{
+	int i;
+	int acc;
+	acc = 0;
+	for (i = 0; i < n; i++) {
+		if (i % 2 == 0) {
+			acc += i;
+		} else {
+			continue;
+		}
+		while (acc > 100) {
+			acc /= 2;
+		}
+		do {
+			acc--;
+		} while (acc < 0);
+	}
+	switch (n) {
+	case 0:
+		return 0;
+	case 1:
+	case 2:
+		acc++;
+		break;
+	default:
+		acc = -1;
+	}
+	goto out;
+out:
+	return acc;
+}
+`)
+	fd := f.Decls[0].(*cast.FuncDecl)
+	if fd.Body == nil {
+		t.Fatal("no body")
+	}
+	// Walk for the switch and check clause merging.
+	var sw *cast.SwitchStmt
+	var walk func(s cast.Stmt)
+	walk = func(s cast.Stmt) {
+		switch x := s.(type) {
+		case *cast.BlockStmt:
+			for _, sub := range x.List {
+				walk(sub)
+			}
+		case *cast.SwitchStmt:
+			sw = x
+		case *cast.ForStmt:
+			walk(x.Body)
+		case *cast.LabeledStmt:
+			walk(x.Stmt)
+		}
+	}
+	walk(fd.Body)
+	if sw == nil {
+		t.Fatal("switch not found")
+	}
+	if len(sw.Body) != 3 {
+		t.Fatalf("switch clauses = %d, want 3", len(sw.Body))
+	}
+	if len(sw.Body[1].Values) != 2 {
+		t.Errorf("merged case values = %d, want 2 (case 1: case 2:)", len(sw.Body[1].Values))
+	}
+	if sw.Body[0].Fallthrough {
+		t.Errorf("case 0 ends with return; no fallthrough expected")
+	}
+}
+
+func TestExpressionPrecedence(t *testing.T) {
+	f := parse(t, "int x = 1 + 2 * 3;")
+	vd := f.Decls[0].(*cast.VarDecl)
+	add, ok := vd.Init.(*cast.BinaryExpr)
+	if !ok || add.Op != ctoken.PLUS {
+		t.Fatalf("top op = %#v", vd.Init)
+	}
+	mul, ok := add.Y.(*cast.BinaryExpr)
+	if !ok || mul.Op != ctoken.STAR {
+		t.Fatalf("rhs = %#v", add.Y)
+	}
+}
+
+func TestAssignRightAssociative(t *testing.T) {
+	f := parse(t, "void fn() { int a; int b; a = b = 1; }")
+	fd := f.Decls[0].(*cast.FuncDecl)
+	es := fd.Body.List[2].(*cast.ExprStmt)
+	outer, ok := es.X.(*cast.AssignExpr)
+	if !ok {
+		t.Fatalf("stmt = %#v", es.X)
+	}
+	if _, ok := outer.RHS.(*cast.AssignExpr); !ok {
+		t.Errorf("a = (b = 1) not right-associative: %#v", outer.RHS)
+	}
+}
+
+func TestTernaryAndLogical(t *testing.T) {
+	f := parse(t, "int fn(int a, int b) { return a && b ? a : b || a; }")
+	fd := f.Decls[0].(*cast.FuncDecl)
+	ret := fd.Body.List[0].(*cast.ReturnStmt)
+	cond, ok := ret.X.(*cast.CondExpr)
+	if !ok {
+		t.Fatalf("return expr = %#v", ret.X)
+	}
+	if c, ok := cond.Cond.(*cast.BinaryExpr); !ok || c.Op != ctoken.LAND {
+		t.Errorf("ternary condition = %#v", cond.Cond)
+	}
+	if e, ok := cond.Else.(*cast.BinaryExpr); !ok || e.Op != ctoken.LOR {
+		t.Errorf("ternary else = %#v", cond.Else)
+	}
+}
+
+func TestCastVsParen(t *testing.T) {
+	f := parse(t, `
+typedef struct { int v; } T;
+void fn(void *p, int x)
+{
+	T *tp;
+	int y;
+	tp = (T *) p;
+	y = (x) + 1;
+}
+`)
+	fd := f.Decls[1].(*cast.FuncDecl)
+	first := fd.Body.List[2].(*cast.ExprStmt).X.(*cast.AssignExpr)
+	if _, ok := first.RHS.(*cast.CastExpr); !ok {
+		t.Errorf("(T*)p parsed as %T, want CastExpr", first.RHS)
+	}
+	second := fd.Body.List[3].(*cast.ExprStmt).X.(*cast.AssignExpr)
+	if _, ok := second.RHS.(*cast.BinaryExpr); !ok {
+		t.Errorf("(x)+1 parsed as %T, want BinaryExpr", second.RHS)
+	}
+}
+
+func TestSizeof(t *testing.T) {
+	f := parse(t, `
+typedef struct { int v; } T;
+long a = sizeof(T);
+long b = sizeof(int);
+void fn(int x) { long c; c = sizeof x; }
+`)
+	a := f.Decls[1].(*cast.VarDecl).Init.(*cast.SizeofExpr)
+	if a.Type == nil {
+		t.Errorf("sizeof(T): no type")
+	}
+	b := f.Decls[2].(*cast.VarDecl).Init.(*cast.SizeofExpr)
+	if b.Type == nil {
+		t.Errorf("sizeof(int): no type")
+	}
+}
+
+func TestMemberChains(t *testing.T) {
+	f := parse(t, `
+typedef struct { int v; } Inner;
+typedef struct { Inner in; Inner *ptr; } Outer;
+int fn(Outer *o) { return o->in.v + o->ptr->v; }
+`)
+	fd := f.Decls[2].(*cast.FuncDecl)
+	ret := fd.Body.List[0].(*cast.ReturnStmt)
+	bin := ret.X.(*cast.BinaryExpr)
+	left := bin.X.(*cast.MemberExpr)
+	if left.Name != "v" || left.Arrow {
+		t.Errorf("left = %#v", left)
+	}
+	inner := left.X.(*cast.MemberExpr)
+	if inner.Name != "in" || !inner.Arrow {
+		t.Errorf("inner = %#v", inner)
+	}
+}
+
+func TestAnnotationAttachment(t *testing.T) {
+	f := parse(t, `
+int monitor(int *p)
+/***SafeFlow Annotation assume(core(p, 0, 8)) /***/
+{
+	/***SafeFlow Annotation assert(safe(x)) /***/
+	return p[0];
+}
+`)
+	fd := f.Decls[0].(*cast.FuncDecl)
+	if len(fd.Annotations) != 1 {
+		t.Fatalf("func annotations = %d, want 1", len(fd.Annotations))
+	}
+	as, ok := fd.Body.List[0].(*cast.AnnotatedStmt)
+	if !ok {
+		t.Fatalf("first stmt = %T, want AnnotatedStmt", fd.Body.List[0])
+	}
+	if len(as.Annotations) != 1 || !strings.Contains(as.Annotations[0].Body, "assert") {
+		t.Errorf("stmt annotations = %#v", as.Annotations)
+	}
+}
+
+func TestTrailingAnnotation(t *testing.T) {
+	f := parse(t, `
+void init()
+{
+	int x;
+	x = 0;
+	/***SafeFlow Annotation assume(shmvar(g, 8)) /***/
+}
+`)
+	fd := f.Decls[0].(*cast.FuncDecl)
+	last := fd.Body.List[len(fd.Body.List)-1]
+	as, ok := last.(*cast.AnnotatedStmt)
+	if !ok {
+		t.Fatalf("last stmt = %T, want AnnotatedStmt", last)
+	}
+	if _, ok := as.Stmt.(*cast.EmptyStmt); !ok {
+		t.Errorf("trailing annotation should wrap an empty statement, got %T", as.Stmt)
+	}
+}
+
+func TestEnum(t *testing.T) {
+	f := parse(t, `
+enum Mode { IDLE, RUN = 5, STOP };
+int m = RUN;
+`)
+	rd, ok := f.Decls[0].(*cast.RecordDecl)
+	if !ok {
+		t.Fatalf("decl 0 = %T", f.Decls[0])
+	}
+	et := rd.Type.(*cast.EnumType)
+	if len(et.Members) != 3 || et.Members[1].Name != "RUN" {
+		t.Errorf("enum members = %#v", et.Members)
+	}
+}
+
+func TestInitializerLists(t *testing.T) {
+	f := parse(t, `int a[3] = {1, 2, 3};`)
+	vd := f.Decls[0].(*cast.VarDecl)
+	call, ok := vd.Init.(*cast.CallExpr)
+	if !ok {
+		t.Fatalf("init = %T", vd.Init)
+	}
+	if id := call.Fun.(*cast.Ident); id.Name != "__initlist" || len(call.Args) != 3 {
+		t.Errorf("init list = %#v", call)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"missing semi", "int a int b;", "expected"},
+		{"bad expr", "int fn() { return +; }", "expected expression"},
+		{"unclosed paren", "int fn() { return (1; }", "expected"},
+		{"declaration declares nothing", "int;", "declares nothing"},
+		{"case outside", "int fn(int n) { switch (n) { n++; } return 0; }", "before first case"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := parseErr(t, tc.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestErrorRecovery(t *testing.T) {
+	// One bad declaration must not prevent later ones from parsing.
+	l := clex.New("t.c", "int bad bad bad;\nint good;\n")
+	p := New("t.c", l.All())
+	f, err := p.ParseFile()
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	found := false
+	for _, d := range f.Decls {
+		if vd, ok := d.(*cast.VarDecl); ok && vd.Name == "good" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("parser did not recover to parse the good declaration")
+	}
+}
+
+func TestUnparen(t *testing.T) {
+	f := parse(t, "int x = ((4));")
+	vd := f.Decls[0].(*cast.VarDecl)
+	if lit, ok := cast.Unparen(vd.Init).(*cast.IntLit); !ok || lit.Value != 4 {
+		t.Errorf("Unparen = %#v", cast.Unparen(vd.Init))
+	}
+}

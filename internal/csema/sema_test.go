@@ -1,0 +1,272 @@
+package csema
+
+import (
+	"strings"
+	"testing"
+
+	"safeflow/internal/cast"
+	"safeflow/internal/clex"
+	"safeflow/internal/cparse"
+	"safeflow/internal/ctypes"
+)
+
+func analyze(t *testing.T, src string) (*Program, error) {
+	t.Helper()
+	l := clex.New("t.c", src)
+	toks := l.All()
+	if errs := l.Errors(); len(errs) > 0 {
+		t.Fatalf("lex: %v", errs)
+	}
+	p := cparse.New("t.c", toks)
+	f, err := p.ParseFile()
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Analyze([]*cast.File{f})
+}
+
+func mustAnalyze(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := analyze(t, src)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return prog
+}
+
+func TestGlobalAndFunctionCollection(t *testing.T) {
+	prog := mustAnalyze(t, `
+typedef struct { double a; int b; } S;
+S shared;
+S *ptr;
+int helper(S *s, double d);
+int helper(S *s, double d) { return s->b + (int) d; }
+int main() { return helper(&shared, 1.5); }
+`)
+	if prog.GlobalMap["shared"] == nil || prog.GlobalMap["ptr"] == nil {
+		t.Fatal("globals missing")
+	}
+	h := prog.FuncByName["helper"]
+	if h == nil || !h.IsDefined {
+		t.Fatal("helper missing or undefined")
+	}
+	if len(h.Params) != 2 || h.Params[0].Name != "s" {
+		t.Errorf("helper params = %#v", h.Params)
+	}
+	if h.Type.Result != ctypes.IntType {
+		t.Errorf("helper result = %v", h.Type.Result)
+	}
+}
+
+func TestTypeOfExpressions(t *testing.T) {
+	prog := mustAnalyze(t, `
+typedef struct { double d; int i; } S;
+S g;
+double fn(S *p, int n)
+{
+	double x;
+	x = p->d + n;
+	return x * g.d;
+}
+`)
+	// Every checked binary expr involving doubles must type as double.
+	found := 0
+	for e, ty := range prog.ExprTypes {
+		if be, ok := e.(*cast.BinaryExpr); ok {
+			_ = be
+			if ctypes.IsFloat(ty) {
+				found++
+			}
+		}
+	}
+	if found == 0 {
+		t.Error("no float-typed binary expressions recorded")
+	}
+}
+
+func TestUsesResolution(t *testing.T) {
+	prog := mustAnalyze(t, `
+int g;
+int fn(int g) { return g; }
+int main() { return g + fn(1); }
+`)
+	// The g inside fn must resolve to the parameter, the one in main to
+	// the global.
+	var paramUse, globalUse bool
+	for id, obj := range prog.Uses {
+		if id.Name != "g" {
+			continue
+		}
+		switch obj.(type) {
+		case *ParamVar:
+			paramUse = true
+		case *GlobalVar:
+			globalUse = true
+		}
+	}
+	if !paramUse || !globalUse {
+		t.Errorf("shadowing resolution: param=%v global=%v", paramUse, globalUse)
+	}
+}
+
+func TestEnumConstants(t *testing.T) {
+	prog := mustAnalyze(t, `
+enum { A, B = 10, C };
+int x = C;
+`)
+	if prog.Enums["A"].Value != 0 || prog.Enums["B"].Value != 10 || prog.Enums["C"].Value != 11 {
+		t.Errorf("enum values: A=%d B=%d C=%d", prog.Enums["A"].Value, prog.Enums["B"].Value, prog.Enums["C"].Value)
+	}
+}
+
+func TestBuiltinsAvailable(t *testing.T) {
+	prog := mustAnalyze(t, `
+int main()
+{
+	void *p;
+	int id;
+	id = shmget(1, 64, 0);
+	p = shmat(id, 0, 0);
+	printf("%d\n", id);
+	kill(getpid(), 9);
+	return 0;
+}
+`)
+	if prog.FuncByName["shmat"] == nil || !prog.FuncByName["shmat"].IsBuiltin {
+		t.Error("shmat builtin missing")
+	}
+}
+
+func TestImplicitDeclarationWarns(t *testing.T) {
+	prog := mustAnalyze(t, `int main() { mystery(1, 2); return 0; }`)
+	found := false
+	for _, w := range prog.Warnings {
+		if strings.Contains(w, "implicit declaration") && strings.Contains(w, "mystery") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("warnings = %v, want implicit declaration of mystery", prog.Warnings)
+	}
+}
+
+func TestUserOverridesBuiltin(t *testing.T) {
+	prog := mustAnalyze(t, `
+void Lock(int which) { }
+int main() { Lock(3); return 0; }
+`)
+	fn := prog.FuncByName["Lock"]
+	if fn == nil || fn.IsBuiltin || !fn.IsDefined {
+		t.Errorf("user definition did not override the builtin: %#v", fn)
+	}
+}
+
+func TestStructDedupAcrossFiles(t *testing.T) {
+	header := `
+#line 1 "shared.h"
+typedef struct { double v; int n; } Shared;
+`
+	mk := func(body string) *cast.File {
+		l := clex.New("x.c", header+body)
+		p := cparse.New("x.c", l.All())
+		f, err := p.ParseFile()
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		return f
+	}
+	f1 := mk("Shared g;\n")
+	f2 := mk("extern Shared g;\nint use() { return g.n; }\n")
+	prog, err := Analyze([]*cast.File{f1, f2})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if prog.GlobalMap["g"] == nil {
+		t.Fatal("global g missing")
+	}
+}
+
+func TestConstEval(t *testing.T) {
+	prog := mustAnalyze(t, `
+typedef struct { double a; double b; } Pair;
+int arr[2 * 4 + 1];
+`)
+	g := prog.GlobalMap["arr"]
+	at, ok := g.Type.(*ctypes.Array)
+	if !ok || at.Len != 9 {
+		t.Fatalf("arr type = %v", g.Type)
+	}
+}
+
+func TestSemanticErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"undeclared", "int main() { return nope; }", "undeclared identifier"},
+		{"bad field", "typedef struct { int a; } S; int main() { S s; return s.b; }", `no field "b"`},
+		{"arrow on struct", "typedef struct { int a; } S; int main() { S s; return s->a; }", "-> on non-pointer"},
+		{"dot on pointer", "typedef struct { int a; } S; int main() { S *s; return s.a; }", ". on non-struct"},
+		{"deref non-pointer", "int main() { int x; return *x; }", "dereference non-pointer"},
+		{"arg count", "void f(int a, int b); int main() { f(1); return 0; }", "want 2"},
+		{"arg type", "void f(int *p); int main() { double d; f(d); return 0; }", "cannot pass"},
+		{"return in void", "void f() { return 3; }", "return with value"},
+		{"assign mismatch", "typedef struct { int a; } S; int main() { S s; int *p; p = s; return 0; }", "cannot assign"},
+		{"redecl local", "int main() { int x; int x; return 0; }", "redeclaration"},
+		{"bad switch tag", "int main() { double d; switch (d) { case 1: break; } return 0; }", "switch tag"},
+		{"nonconst case", "int main(int v) { switch (v) { case v: break; } return 0; }", "constant"},
+		{"conflicting global", "int g; double g;", "conflicting declarations"},
+		{"function redefined", "int f() { return 0; } int f() { return 1; }", "redefinition"},
+		{"not lvalue", "int main() { 3 = 4; return 0; }", "not an lvalue"},
+		{"bad array len", "int a[-2];", "positive constant"},
+		{"pointer compound assign", "int main() { int *p; p *= 2; return 0; }", "compound assignment to pointer"},
+		{"two pointers added", "int main() { int *p; int *q; long r; r = (long)(p + q); return 0; }", "add two pointers"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := analyze(t, tc.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestUsualArithConversions(t *testing.T) {
+	prog := mustAnalyze(t, `
+double mix(int i, double d, float f, long l)
+{
+	return i + d + f + l;
+}
+`)
+	fn := prog.FuncByName["mix"]
+	ret := fn.Decl.Body.List[0].(*cast.ReturnStmt)
+	if ty := prog.TypeOf(ret.X); !ctypes.IsFloat(ty) {
+		t.Errorf("mixed arithmetic type = %v, want floating", ty)
+	}
+}
+
+func TestPointerArithmeticTypes(t *testing.T) {
+	prog := mustAnalyze(t, `
+typedef struct { double v; } S;
+long fn(S *a, S *b, int n)
+{
+	S *c;
+	c = a + n;
+	return b - a;
+}
+`)
+	fn := prog.FuncByName["fn"]
+	assign := fn.Decl.Body.List[1].(*cast.ExprStmt).X.(*cast.AssignExpr)
+	if ty := prog.TypeOf(assign.RHS); !ctypes.IsPointer(ty) {
+		t.Errorf("a+n type = %v, want pointer", ty)
+	}
+	ret := fn.Decl.Body.List[2].(*cast.ReturnStmt)
+	if ty := prog.TypeOf(ret.X); !ctypes.IsInteger(ty) {
+		t.Errorf("b-a type = %v, want integer", ty)
+	}
+}

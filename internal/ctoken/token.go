@@ -1,0 +1,278 @@
+// Package ctoken defines the lexical tokens of the C subset accepted by
+// SafeFlow's front end, together with source positions.
+//
+// The subset covers the constructs used by embedded control systems in the
+// SafeFlow corpus: the usual declarations, statements and expressions of
+// C89/C99 minus bitfields, unions with overlapping analysis-relevant
+// pointers, variadic function definitions (variadic declarations are
+// accepted so printf-style externs can be called), and the preprocessor
+// (handled separately by package cpp).
+package ctoken
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Enumeration starts at one so the zero Kind is invalid.
+const (
+	ILLEGAL Kind = iota + 1
+	EOF
+
+	// Literals and identifiers.
+	IDENT    // main
+	INTLIT   // 123, 0x7f, 'a'
+	FLOATLIT // 1.5, 2e-3
+	STRLIT   // "abc"
+
+	// Punctuation.
+	LPAREN   // (
+	RPAREN   // )
+	LBRACE   // {
+	RBRACE   // }
+	LBRACKET // [
+	RBRACKET // ]
+	COMMA    // ,
+	SEMI     // ;
+	COLON    // :
+	QUESTION // ?
+	ELLIPSIS // ...
+
+	// Operators.
+	ASSIGN     // =
+	ADDASSIGN  // +=
+	SUBASSIGN  // -=
+	MULASSIGN  // *=
+	DIVASSIGN  // /=
+	MODASSIGN  // %=
+	ANDASSIGN  // &=
+	ORASSIGN   // |=
+	XORASSIGN  // ^=
+	SHLASSIGN  // <<=
+	SHRASSIGN  // >>=
+	INC        // ++
+	DEC        // --
+	PLUS       // +
+	MINUS      // -
+	STAR       // *
+	SLASH      // /
+	PERCENT    // %
+	AMP        // &
+	PIPE       // |
+	CARET      // ^
+	TILDE      // ~
+	NOT        // !
+	SHL        // <<
+	SHR        // >>
+	LT         // <
+	GT         // >
+	LE         // <=
+	GE         // >=
+	EQ         // ==
+	NE         // !=
+	LAND       // &&
+	LOR        // ||
+	DOT        // .
+	ARROW      // ->
+	ANNOTATION // /***SafeFlow Annotation ... /***/
+
+	// Keywords.
+	KwVoid
+	KwChar
+	KwShort
+	KwInt
+	KwLong
+	KwFloat
+	KwDouble
+	KwSigned
+	KwUnsigned
+	KwStruct
+	KwUnion
+	KwEnum
+	KwTypedef
+	KwExtern
+	KwStatic
+	KwConst
+	KwVolatile
+	KwIf
+	KwElse
+	KwWhile
+	KwDo
+	KwFor
+	KwReturn
+	KwBreak
+	KwContinue
+	KwSwitch
+	KwCase
+	KwDefault
+	KwGoto
+	KwSizeof
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL:    "ILLEGAL",
+	EOF:        "EOF",
+	IDENT:      "identifier",
+	INTLIT:     "integer literal",
+	FLOATLIT:   "float literal",
+	STRLIT:     "string literal",
+	LPAREN:     "(",
+	RPAREN:     ")",
+	LBRACE:     "{",
+	RBRACE:     "}",
+	LBRACKET:   "[",
+	RBRACKET:   "]",
+	COMMA:      ",",
+	SEMI:       ";",
+	COLON:      ":",
+	QUESTION:   "?",
+	ELLIPSIS:   "...",
+	ASSIGN:     "=",
+	ADDASSIGN:  "+=",
+	SUBASSIGN:  "-=",
+	MULASSIGN:  "*=",
+	DIVASSIGN:  "/=",
+	MODASSIGN:  "%=",
+	ANDASSIGN:  "&=",
+	ORASSIGN:   "|=",
+	XORASSIGN:  "^=",
+	SHLASSIGN:  "<<=",
+	SHRASSIGN:  ">>=",
+	INC:        "++",
+	DEC:        "--",
+	PLUS:       "+",
+	MINUS:      "-",
+	STAR:       "*",
+	SLASH:      "/",
+	PERCENT:    "%",
+	AMP:        "&",
+	PIPE:       "|",
+	CARET:      "^",
+	TILDE:      "~",
+	NOT:        "!",
+	SHL:        "<<",
+	SHR:        ">>",
+	LT:         "<",
+	GT:         ">",
+	LE:         "<=",
+	GE:         ">=",
+	EQ:         "==",
+	NE:         "!=",
+	LAND:       "&&",
+	LOR:        "||",
+	DOT:        ".",
+	ARROW:      "->",
+	ANNOTATION: "SafeFlow annotation",
+	KwVoid:     "void",
+	KwChar:     "char",
+	KwShort:    "short",
+	KwInt:      "int",
+	KwLong:     "long",
+	KwFloat:    "float",
+	KwDouble:   "double",
+	KwSigned:   "signed",
+	KwUnsigned: "unsigned",
+	KwStruct:   "struct",
+	KwUnion:    "union",
+	KwEnum:     "enum",
+	KwTypedef:  "typedef",
+	KwExtern:   "extern",
+	KwStatic:   "static",
+	KwConst:    "const",
+	KwVolatile: "volatile",
+	KwIf:       "if",
+	KwElse:     "else",
+	KwWhile:    "while",
+	KwDo:       "do",
+	KwFor:      "for",
+	KwReturn:   "return",
+	KwBreak:    "break",
+	KwContinue: "continue",
+	KwSwitch:   "switch",
+	KwCase:     "case",
+	KwDefault:  "default",
+	KwGoto:     "goto",
+	KwSizeof:   "sizeof",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to their kinds.
+var Keywords = map[string]Kind{
+	"void":     KwVoid,
+	"char":     KwChar,
+	"short":    KwShort,
+	"int":      KwInt,
+	"long":     KwLong,
+	"float":    KwFloat,
+	"double":   KwDouble,
+	"signed":   KwSigned,
+	"unsigned": KwUnsigned,
+	"struct":   KwStruct,
+	"union":    KwUnion,
+	"enum":     KwEnum,
+	"typedef":  KwTypedef,
+	"extern":   KwExtern,
+	"static":   KwStatic,
+	"const":    KwConst,
+	"volatile": KwVolatile,
+	"if":       KwIf,
+	"else":     KwElse,
+	"while":    KwWhile,
+	"do":       KwDo,
+	"for":      KwFor,
+	"return":   KwReturn,
+	"break":    KwBreak,
+	"continue": KwContinue,
+	"switch":   KwSwitch,
+	"case":     KwCase,
+	"default":  KwDefault,
+	"goto":     KwGoto,
+	"sizeof":   KwSizeof,
+}
+
+// IsAssign reports whether the kind is an assignment operator.
+func (k Kind) IsAssign() bool {
+	return k >= ASSIGN && k <= SHRASSIGN
+}
+
+// Pos is a source position: file, 1-based line and column.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// IsValid reports whether the position carries real location information.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders the position as file:line:col.
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Token is a single lexical token with its source text and position.
+type Token struct {
+	Kind Kind
+	Text string // raw text; for ANNOTATION, the annotation body
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INTLIT, FLOATLIT, STRLIT:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,374 @@
+// Package ctypes models the type system of SafeFlow's C subset, including
+// byte sizes and field offsets on a fixed ILP32-style embedded target
+// (pointers are 4 bytes, long is 8 — matching the lab systems' layout
+// assumptions; the concrete numbers only matter for shmvar size math and
+// InitCheck, which are self-consistent).
+package ctypes
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is a resolved C type.
+type Type interface {
+	// Size returns the size of the type in bytes.
+	Size() int64
+	// String renders the type in C-like syntax.
+	String() string
+	// Equal reports structural equality.
+	Equal(Type) bool
+}
+
+// BasicKind identifies a builtin scalar type.
+type BasicKind int
+
+// Basic kinds. Enumeration starts at one so the zero value is invalid.
+const (
+	Void BasicKind = iota + 1
+	Char
+	UChar
+	Short
+	UShort
+	Int
+	UInt
+	Long
+	ULong
+	Float
+	Double
+)
+
+// Basic is a builtin scalar type.
+type Basic struct {
+	Kind BasicKind
+}
+
+var basicSizes = map[BasicKind]int64{
+	Void:   0,
+	Char:   1,
+	UChar:  1,
+	Short:  2,
+	UShort: 2,
+	Int:    4,
+	UInt:   4,
+	Long:   8,
+	ULong:  8,
+	Float:  4,
+	Double: 8,
+}
+
+var basicNames = map[BasicKind]string{
+	Void:   "void",
+	Char:   "char",
+	UChar:  "unsigned char",
+	Short:  "short",
+	UShort: "unsigned short",
+	Int:    "int",
+	UInt:   "unsigned int",
+	Long:   "long",
+	ULong:  "unsigned long",
+	Float:  "float",
+	Double: "double",
+}
+
+// Size implements Type.
+func (b *Basic) Size() int64 { return basicSizes[b.Kind] }
+
+// String implements Type.
+func (b *Basic) String() string { return basicNames[b.Kind] }
+
+// Equal implements Type.
+func (b *Basic) Equal(o Type) bool {
+	ob, ok := o.(*Basic)
+	return ok && ob.Kind == b.Kind
+}
+
+// IsInteger reports whether the basic kind is an integer type.
+func (b *Basic) IsInteger() bool {
+	switch b.Kind {
+	case Char, UChar, Short, UShort, Int, UInt, Long, ULong:
+		return true
+	}
+	return false
+}
+
+// IsFloat reports whether the basic kind is a floating type.
+func (b *Basic) IsFloat() bool { return b.Kind == Float || b.Kind == Double }
+
+// IsSigned reports whether the integer kind is signed.
+func (b *Basic) IsSigned() bool {
+	switch b.Kind {
+	case Char, Short, Int, Long:
+		return true
+	}
+	return false
+}
+
+// Shared singletons for the basic types.
+var (
+	VoidType   = &Basic{Kind: Void}
+	CharType   = &Basic{Kind: Char}
+	UCharType  = &Basic{Kind: UChar}
+	ShortType  = &Basic{Kind: Short}
+	UShortType = &Basic{Kind: UShort}
+	IntType    = &Basic{Kind: Int}
+	UIntType   = &Basic{Kind: UInt}
+	LongType   = &Basic{Kind: Long}
+	ULongType  = &Basic{Kind: ULong}
+	FloatType  = &Basic{Kind: Float}
+	DoubleType = &Basic{Kind: Double}
+)
+
+// PointerSize is the byte size of all pointer types on the target.
+const PointerSize = 4
+
+// Pointer is a pointer type.
+type Pointer struct {
+	Elem Type
+}
+
+// Size implements Type.
+func (p *Pointer) Size() int64 { return PointerSize }
+
+// String implements Type.
+func (p *Pointer) String() string { return p.Elem.String() + "*" }
+
+// Equal implements Type.
+func (p *Pointer) Equal(o Type) bool {
+	op, ok := o.(*Pointer)
+	return ok && p.Elem.Equal(op.Elem)
+}
+
+// Array is a constant-length array type.
+type Array struct {
+	Elem Type
+	Len  int64
+}
+
+// Size implements Type.
+func (a *Array) Size() int64 { return a.Elem.Size() * a.Len }
+
+// String implements Type.
+func (a *Array) String() string { return fmt.Sprintf("%s[%d]", a.Elem, a.Len) }
+
+// Equal implements Type.
+func (a *Array) Equal(o Type) bool {
+	oa, ok := o.(*Array)
+	return ok && a.Len == oa.Len && a.Elem.Equal(oa.Elem)
+}
+
+// Field is one struct member with its computed offset.
+type Field struct {
+	Name   string
+	Type   Type
+	Offset int64
+}
+
+// Struct is a struct or union type. Structs are nominal: two structs are
+// equal only if they are the same declaration (same Tag and fields).
+type Struct struct {
+	Tag     string
+	IsUnion bool
+	Fields  []Field
+	size    int64
+}
+
+// NewStruct lays out the fields (naturally aligned, matching the target's
+// simple layout rules) and returns the struct type.
+func NewStruct(tag string, isUnion bool, fields []Field) *Struct {
+	s := &Struct{Tag: tag, IsUnion: isUnion}
+	var off, maxAlign, maxSize int64
+	maxAlign = 1
+	for _, f := range fields {
+		al := alignOf(f.Type)
+		if al > maxAlign {
+			maxAlign = al
+		}
+		if isUnion {
+			f.Offset = 0
+			if f.Type.Size() > maxSize {
+				maxSize = f.Type.Size()
+			}
+		} else {
+			off = roundUp(off, al)
+			f.Offset = off
+			off += f.Type.Size()
+		}
+		s.Fields = append(s.Fields, f)
+	}
+	if isUnion {
+		s.size = roundUp(maxSize, maxAlign)
+	} else {
+		s.size = roundUp(off, maxAlign)
+	}
+	if s.size == 0 {
+		s.size = 1
+	}
+	return s
+}
+
+func alignOf(t Type) int64 {
+	switch tt := t.(type) {
+	case *Basic:
+		if sz := tt.Size(); sz > 0 {
+			return sz
+		}
+		return 1
+	case *Pointer:
+		return PointerSize
+	case *Array:
+		return alignOf(tt.Elem)
+	case *Struct:
+		var a int64 = 1
+		for _, f := range tt.Fields {
+			if fa := alignOf(f.Type); fa > a {
+				a = fa
+			}
+		}
+		return a
+	default:
+		return 1
+	}
+}
+
+func roundUp(n, a int64) int64 {
+	if a <= 1 {
+		return n
+	}
+	return (n + a - 1) / a * a
+}
+
+// Size implements Type.
+func (s *Struct) Size() int64 { return s.size }
+
+// String implements Type.
+func (s *Struct) String() string {
+	kw := "struct"
+	if s.IsUnion {
+		kw = "union"
+	}
+	if s.Tag != "" {
+		return kw + " " + s.Tag
+	}
+	var names []string
+	for _, f := range s.Fields {
+		names = append(names, f.Name)
+	}
+	return kw + " {" + strings.Join(names, ",") + "}"
+}
+
+// Equal implements Type (nominal: pointer identity).
+func (s *Struct) Equal(o Type) bool { return s == o }
+
+// FieldByName returns the field with the given name.
+func (s *Struct) FieldByName(name string) (Field, bool) {
+	for _, f := range s.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+// Func is a function type.
+type Func struct {
+	Result   Type
+	Params   []Type
+	Variadic bool
+}
+
+// Size implements Type (functions are not objects; size 0).
+func (f *Func) Size() int64 { return 0 }
+
+// String implements Type.
+func (f *Func) String() string {
+	var ps []string
+	for _, p := range f.Params {
+		ps = append(ps, p.String())
+	}
+	if f.Variadic {
+		ps = append(ps, "...")
+	}
+	return fmt.Sprintf("%s(%s)", f.Result, strings.Join(ps, ", "))
+}
+
+// Equal implements Type.
+func (f *Func) Equal(o Type) bool {
+	of, ok := o.(*Func)
+	if !ok || len(f.Params) != len(of.Params) || f.Variadic != of.Variadic {
+		return false
+	}
+	if !f.Result.Equal(of.Result) {
+		return false
+	}
+	for i := range f.Params {
+		if !f.Params[i].Equal(of.Params[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPointer reports whether t is a pointer type.
+func IsPointer(t Type) bool {
+	_, ok := t.(*Pointer)
+	return ok
+}
+
+// IsInteger reports whether t is an integer type.
+func IsInteger(t Type) bool {
+	b, ok := t.(*Basic)
+	return ok && b.IsInteger()
+}
+
+// IsFloat reports whether t is a floating type.
+func IsFloat(t Type) bool {
+	b, ok := t.(*Basic)
+	return ok && b.IsFloat()
+}
+
+// IsVoid reports whether t is void.
+func IsVoid(t Type) bool {
+	b, ok := t.(*Basic)
+	return ok && b.Kind == Void
+}
+
+// IsScalar reports whether t is an integer, float, or pointer.
+func IsScalar(t Type) bool { return IsInteger(t) || IsFloat(t) || IsPointer(t) }
+
+// Deref returns the pointee of a pointer type, or nil.
+func Deref(t Type) Type {
+	if p, ok := t.(*Pointer); ok {
+		return p.Elem
+	}
+	return nil
+}
+
+// Compatible reports whether two types are compatible for the purposes of
+// SafeFlow's restriction P3 (casts between shared-memory pointer types).
+// Identical types are compatible; a T* and void* are compatible in either
+// direction (void* is the untyped allocation hole that shminit functions
+// use); char* is compatible with any object pointer (byte access). All
+// other pointer cross-casts are incompatible, as are pointer<->integer.
+func Compatible(a, b Type) bool {
+	if a.Equal(b) {
+		return true
+	}
+	pa, aok := a.(*Pointer)
+	pb, bok := b.(*Pointer)
+	if aok && bok {
+		if IsVoid(pa.Elem) || IsVoid(pb.Elem) {
+			return true
+		}
+		if isCharish(pa.Elem) || isCharish(pb.Elem) {
+			return true
+		}
+		return pa.Elem.Equal(pb.Elem)
+	}
+	return false
+}
+
+func isCharish(t Type) bool {
+	b, ok := t.(*Basic)
+	return ok && (b.Kind == Char || b.Kind == UChar)
+}

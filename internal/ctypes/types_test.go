@@ -1,0 +1,200 @@
+package ctypes
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicSizes(t *testing.T) {
+	tests := []struct {
+		ty   Type
+		size int64
+	}{
+		{CharType, 1}, {UCharType, 1},
+		{ShortType, 2}, {UShortType, 2},
+		{IntType, 4}, {UIntType, 4},
+		{LongType, 8}, {ULongType, 8},
+		{FloatType, 4}, {DoubleType, 8},
+		{VoidType, 0},
+		{&Pointer{Elem: DoubleType}, PointerSize},
+		{&Array{Elem: IntType, Len: 10}, 40},
+	}
+	for _, tc := range tests {
+		if got := tc.ty.Size(); got != tc.size {
+			t.Errorf("%s size = %d, want %d", tc.ty, got, tc.size)
+		}
+	}
+}
+
+func TestStructLayout(t *testing.T) {
+	// struct { char c; double d; int i; } — natural alignment:
+	// c at 0, d at 8, i at 16, size rounded to 24.
+	s := NewStruct("S", false, []Field{
+		{Name: "c", Type: CharType},
+		{Name: "d", Type: DoubleType},
+		{Name: "i", Type: IntType},
+	})
+	wantOffsets := []int64{0, 8, 16}
+	for i, f := range s.Fields {
+		if f.Offset != wantOffsets[i] {
+			t.Errorf("field %s offset = %d, want %d", f.Name, f.Offset, wantOffsets[i])
+		}
+	}
+	if s.Size() != 24 {
+		t.Errorf("size = %d, want 24", s.Size())
+	}
+}
+
+func TestUnionLayout(t *testing.T) {
+	u := NewStruct("U", true, []Field{
+		{Name: "d", Type: DoubleType},
+		{Name: "i", Type: IntType},
+	})
+	for _, f := range u.Fields {
+		if f.Offset != 0 {
+			t.Errorf("union field %s offset = %d, want 0", f.Name, f.Offset)
+		}
+	}
+	if u.Size() != 8 {
+		t.Errorf("union size = %d, want 8", u.Size())
+	}
+}
+
+func TestPaperSHMDataLayout(t *testing.T) {
+	// The corpus' SHMData: 4 doubles + 2 ints = 40 bytes.
+	s := NewStruct("SHMData", false, []Field{
+		{Name: "angle", Type: DoubleType},
+		{Name: "track", Type: DoubleType},
+		{Name: "angleVel", Type: DoubleType},
+		{Name: "trackVel", Type: DoubleType},
+		{Name: "seq", Type: IntType},
+		{Name: "pad", Type: IntType},
+	})
+	if s.Size() != 40 {
+		t.Errorf("SHMData size = %d, want 40", s.Size())
+	}
+	f, ok := s.FieldByName("angleVel")
+	if !ok || f.Offset != 16 {
+		t.Errorf("angleVel offset = %d, want 16", f.Offset)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	p1 := &Pointer{Elem: IntType}
+	p2 := &Pointer{Elem: IntType}
+	if !p1.Equal(p2) {
+		t.Error("structural pointer equality failed")
+	}
+	a1 := &Array{Elem: IntType, Len: 4}
+	a2 := &Array{Elem: IntType, Len: 5}
+	if a1.Equal(a2) {
+		t.Error("arrays of different length compared equal")
+	}
+	s1 := NewStruct("S", false, []Field{{Name: "x", Type: IntType}})
+	s2 := NewStruct("S", false, []Field{{Name: "x", Type: IntType}})
+	if s1.Equal(s2) {
+		t.Error("struct equality must be nominal (pointer identity)")
+	}
+	if !s1.Equal(s1) {
+		t.Error("struct must equal itself")
+	}
+	f1 := &Func{Result: IntType, Params: []Type{DoubleType}}
+	f2 := &Func{Result: IntType, Params: []Type{DoubleType}}
+	f3 := &Func{Result: IntType, Params: []Type{DoubleType}, Variadic: true}
+	if !f1.Equal(f2) || f1.Equal(f3) {
+		t.Error("function type equality wrong")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !IsInteger(IntType) || IsInteger(DoubleType) || IsInteger(&Pointer{Elem: IntType}) {
+		t.Error("IsInteger wrong")
+	}
+	if !IsFloat(FloatType) || IsFloat(IntType) {
+		t.Error("IsFloat wrong")
+	}
+	if !IsPointer(&Pointer{Elem: VoidType}) || IsPointer(IntType) {
+		t.Error("IsPointer wrong")
+	}
+	if !IsVoid(VoidType) || IsVoid(IntType) {
+		t.Error("IsVoid wrong")
+	}
+	if !IsScalar(IntType) || !IsScalar(&Pointer{Elem: IntType}) || IsScalar(&Array{Elem: IntType, Len: 2}) {
+		t.Error("IsScalar wrong")
+	}
+	if Deref(&Pointer{Elem: LongType}) != LongType {
+		t.Error("Deref wrong")
+	}
+	if Deref(IntType) != nil {
+		t.Error("Deref of non-pointer should be nil")
+	}
+}
+
+func TestCompatible(t *testing.T) {
+	s := NewStruct("S", false, []Field{{Name: "x", Type: IntType}})
+	tt := NewStruct("T", false, []Field{{Name: "x", Type: IntType}})
+	sp := &Pointer{Elem: s}
+	tp := &Pointer{Elem: tt}
+	vp := &Pointer{Elem: VoidType}
+	cp := &Pointer{Elem: CharType}
+
+	tests := []struct {
+		a, b Type
+		want bool
+	}{
+		{sp, sp, true},
+		{sp, vp, true}, // void* is the untyped allocation hole
+		{vp, sp, true},
+		{sp, cp, true},  // byte access
+		{sp, tp, false}, // distinct struct types are incompatible (P3)
+		{sp, IntType, false},
+		{IntType, sp, false},
+	}
+	for _, tc := range tests {
+		if got := Compatible(tc.a, tc.b); got != tc.want {
+			t.Errorf("Compatible(%s, %s) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// Property: struct fields never overlap and stay within the struct size.
+func TestQuickStructLayoutSound(t *testing.T) {
+	mk := func(choice uint8) Type {
+		switch choice % 5 {
+		case 0:
+			return CharType
+		case 1:
+			return ShortType
+		case 2:
+			return IntType
+		case 3:
+			return DoubleType
+		default:
+			return &Pointer{Elem: IntType}
+		}
+	}
+	f := func(choices []uint8) bool {
+		if len(choices) > 12 {
+			choices = choices[:12]
+		}
+		var fields []Field
+		for i, c := range choices {
+			fields = append(fields, Field{Name: string(rune('a' + i)), Type: mk(c)})
+		}
+		s := NewStruct("Q", false, fields)
+		var prevEnd int64
+		for _, f := range s.Fields {
+			if f.Offset < prevEnd {
+				return false // overlap
+			}
+			if f.Offset%alignOf(f.Type) != 0 {
+				return false // misaligned
+			}
+			prevEnd = f.Offset + f.Type.Size()
+		}
+		return prevEnd <= s.Size()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

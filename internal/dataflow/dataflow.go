@@ -1,0 +1,148 @@
+// Package dataflow provides the sparse propagation machinery shared by
+// SafeFlow's analyses: a def-use index over IR functions and a generic
+// monotone worklist solver for facts attached to SSA values. Because the
+// IR is in SSA form, sparse propagation along def-use edges gives the
+// flow-sensitive results the paper's phase 1 (shared-memory pointer
+// discovery) and phase 3 (unsafe-value flow) require, with merges at phis
+// implementing the paper's "shm/unsafe if so on some path" join.
+package dataflow
+
+import (
+	"safeflow/internal/ir"
+)
+
+// Users indexes, for every SSA value in a function, the instructions that
+// use it as an operand.
+type Users struct {
+	m map[ir.Value][]ir.Instr
+}
+
+// NewUsers builds the def-use index for one function.
+func NewUsers(f *ir.Function) *Users {
+	u := &Users{m: make(map[ir.Value][]ir.Instr)}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, op := range in.Operands() {
+				u.m[op] = append(u.m[op], in)
+			}
+		}
+	}
+	return u
+}
+
+// Of returns the instructions using v.
+func (u *Users) Of(v ir.Value) []ir.Instr { return u.m[v] }
+
+// Lattice describes the fact domain for the value solver.
+type Lattice[T any] interface {
+	// Join combines two facts (least upper bound).
+	Join(a, b T) T
+	// Equal reports whether two facts are the same lattice element.
+	Equal(a, b T) bool
+	// Bottom is the initial fact.
+	Bottom() T
+}
+
+// ValueSolver propagates facts over a function's SSA values to a fixpoint.
+type ValueSolver[T any] struct {
+	Fn      *ir.Function
+	Lattice Lattice[T]
+	// Transfer computes the fact of an instruction's result from the facts
+	// of its operands; get resolves the current fact of any value. The
+	// second result is false when the instruction produces no fact (e.g.
+	// stores, branches).
+	Transfer func(in ir.Instr, get func(ir.Value) T) (T, bool)
+	// ExtraUses declares non-operand dependencies: when the fact of a key
+	// value changes, the listed instructions are re-evaluated too. Used
+	// for control-dependence edges (a phi depends on the conditions of the
+	// branches that select its incoming edge, which are not operands).
+	ExtraUses map[ir.Value][]ir.Instr
+
+	facts map[ir.Value]T
+	users *Users
+}
+
+// Solve runs the propagation to a fixpoint, starting from the given seed
+// facts, and returns the final fact map.
+func (s *ValueSolver[T]) Solve(seeds map[ir.Value]T) map[ir.Value]T {
+	s.facts = make(map[ir.Value]T, len(seeds))
+	s.users = NewUsers(s.Fn)
+
+	get := func(v ir.Value) T {
+		if f, ok := s.facts[v]; ok {
+			return f
+		}
+		return s.Lattice.Bottom()
+	}
+
+	var work []ir.Instr
+	inWork := make(map[ir.Instr]bool)
+	push := func(in ir.Instr) {
+		if !inWork[in] {
+			inWork[in] = true
+			work = append(work, in)
+		}
+	}
+
+	for v, f := range seeds {
+		s.facts[v] = f
+		for _, use := range s.users.Of(v) {
+			push(use)
+		}
+		// Seeded instructions also re-derive their own fact.
+		if in, ok := v.(ir.Instr); ok {
+			push(in)
+		}
+	}
+	// Evaluate every instruction once so constant/derived facts appear even
+	// without seeds.
+	for _, b := range s.Fn.Blocks {
+		for _, in := range b.Instrs {
+			push(in)
+		}
+	}
+
+	for len(work) > 0 {
+		in := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[in] = false
+
+		newFact, produces := s.Transfer(in, get)
+		if !produces {
+			continue
+		}
+		v, isVal := in.(ir.Value)
+		if !isVal {
+			continue
+		}
+		old, had := s.facts[v]
+		merged := newFact
+		if had {
+			merged = s.Lattice.Join(old, newFact)
+		}
+		if had && s.Lattice.Equal(old, merged) {
+			continue
+		}
+		s.facts[v] = merged
+		for _, use := range s.users.Of(v) {
+			push(use)
+		}
+		for _, use := range s.ExtraUses[v] {
+			push(use)
+		}
+	}
+	return s.facts
+}
+
+// BoolLattice is the two-point lattice false ⊑ true used for may-facts
+// ("may point to shared memory", "may be unsafe").
+type BoolLattice struct{}
+
+// Join implements Lattice.
+func (BoolLattice) Join(a, b bool) bool { return a || b }
+
+// Equal implements Lattice.
+func (BoolLattice) Equal(a, b bool) bool { return a == b }
+
+// Bottom implements Lattice.
+func (BoolLattice) Bottom() bool { return false }

@@ -1,0 +1,190 @@
+package dataflow
+
+import (
+	"testing"
+
+	"safeflow/internal/ctypes"
+	"safeflow/internal/ir"
+)
+
+// buildChain creates: entry with v0 = 1+0; v1 = v0+0; ...; ret.
+func buildChain(n int) (*ir.Function, []*ir.BinOp) {
+	fn := &ir.Function{Name: "chain", Sig: &ctypes.Func{Result: ctypes.IntType}}
+	b := fn.NewBlock("entry")
+	var ops []*ir.BinOp
+	var prev ir.Value = &ir.ConstInt{Val: 1, Ty: ctypes.IntType}
+	for i := 0; i < n; i++ {
+		op := &ir.BinOp{Op: ir.Add, X: prev, Y: &ir.ConstInt{Ty: ctypes.IntType}, Ty: ctypes.IntType}
+		b.Append(op)
+		ops = append(ops, op)
+		prev = op
+	}
+	ir.Terminate(b, &ir.Ret{X: prev})
+	return fn, ops
+}
+
+func TestUsersIndex(t *testing.T) {
+	fn, ops := buildChain(3)
+	u := NewUsers(fn)
+	// ops[0] is used by ops[1].
+	users := u.Of(ops[0])
+	if len(users) != 1 || users[0] != ir.Instr(ops[1]) {
+		t.Errorf("users of op0 = %v", users)
+	}
+	// The last op is used by the return.
+	if len(u.Of(ops[2])) != 1 {
+		t.Errorf("users of last op = %v", u.Of(ops[2]))
+	}
+}
+
+func TestBoolPropagationChain(t *testing.T) {
+	fn, ops := buildChain(5)
+	solver := &ValueSolver[bool]{
+		Fn:      fn,
+		Lattice: BoolLattice{},
+		Transfer: func(in ir.Instr, get func(ir.Value) bool) (bool, bool) {
+			op, ok := in.(*ir.BinOp)
+			if !ok {
+				return false, false
+			}
+			return get(op.X) || get(op.Y), true
+		},
+	}
+	seeds := map[ir.Value]bool{ops[0]: true}
+	facts := solver.Solve(seeds)
+	for i, op := range ops {
+		if !facts[op] {
+			t.Errorf("op %d not reached by propagation", i)
+		}
+	}
+}
+
+func TestPropagationThroughPhi(t *testing.T) {
+	// entry branches to a and b; both feed a phi in merge.
+	fn := &ir.Function{Name: "phi", Sig: &ctypes.Func{Result: ctypes.IntType}}
+	entry := fn.NewBlock("entry")
+	a := fn.NewBlock("a")
+	bb := fn.NewBlock("b")
+	merge := fn.NewBlock("merge")
+
+	cond := &ir.Cmp{Op: ir.NE, X: &ir.ConstInt{Val: 1, Ty: ctypes.IntType}, Y: &ir.ConstInt{Ty: ctypes.IntType}}
+	entry.Append(cond)
+	ir.Terminate(entry, &ir.Br{Cond: cond, Then: a, Else: bb})
+
+	seeded := &ir.BinOp{Op: ir.Add, X: &ir.ConstInt{Ty: ctypes.IntType}, Y: &ir.ConstInt{Ty: ctypes.IntType}, Ty: ctypes.IntType}
+	a.Append(seeded)
+	ir.Terminate(a, &ir.Br{Then: merge})
+	clean := &ir.BinOp{Op: ir.Add, X: &ir.ConstInt{Ty: ctypes.IntType}, Y: &ir.ConstInt{Ty: ctypes.IntType}, Ty: ctypes.IntType}
+	bb.Append(clean)
+	ir.Terminate(bb, &ir.Br{Then: merge})
+
+	phi := &ir.Phi{Edges: []ir.PhiEdge{{Val: seeded, Pred: a}, {Val: clean, Pred: bb}}, Ty: ctypes.IntType}
+	phi.SetParentBlock(merge)
+	merge.Instrs = append([]ir.Instr{phi}, merge.Instrs...)
+	ir.Terminate(merge, &ir.Ret{X: phi})
+
+	solver := &ValueSolver[bool]{
+		Fn:      fn,
+		Lattice: BoolLattice{},
+		Transfer: func(in ir.Instr, get func(ir.Value) bool) (bool, bool) {
+			switch x := in.(type) {
+			case *ir.BinOp:
+				return get(x.X) || get(x.Y), true
+			case *ir.Phi:
+				out := false
+				for _, e := range x.Edges {
+					out = out || get(e.Val)
+				}
+				return out, true
+			default:
+				return false, false
+			}
+		},
+	}
+	facts := solver.Solve(map[ir.Value]bool{seeded: true})
+	if !facts[phi] {
+		t.Error("phi did not join the seeded fact ('unsafe on some path')")
+	}
+	if facts[clean] {
+		t.Error("clean op spuriously tainted")
+	}
+}
+
+func TestExtraUses(t *testing.T) {
+	// A value with no operand edge to the dependent instruction: only
+	// ExtraUses can trigger its re-evaluation.
+	fn := &ir.Function{Name: "x", Sig: &ctypes.Func{Result: ctypes.IntType}}
+	b := fn.NewBlock("entry")
+	src := &ir.BinOp{Op: ir.Add, X: &ir.ConstInt{Ty: ctypes.IntType}, Y: &ir.ConstInt{Ty: ctypes.IntType}, Ty: ctypes.IntType}
+	b.Append(src)
+	dep := &ir.BinOp{Op: ir.Add, X: &ir.ConstInt{Ty: ctypes.IntType}, Y: &ir.ConstInt{Ty: ctypes.IntType}, Ty: ctypes.IntType}
+	b.Append(dep)
+	ir.Terminate(b, &ir.Ret{X: dep})
+
+	evaluations := 0
+	solver := &ValueSolver[bool]{
+		Fn:      fn,
+		Lattice: BoolLattice{},
+		Transfer: func(in ir.Instr, get func(ir.Value) bool) (bool, bool) {
+			if in == ir.Instr(dep) {
+				evaluations++
+				return get(src), true // non-operand dependency
+			}
+			if in == ir.Instr(src) {
+				return true, true
+			}
+			return false, false
+		},
+		ExtraUses: map[ir.Value][]ir.Instr{src: {dep}},
+	}
+	facts := solver.Solve(nil)
+	if !facts[dep] {
+		t.Error("extra-use dependency not propagated")
+	}
+}
+
+func TestMonotoneTermination(t *testing.T) {
+	// A loop of mutually-dependent values must terminate (finite lattice).
+	fn := &ir.Function{Name: "loop", Sig: &ctypes.Func{Result: ctypes.IntType}}
+	entry := fn.NewBlock("entry")
+	header := fn.NewBlock("header")
+	ir.Terminate(entry, &ir.Br{Then: header})
+
+	phi := &ir.Phi{Ty: ctypes.IntType}
+	phi.SetParentBlock(header)
+	header.Instrs = append(header.Instrs, phi)
+	inc := &ir.BinOp{Op: ir.Add, X: phi, Y: &ir.ConstInt{Val: 1, Ty: ctypes.IntType}, Ty: ctypes.IntType}
+	header.Append(inc)
+	phi.Edges = []ir.PhiEdge{
+		{Val: &ir.ConstInt{Ty: ctypes.IntType}, Pred: entry},
+		{Val: inc, Pred: header},
+	}
+	cond := &ir.Cmp{Op: ir.LT, X: inc, Y: &ir.ConstInt{Val: 10, Ty: ctypes.IntType}}
+	header.Append(cond)
+	exit := fn.NewBlock("exit")
+	ir.Terminate(header, &ir.Br{Cond: cond, Then: header, Else: exit})
+	ir.Terminate(exit, &ir.Ret{X: inc})
+
+	solver := &ValueSolver[bool]{
+		Fn:      fn,
+		Lattice: BoolLattice{},
+		Transfer: func(in ir.Instr, get func(ir.Value) bool) (bool, bool) {
+			switch x := in.(type) {
+			case *ir.BinOp:
+				return get(x.X) || get(x.Y), true
+			case *ir.Phi:
+				out := false
+				for _, e := range x.Edges {
+					out = out || get(e.Val)
+				}
+				return out, true
+			default:
+				return false, false
+			}
+		},
+	}
+	facts := solver.Solve(map[ir.Value]bool{phi: true})
+	if !facts[inc] {
+		t.Error("loop-carried fact lost")
+	}
+}

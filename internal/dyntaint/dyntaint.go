@@ -1,0 +1,160 @@
+// Package dyntaint implements the run-time alternative to SafeFlow that
+// the paper's introduction argues against: tracking the core/non-core
+// provenance of every value during execution and trapping unmonitored
+// uses at the moment they happen. It exists to quantify the argument —
+// the ablation benchmarks compare a control loop built on tracked values
+// against the plain loop that static analysis makes safe for free.
+package dyntaint
+
+import (
+	"fmt"
+
+	"safeflow/internal/plant"
+)
+
+// Label is a provenance bitset.
+type Label uint8
+
+// Provenance labels.
+const (
+	// LabelNonCore marks values influenced by non-core components.
+	LabelNonCore Label = 1 << iota
+	// LabelUnmonitored marks non-core influence that has not passed a
+	// monitor.
+	LabelUnmonitored
+)
+
+// Tainted reports whether the label carries unmonitored non-core
+// provenance.
+func (l Label) Tainted() bool { return l&LabelUnmonitored != 0 }
+
+// Value is a float64 with provenance.
+type Value struct {
+	V float64
+	L Label
+}
+
+// Core wraps a core-produced float.
+func Core(v float64) Value { return Value{V: v} }
+
+// NonCore wraps a value read from a non-core component (unmonitored until
+// a monitor clears it).
+func NonCore(v float64) Value {
+	return Value{V: v, L: LabelNonCore | LabelUnmonitored}
+}
+
+// Monitored marks the value as having passed a run-time monitor: the
+// non-core provenance remains but is no longer unmonitored.
+func (a Value) Monitored() Value {
+	a.L &^= LabelUnmonitored
+	return a
+}
+
+// Add returns a+b with joined provenance.
+func Add(a, b Value) Value { return Value{V: a.V + b.V, L: a.L | b.L} }
+
+// Sub returns a-b with joined provenance.
+func Sub(a, b Value) Value { return Value{V: a.V - b.V, L: a.L | b.L} }
+
+// Mul returns a*b with joined provenance.
+func Mul(a, b Value) Value { return Value{V: a.V * b.V, L: a.L | b.L} }
+
+// Scale returns k*a preserving provenance.
+func Scale(k float64, a Value) Value { return Value{V: k * a.V, L: a.L} }
+
+// ErrUnmonitored is reported when an unmonitored non-core value reaches a
+// critical sink.
+type ErrUnmonitored struct {
+	Sink string
+}
+
+// Error implements the error interface.
+func (e *ErrUnmonitored) Error() string {
+	return fmt.Sprintf("dyntaint: unmonitored non-core value reached critical sink %q", e.Sink)
+}
+
+// CheckCritical enforces the safe-value-flow property at a critical sink
+// (the run-time analogue of assert(safe(x))).
+func CheckCritical(sink string, v Value) error {
+	if v.L.Tainted() {
+		return &ErrUnmonitored{Sink: sink}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Tracked control loop (for the ablation benchmark)
+
+// TrackedLoop is a Simplex-style decision step implemented over tracked
+// values: every arithmetic op pays the provenance bookkeeping.
+type TrackedLoop struct {
+	KSafe []float64
+	P     plant.Mat
+	Ad    plant.Mat
+	Bd    plant.Mat
+	C     float64
+	UMax  float64
+}
+
+// Step computes one control period: safety output from core state,
+// monitor check on the non-core proposal, critical-sink check on the
+// dispatched output. Returns the output value.
+func (l *TrackedLoop) Step(x []float64, noncoreU float64) (float64, error) {
+	// Safety output: core-only arithmetic, tracked.
+	safe := Core(0)
+	for i, k := range l.KSafe {
+		safe = Sub(safe, Scale(k, Core(x[i])))
+	}
+
+	// Monitor the non-core proposal.
+	proposal := NonCore(noncoreU)
+	u := safe
+	if l.recoverable(x, proposal.V) {
+		u = proposal.Monitored()
+	}
+
+	if err := CheckCritical("actuator", u); err != nil {
+		return 0, err
+	}
+	return u.V, nil
+}
+
+func (l *TrackedLoop) recoverable(x []float64, u float64) bool {
+	if u > l.UMax || u < -l.UMax || u != u {
+		return false
+	}
+	xn := plant.VecAdd(l.Ad.MulVec(x), l.Bd.MulVec([]float64{u}))
+	return l.P.Quad(xn) <= l.C
+}
+
+// PlainLoop is the identical decision step over raw float64s — what the
+// statically-verified system runs (zero provenance overhead).
+type PlainLoop struct {
+	KSafe []float64
+	P     plant.Mat
+	Ad    plant.Mat
+	Bd    plant.Mat
+	C     float64
+	UMax  float64
+}
+
+// Step computes one control period without provenance tracking.
+func (l *PlainLoop) Step(x []float64, noncoreU float64) float64 {
+	safe := 0.0
+	for i, k := range l.KSafe {
+		safe -= k * x[i]
+	}
+	u := safe
+	if l.recoverable(x, noncoreU) {
+		u = noncoreU
+	}
+	return u
+}
+
+func (l *PlainLoop) recoverable(x []float64, u float64) bool {
+	if u > l.UMax || u < -l.UMax || u != u {
+		return false
+	}
+	xn := plant.VecAdd(l.Ad.MulVec(x), l.Bd.MulVec([]float64{u}))
+	return l.P.Quad(xn) <= l.C
+}

@@ -1,0 +1,123 @@
+package dyntaint
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"safeflow/internal/plant"
+)
+
+func TestProvenancePropagation(t *testing.T) {
+	a := Core(1.0)
+	b := NonCore(2.0)
+	sum := Add(a, b)
+	if !sum.L.Tainted() {
+		t.Error("core+noncore must be tainted")
+	}
+	if sum.V != 3.0 {
+		t.Errorf("value = %v", sum.V)
+	}
+	prod := Mul(Core(2), Core(3))
+	if prod.L.Tainted() || prod.V != 6 {
+		t.Errorf("core*core = %+v", prod)
+	}
+	d := Sub(Scale(2, b), a)
+	if !d.L.Tainted() || d.V != 3 {
+		t.Errorf("scale/sub = %+v", d)
+	}
+}
+
+func TestMonitoredClearsUnmonitoredOnly(t *testing.T) {
+	v := NonCore(0.5).Monitored()
+	if v.L.Tainted() {
+		t.Error("monitored value still tainted")
+	}
+	if v.L&LabelNonCore == 0 {
+		t.Error("non-core provenance must survive monitoring")
+	}
+}
+
+func TestCheckCritical(t *testing.T) {
+	if err := CheckCritical("actuator", Core(1)); err != nil {
+		t.Errorf("core value rejected: %v", err)
+	}
+	err := CheckCritical("actuator", NonCore(1))
+	if err == nil {
+		t.Fatal("unmonitored value accepted at critical sink")
+	}
+	if !strings.Contains(err.Error(), "actuator") {
+		t.Errorf("error = %v", err)
+	}
+	if err := CheckCritical("actuator", NonCore(1).Monitored()); err != nil {
+		t.Errorf("monitored value rejected: %v", err)
+	}
+}
+
+func loops(t *testing.T) (*PlainLoop, *TrackedLoop, []float64) {
+	t.Helper()
+	p := plant.DefaultPendulum()
+	A, B := p.Linearize()
+	ad, bd := plant.Discretize(A, B, 0.01)
+	k, err := plant.DLQR(ad, bd, plant.Eye(4), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kMat := plant.NewMat(1, 4)
+	for j, v := range k {
+		kMat.Set(0, j, v)
+	}
+	pl, err := plant.DLyap(ad.Sub(bd.Mul(kMat)), plant.Eye(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.01, 0, 0.05, 0}
+	c := pl.Quad(x) * 4
+	return &PlainLoop{KSafe: k, P: pl, Ad: ad, Bd: bd, C: c, UMax: 20},
+		&TrackedLoop{KSafe: k, P: pl, Ad: ad, Bd: bd, C: c, UMax: 20},
+		x
+}
+
+func TestTrackedMatchesPlain(t *testing.T) {
+	plain, tracked, x := loops(t)
+	for _, proposal := range []float64{0, 0.3, -0.3, 5, -5, 100, math.NaN()} {
+		want := plain.Step(x, proposal)
+		got, err := tracked.Step(x, proposal)
+		if err != nil {
+			t.Fatalf("tracked step errored on %v: %v", proposal, err)
+		}
+		if got != want {
+			t.Errorf("proposal %v: tracked %v != plain %v", proposal, got, want)
+		}
+	}
+}
+
+func TestTrackedRejectsUnmonitoredDispatch(t *testing.T) {
+	// Corrupt the monitor so the proposal reaches the sink unmonitored:
+	// simulate by constructing the value directly.
+	u := NonCore(0.3)
+	if err := CheckCritical("actuator", u); err == nil {
+		t.Error("run-time tracking failed to trap the unmonitored dispatch")
+	}
+}
+
+func TestMonitorRejectsOutOfEnvelope(t *testing.T) {
+	plain, tracked, x := loops(t)
+	// A huge proposal must fall back to the safety output in both loops.
+	safeU := plain.Step(x, 1e9)
+	trackedU, err := tracked.Step(x, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trackedU != safeU {
+		t.Errorf("fallback mismatch: %v vs %v", trackedU, safeU)
+	}
+	// And the fallback is the pure safety-controller output.
+	want := 0.0
+	for i, k := range plain.KSafe {
+		want -= k * x[i]
+	}
+	if math.Abs(safeU-want) > 1e-12 {
+		t.Errorf("fallback = %v, want safety output %v", safeU, want)
+	}
+}

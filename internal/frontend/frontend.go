@@ -1,0 +1,77 @@
+// Package frontend chains SafeFlow's C front end: preprocess, lex, parse,
+// type-check, lower to IR, and promote to SSA. It is the single entry
+// point used by the analysis pipeline, the CLI, and tests.
+package frontend
+
+import (
+	"fmt"
+	"sort"
+
+	"safeflow/internal/cast"
+	"safeflow/internal/clex"
+	"safeflow/internal/cparse"
+	"safeflow/internal/cpp"
+	"safeflow/internal/csema"
+	"safeflow/internal/irgen"
+)
+
+// Options configure compilation.
+type Options struct {
+	// Defines predefines object-like macros (as with -D).
+	Defines map[string]string
+	// SkipPromote leaves the IR in pre-mem2reg form (used by tests that
+	// inspect the unpromoted program).
+	SkipPromote bool
+}
+
+// Compile builds the translation units named by cFiles (each preprocessed
+// independently against sources) into one typed, SSA-promoted module.
+func Compile(name string, sources cpp.Source, cFiles []string, opts Options) (*irgen.Result, error) {
+	var files []*cast.File
+	for _, cf := range cFiles {
+		pp := cpp.New(sources)
+		keys := make([]string, 0, len(opts.Defines))
+		for k := range opts.Defines {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			pp.Define(k, opts.Defines[k])
+		}
+		text, err := pp.Expand(cf)
+		if err != nil {
+			return nil, fmt.Errorf("preprocess %s: %w", cf, err)
+		}
+		lx := clex.New(cf, text)
+		toks := lx.All()
+		if errs := lx.Errors(); len(errs) > 0 {
+			return nil, fmt.Errorf("lex %s: %w", cf, errs[0])
+		}
+		p := cparse.New(cf, toks)
+		f, err := p.ParseFile()
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", cf, err)
+		}
+		files = append(files, f)
+	}
+
+	prog, err := csema.Analyze(files)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck: %w", err)
+	}
+
+	res := irgen.Build(name, prog)
+	if len(res.Errors) > 0 {
+		return res, fmt.Errorf("lower: %w", res.Errors[0])
+	}
+	if !opts.SkipPromote {
+		irgen.Promote(res.Module)
+	}
+	return res, nil
+}
+
+// CompileString is a convenience for single-buffer programs (tests,
+// quickstart examples).
+func CompileString(name, src string, opts Options) (*irgen.Result, error) {
+	return Compile(name, cpp.MapSource{"main.c": src}, []string{"main.c"}, opts)
+}

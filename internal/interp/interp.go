@@ -1,0 +1,564 @@
+// Package interp executes SafeFlow IR directly: a reference interpreter
+// for the C subset that runs the corpus systems' core components against
+// a simulated world (sensors, actuator, shared memory). It closes the
+// loop on the paper's claims dynamically — the same sources SafeFlow
+// analyzes can be run, the non-core side of shared memory can be driven
+// by the harness, and the seeded defects (a rigged feedback value, a
+// poisoned pid) can be made to actually fire.
+package interp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"safeflow/internal/ctypes"
+	"safeflow/internal/ir"
+)
+
+// World supplies the environment the interpreted core component runs in.
+type World interface {
+	// ReadSensor returns the value of a hardware sensor channel.
+	ReadSensor(ch int) float64
+	// WriteDA applies an actuator output on a channel.
+	WriteDA(ch int, v float64)
+	// Wait is called for each wait(seconds) — the period boundary; the
+	// harness typically advances its plant model here.
+	Wait(seconds float64)
+}
+
+// LockObserver is an optional World extension: the interpreter calls it
+// at every Lock/Unlock, the points where another process could interleave
+// — letting a harness play a racing non-core component deterministically.
+type LockObserver interface {
+	OnLock(which int)
+	OnUnlock(which int)
+}
+
+// KillRecord is one observed kill() system call.
+type KillRecord struct {
+	Pid int64
+	Sig int64
+}
+
+// Limits bound an execution.
+const (
+	defaultMaxSteps = 50_000_000
+	corePid         = 4242
+)
+
+// exitError unwinds the interpreter on exit()/abort().
+type exitError struct{ code int64 }
+
+func (e exitError) Error() string { return fmt.Sprintf("exit(%d)", e.code) }
+
+// trapError is a run-time fault (null deref, OOB, missing function).
+type trapError struct{ msg string }
+
+func (e trapError) Error() string { return "trap: " + e.msg }
+
+// ---------------------------------------------------------------------------
+// Memory model
+
+// memObj is one allocation: globals, stack slots, shared-memory segments.
+// Scalar bytes live in data; pointers stored to memory live in ptrs,
+// keyed by byte offset (the subset never aliases pointer bytes as ints —
+// restriction P3 — so the split representation is faithful).
+type memObj struct {
+	name string
+	data []byte
+	ptrs map[int64]pointer
+}
+
+type pointer struct {
+	obj *memObj
+	off int64
+}
+
+func (p pointer) isNull() bool { return p.obj == nil }
+
+// value is one dynamic value.
+type value struct {
+	f   float64
+	i   int64
+	p   pointer
+	str string
+	k   valKind
+}
+
+type valKind uint8
+
+const (
+	vInt valKind = iota + 1
+	vFloat
+	vPtr
+	vStr
+)
+
+func intVal(i int64) value     { return value{k: vInt, i: i} }
+func floatVal(f float64) value { return value{k: vFloat, f: f} }
+func ptrVal(p pointer) value   { return value{k: vPtr, p: p} }
+func strVal(s string) value    { return value{k: vStr, str: s} }
+func (v value) asFloat() float64 {
+	if v.k == vFloat {
+		return v.f
+	}
+	return float64(v.i)
+}
+func (v value) asInt() int64 {
+	if v.k == vFloat {
+		return int64(v.f)
+	}
+	return v.i
+}
+func (v value) truthy() bool {
+	switch v.k {
+	case vFloat:
+		return v.f != 0
+	case vPtr:
+		return !v.p.isNull()
+	default:
+		return v.i != 0
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Machine
+
+// Machine interprets one module.
+type Machine struct {
+	mod      *ir.Module
+	world    World
+	globals  map[*ir.Global]*memObj
+	segments map[int64]*memObj // shm key -> segment
+	segSizes map[int64]int64   // shmget declarations
+	Output   []string          // captured printf/fprintf lines
+	Kills    []KillRecord
+	MaxSteps int64
+	steps    int64
+}
+
+// New prepares a machine for the module with the given world.
+func New(mod *ir.Module, world World) *Machine {
+	m := &Machine{
+		mod:      mod,
+		world:    world,
+		globals:  make(map[*ir.Global]*memObj),
+		segments: make(map[int64]*memObj),
+		segSizes: make(map[int64]int64),
+		MaxSteps: defaultMaxSteps,
+	}
+	for _, g := range mod.Globals {
+		size := g.Elem.Size()
+		if size < 1 {
+			size = 8
+		}
+		m.globals[g] = &memObj{name: "@" + g.Name, data: make([]byte, size), ptrs: map[int64]pointer{}}
+	}
+	return m
+}
+
+// Segment exposes the raw bytes of an attached shared-memory segment so a
+// harness can play the non-core component (writing proposals, rigging
+// values). It returns nil before the program calls shmat for the key.
+func (m *Machine) Segment(key int64) []byte {
+	if seg, ok := m.segments[key]; ok {
+		return seg.data
+	}
+	return nil
+}
+
+// RunMain executes main() and returns its exit code.
+func (m *Machine) RunMain() (int64, error) {
+	mainFn := m.mod.FuncByName("main")
+	if mainFn == nil || mainFn.IsDecl {
+		return 0, fmt.Errorf("interp: no main function")
+	}
+	ret, err := m.call(mainFn, nil)
+	if err != nil {
+		if ee, ok := err.(exitError); ok {
+			return ee.code, nil
+		}
+		return 0, err
+	}
+	return ret.asInt(), nil
+}
+
+// call executes one function.
+func (m *Machine) call(f *ir.Function, args []value) (value, error) {
+	if f.IsDecl {
+		return m.builtin(f, args)
+	}
+	env := make(map[ir.Value]value, 64)
+	for i, p := range f.Params {
+		if i < len(args) {
+			env[p] = args[i]
+		}
+	}
+	block := f.Entry()
+	var prev *ir.Block
+	for {
+		// Phis first, evaluated simultaneously against the incoming edge.
+		var phiVals []value
+		var phis []*ir.Phi
+		for _, in := range block.Instrs {
+			phi, ok := in.(*ir.Phi)
+			if !ok {
+				break
+			}
+			got := false
+			for _, e := range phi.Edges {
+				if e.Pred == prev {
+					phiVals = append(phiVals, m.eval(env, e.Val))
+					got = true
+					break
+				}
+			}
+			if !got {
+				phiVals = append(phiVals, value{k: vInt})
+			}
+			phis = append(phis, phi)
+		}
+		for i, phi := range phis {
+			env[phi] = phiVals[i]
+		}
+
+		branched := false
+		for _, in := range block.Instrs[len(phis):] {
+			m.steps++
+			if m.steps > m.MaxSteps {
+				return value{}, trapError{msg: "step budget exhausted"}
+			}
+			switch x := in.(type) {
+			case *ir.Alloca:
+				size := x.Elem.Size()
+				if size < 1 {
+					size = 8
+				}
+				env[x] = ptrVal(pointer{obj: &memObj{
+					name: "%" + x.VarName, data: make([]byte, size), ptrs: map[int64]pointer{},
+				}})
+			case *ir.Load:
+				v, err := m.load(m.eval(env, x.Addr), x.Type())
+				if err != nil {
+					return value{}, err
+				}
+				env[x] = v
+			case *ir.Store:
+				if err := m.store(m.eval(env, x.Addr), m.eval(env, x.Val), x.Val.Type()); err != nil {
+					return value{}, err
+				}
+			case *ir.GEP:
+				v, err := m.gep(env, x)
+				if err != nil {
+					return value{}, err
+				}
+				env[x] = v
+			case *ir.BinOp:
+				env[x] = m.binop(x, m.eval(env, x.X), m.eval(env, x.Y))
+			case *ir.Cmp:
+				env[x] = m.cmp(x, m.eval(env, x.X), m.eval(env, x.Y))
+			case *ir.Cast:
+				env[x] = m.castVal(x, m.eval(env, x.X))
+			case *ir.Call:
+				callArgs := make([]value, len(x.Args))
+				for i, a := range x.Args {
+					callArgs[i] = m.eval(env, a)
+				}
+				v, err := m.call(x.Callee, callArgs)
+				if err != nil {
+					return value{}, err
+				}
+				env[x] = v
+			case *ir.Ret:
+				if x.X == nil {
+					return value{k: vInt}, nil
+				}
+				return m.eval(env, x.X), nil
+			case *ir.Br:
+				prev = block
+				if x.Cond == nil || m.eval(env, x.Cond).truthy() {
+					block = x.Then
+				} else {
+					block = x.Else
+				}
+				branched = true
+			case *ir.Unreachable:
+				return value{}, trapError{msg: "reached unreachable in " + f.Name}
+			default:
+				return value{}, trapError{msg: fmt.Sprintf("unhandled instruction %T", in)}
+			}
+			if branched {
+				break // continue the outer loop with the new block
+			}
+		}
+		if !branched {
+			return value{}, trapError{msg: "block " + block.Label + " fell through without a terminator"}
+		}
+	}
+}
+
+func (m *Machine) eval(env map[ir.Value]value, v ir.Value) value {
+	switch x := v.(type) {
+	case *ir.ConstInt:
+		if ctypes.IsPointer(x.Ty) && x.Val == 0 {
+			return ptrVal(pointer{})
+		}
+		return intVal(x.Val)
+	case *ir.ConstFloat:
+		return floatVal(x.Val)
+	case *ir.ConstStr:
+		return strVal(x.Val)
+	case *ir.Global:
+		return ptrVal(pointer{obj: m.globals[x]})
+	default:
+		return env[v]
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Memory access
+
+func (m *Machine) load(addr value, t ctypes.Type) (value, error) {
+	if addr.k != vPtr || addr.p.isNull() {
+		return value{}, trapError{msg: "load through null or non-pointer"}
+	}
+	obj, off := addr.p.obj, addr.p.off
+	size := t.Size()
+	if off < 0 || off+size > int64(len(obj.data)) {
+		return value{}, trapError{msg: fmt.Sprintf("load [%d,%d) outside %s (%d bytes)", off, off+size, obj.name, len(obj.data))}
+	}
+	switch tt := t.(type) {
+	case *ctypes.Pointer:
+		return ptrVal(obj.ptrs[off]), nil
+	case *ctypes.Basic:
+		if tt.IsFloat() {
+			if size == 4 {
+				bits := binary.LittleEndian.Uint32(obj.data[off:])
+				return floatVal(float64(math.Float32frombits(bits))), nil
+			}
+			bits := binary.LittleEndian.Uint64(obj.data[off:])
+			return floatVal(math.Float64frombits(bits)), nil
+		}
+		return intVal(readInt(obj.data[off:off+size], tt.IsSigned())), nil
+	default:
+		// Aggregate load: return the address itself (the subset never
+		// copies whole aggregates by value in practice).
+		return addr, nil
+	}
+}
+
+func (m *Machine) store(addr, v value, t ctypes.Type) error {
+	if addr.k != vPtr || addr.p.isNull() {
+		return trapError{msg: "store through null or non-pointer"}
+	}
+	obj, off := addr.p.obj, addr.p.off
+	size := t.Size()
+	if off < 0 || off+size > int64(len(obj.data)) {
+		return trapError{msg: fmt.Sprintf("store [%d,%d) outside %s (%d bytes)", off, off+size, obj.name, len(obj.data))}
+	}
+	switch tt := t.(type) {
+	case *ctypes.Pointer:
+		obj.ptrs[off] = v.p
+		return nil
+	case *ctypes.Basic:
+		if tt.IsFloat() {
+			if size == 4 {
+				binary.LittleEndian.PutUint32(obj.data[off:], math.Float32bits(float32(v.asFloat())))
+			} else {
+				binary.LittleEndian.PutUint64(obj.data[off:], math.Float64bits(v.asFloat()))
+			}
+			return nil
+		}
+		writeInt(obj.data[off:off+size], v.asInt())
+		return nil
+	default:
+		return nil // aggregate store: no-op (see load)
+	}
+}
+
+func readInt(b []byte, signed bool) int64 {
+	var u uint64
+	for i := len(b) - 1; i >= 0; i-- {
+		u = u<<8 | uint64(b[i])
+	}
+	if signed && len(b) < 8 {
+		shift := uint(64 - 8*len(b))
+		return int64(u<<shift) >> shift
+	}
+	return int64(u)
+}
+
+func writeInt(b []byte, v int64) {
+	u := uint64(v)
+	for i := range b {
+		b[i] = byte(u)
+		u >>= 8
+	}
+}
+
+func (m *Machine) gep(env map[ir.Value]value, g *ir.GEP) (value, error) {
+	base := m.eval(env, g.Base)
+	if base.k != vPtr {
+		return value{}, trapError{msg: "gep on non-pointer"}
+	}
+	cur := g.Base.Type()
+	p := base.p
+	for _, ix := range g.Indices {
+		pt, ok := cur.(*ctypes.Pointer)
+		if !ok {
+			return value{}, trapError{msg: "gep through non-pointer type"}
+		}
+		if ix.Index == nil {
+			st, ok := pt.Elem.(*ctypes.Struct)
+			if !ok || ix.Field >= len(st.Fields) {
+				return value{}, trapError{msg: "gep field into non-struct"}
+			}
+			p.off += st.Fields[ix.Field].Offset
+			cur = &ctypes.Pointer{Elem: st.Fields[ix.Field].Type}
+			continue
+		}
+		idx := m.eval(env, ix.Index).asInt()
+		if arr, isArr := pt.Elem.(*ctypes.Array); isArr {
+			p.off += idx * arr.Elem.Size()
+			cur = &ctypes.Pointer{Elem: arr.Elem}
+			continue
+		}
+		p.off += idx * pt.Elem.Size()
+	}
+	return ptrVal(p), nil
+}
+
+// ---------------------------------------------------------------------------
+// Operators
+
+func (m *Machine) binop(x *ir.BinOp, a, b value) value {
+	if ctypes.IsFloat(x.Ty) || a.k == vFloat || b.k == vFloat {
+		af, bf := a.asFloat(), b.asFloat()
+		switch x.Op {
+		case ir.Add:
+			return floatVal(af + bf)
+		case ir.Sub:
+			return floatVal(af - bf)
+		case ir.Mul:
+			return floatVal(af * bf)
+		case ir.Div:
+			return floatVal(af / bf)
+		case ir.Rem:
+			return floatVal(math.Mod(af, bf))
+		}
+	}
+	ai, bi := a.asInt(), b.asInt()
+	switch x.Op {
+	case ir.Add:
+		return intVal(ai + bi)
+	case ir.Sub:
+		return intVal(ai - bi)
+	case ir.Mul:
+		return intVal(ai * bi)
+	case ir.Div:
+		if bi == 0 {
+			return intVal(0)
+		}
+		return intVal(ai / bi)
+	case ir.Rem:
+		if bi == 0 {
+			return intVal(0)
+		}
+		return intVal(ai % bi)
+	case ir.And:
+		return intVal(ai & bi)
+	case ir.Or:
+		return intVal(ai | bi)
+	case ir.Xor:
+		return intVal(ai ^ bi)
+	case ir.Shl:
+		return intVal(ai << uint(bi&63))
+	case ir.Shr:
+		return intVal(ai >> uint(bi&63))
+	}
+	return intVal(0)
+}
+
+func (m *Machine) cmp(x *ir.Cmp, a, b value) value {
+	var r bool
+	if a.k == vPtr || b.k == vPtr {
+		eq := a.p == b.p
+		switch x.Op {
+		case ir.EQ:
+			r = eq
+		case ir.NE:
+			r = !eq
+		}
+	} else if a.k == vFloat || b.k == vFloat {
+		af, bf := a.asFloat(), b.asFloat()
+		switch x.Op {
+		case ir.EQ:
+			r = af == bf
+		case ir.NE:
+			r = af != bf
+		case ir.LT:
+			r = af < bf
+		case ir.LE:
+			r = af <= bf
+		case ir.GT:
+			r = af > bf
+		case ir.GE:
+			r = af >= bf
+		}
+	} else {
+		ai, bi := a.asInt(), b.asInt()
+		switch x.Op {
+		case ir.EQ:
+			r = ai == bi
+		case ir.NE:
+			r = ai != bi
+		case ir.LT:
+			r = ai < bi
+		case ir.LE:
+			r = ai <= bi
+		case ir.GT:
+			r = ai > bi
+		case ir.GE:
+			r = ai >= bi
+		}
+	}
+	if r {
+		return intVal(1)
+	}
+	return intVal(0)
+}
+
+func (m *Machine) castVal(x *ir.Cast, v value) value {
+	switch x.Kind {
+	case ir.Bitcast:
+		return v
+	case ir.IntToPtr:
+		if v.asInt() == 0 {
+			return ptrVal(pointer{})
+		}
+		return v
+	case ir.PtrToInt:
+		if v.k == vPtr && v.p.isNull() {
+			return intVal(0)
+		}
+		return intVal(1) // opaque non-null token (P3 forbids meaningful uses)
+	case ir.FpToInt:
+		return intVal(int64(v.asFloat()))
+	case ir.IntToFp, ir.FpCast:
+		return floatVal(v.asFloat())
+	case ir.Trunc, ir.Ext:
+		size := x.To.Size()
+		if size >= 8 {
+			return intVal(v.asInt())
+		}
+		b := make([]byte, size)
+		writeInt(b, v.asInt())
+		signed := true
+		if bt, ok := x.To.(*ctypes.Basic); ok {
+			signed = bt.IsSigned()
+		}
+		return intVal(readInt(b, signed))
+	}
+	return v
+}

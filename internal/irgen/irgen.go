@@ -1,0 +1,1283 @@
+// Package irgen lowers the type-checked C program (csema.Program) into
+// SafeFlow IR (package ir), mirroring the paper's use of LLVM bytecode:
+// every local gets an alloca, expressions become loads/stores/GEPs, and a
+// follow-up mem2reg pass (Promote, in this package) rewrites scalar
+// allocas into SSA registers.
+//
+// SafeFlow annotations are lowered the way the paper describes its
+// pre-processing pass: assert(safe(x)) becomes a call to the external
+// dummy function __safeflow_assert_safe with the current value of x;
+// assume facts (core/shmvar/noncore/shminit) are function-level and are
+// attached to the ir.Function as *annot.FuncFacts.
+package irgen
+
+import (
+	"fmt"
+
+	"safeflow/internal/annot"
+	"safeflow/internal/cast"
+	"safeflow/internal/csema"
+	"safeflow/internal/ctoken"
+	"safeflow/internal/ctypes"
+	"safeflow/internal/ir"
+)
+
+// AssertIntrinsic is the dummy function assert(safe(x)) lowers to.
+const AssertIntrinsic = "__safeflow_assert_safe"
+
+// Result is the outcome of lowering.
+type Result struct {
+	Module *ir.Module
+	Prog   *csema.Program
+	// SemaFunc maps IR functions back to their semantic declarations.
+	SemaFunc map[*ir.Function]*csema.Function
+	// AssertVars maps each assert intrinsic call to the annotated variable
+	// name (for diagnostics).
+	AssertVars map[*ir.Call]string
+	// Errors holds annotation parsing errors (the program itself must have
+	// type-checked before lowering).
+	Errors []error
+}
+
+// Build lowers prog into a new module.
+func Build(name string, prog *csema.Program) *Result {
+	g := &generator{
+		res: &Result{
+			Module:     ir.NewModule(name),
+			Prog:       prog,
+			SemaFunc:   make(map[*ir.Function]*csema.Function),
+			AssertVars: make(map[*ir.Call]string),
+		},
+		prog:    prog,
+		allocas: make(map[csema.Object]ir.Value),
+	}
+	g.run()
+	return g.res
+}
+
+type generator struct {
+	res  *Result
+	prog *csema.Program
+
+	fn       *ir.Function
+	cur      *ir.Block
+	allocas  map[csema.Object]ir.Value // LocalVar/ParamVar -> alloca
+	scopes   []map[string]ir.Value     // name -> address, for annotation lookup
+	breaks   []*ir.Block
+	conts    []*ir.Block
+	labels   map[string]*ir.Block
+	facts    *annot.FuncFacts
+	declObjs map[*cast.VarDecl]csema.Object
+}
+
+func (g *generator) errf(pos ctoken.Pos, format string, args ...any) {
+	g.res.Errors = append(g.res.Errors, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+// SizeofType implements annot.TypeSizer against the program's types.
+func (g *generator) SizeofType(name string) (int64, bool) {
+	switch name {
+	case "void":
+		return 0, false
+	case "char", "unsigned char":
+		return 1, true
+	case "short", "unsigned short":
+		return 2, true
+	case "int", "unsigned int", "unsigned", "float":
+		return 4, true
+	case "long", "unsigned long", "double":
+		return 8, true
+	}
+	if t, ok := g.prog.Typedefs[name]; ok {
+		return t.Size(), true
+	}
+	tag := name
+	if len(name) > 7 && name[:7] == "struct " {
+		tag = name[7:]
+	}
+	if s, ok := g.prog.Structs[tag]; ok {
+		return s.Size(), true
+	}
+	return 0, false
+}
+
+func (g *generator) run() {
+	m := g.res.Module
+
+	// Globals.
+	for _, gv := range g.prog.Globals {
+		irg := &ir.Global{
+			Name:    gv.Name,
+			Elem:    gv.Type,
+			HasInit: gv.Decl != nil && gv.Decl.Init != nil,
+			Pos:     gv.Decl.NamePos,
+		}
+		m.AddGlobal(irg)
+	}
+
+	// Function shells (declarations and definitions) so calls resolve.
+	for _, fn := range g.prog.Funcs {
+		irf := &ir.Function{
+			Name:   fn.Name,
+			Sig:    fn.Type,
+			IsDecl: !fn.IsDefined,
+		}
+		if fn.Decl != nil {
+			irf.Pos = fn.Decl.NamePos
+		}
+		for i, p := range fn.Params {
+			irf.Params = append(irf.Params, &ir.Param{Name: paramName(p.Name, i), Ty: p.Type, Index: i, Fn: irf})
+		}
+		m.AddFunc(irf)
+		g.res.SemaFunc[irf] = fn
+	}
+	// The assert intrinsic.
+	if m.FuncByName(AssertIntrinsic) == nil {
+		m.AddFunc(&ir.Function{
+			Name:   AssertIntrinsic,
+			Sig:    &ctypes.Func{Result: ctypes.VoidType, Variadic: true},
+			IsDecl: true,
+		})
+	}
+
+	// Bodies.
+	for _, fn := range g.prog.Funcs {
+		if fn.IsDefined {
+			g.lowerFunc(fn)
+		}
+	}
+}
+
+func paramName(name string, i int) string {
+	if name == "" {
+		return fmt.Sprintf("arg%d", i)
+	}
+	return name
+}
+
+// ---------------------------------------------------------------------------
+// Function lowering
+
+func (g *generator) lowerFunc(fn *csema.Function) {
+	irf := g.res.Module.FuncByName(fn.Name)
+	g.fn = irf
+	g.cur = irf.NewBlock("entry")
+	g.labels = make(map[string]*ir.Block)
+	g.facts = &annot.FuncFacts{}
+	g.scopes = []map[string]ir.Value{make(map[string]ir.Value)}
+
+	// Function-level annotations.
+	for _, a := range fn.Annotations {
+		facts, err := annot.Parse(a.Body, g)
+		if err != nil {
+			g.errf(a.AtPos, "%v", err)
+			continue
+		}
+		ff, err := annot.Collect(facts)
+		if err != nil {
+			g.errf(a.AtPos, "%v", err)
+			continue
+		}
+		g.mergeFacts(ff)
+	}
+
+	// Spill parameters into allocas so they behave like ordinary locals.
+	for i, p := range fn.Params {
+		a := &ir.Alloca{Elem: p.Type, VarName: paramName(p.Name, i) + ".addr"}
+		g.cur.Append(a)
+		g.cur.Append(&ir.Store{Val: irf.Params[i], Addr: a})
+		g.allocas[p] = a
+		g.bind(p.Name, a)
+	}
+
+	g.lowerStmt(fn.Decl.Body)
+
+	// Terminate any fall-off-the-end block.
+	for _, b := range irf.Blocks {
+		if b.Term() == nil {
+			if ctypes.IsVoid(irf.Sig.Result) {
+				ir.Terminate(b, &ir.Ret{})
+			} else {
+				ir.Terminate(b, &ir.Ret{X: zeroValue(irf.Sig.Result)})
+			}
+		}
+	}
+	pruneUnreachable(irf)
+	irf.Facts = g.facts
+	g.fn = nil
+	g.cur = nil
+	g.allocas = make(map[csema.Object]ir.Value)
+}
+
+func (g *generator) mergeFacts(ff *annot.FuncFacts) {
+	if ff.IsShmInit {
+		g.facts.IsShmInit = true
+	}
+	g.facts.Core = append(g.facts.Core, ff.Core...)
+	g.facts.ShmVars = append(g.facts.ShmVars, ff.ShmVars...)
+	g.facts.NonCore = append(g.facts.NonCore, ff.NonCore...)
+}
+
+func (g *generator) bind(name string, addr ir.Value) {
+	if name == "" {
+		return
+	}
+	g.scopes[len(g.scopes)-1][name] = addr
+}
+
+func (g *generator) lookupName(name string) ir.Value {
+	for i := len(g.scopes) - 1; i >= 0; i-- {
+		if v, ok := g.scopes[i][name]; ok {
+			return v
+		}
+	}
+	if gv := g.res.Module.GlobalByName(name); gv != nil {
+		return gv
+	}
+	return nil
+}
+
+func (g *generator) pushScope() { g.scopes = append(g.scopes, make(map[string]ir.Value)) }
+func (g *generator) popScope()  { g.scopes = g.scopes[:len(g.scopes)-1] }
+
+// deadBlock starts a fresh block for statements following a terminator.
+func (g *generator) deadBlock() {
+	g.cur = g.fn.NewBlock("dead")
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (g *generator) lowerStmt(s cast.Stmt) {
+	switch st := s.(type) {
+	case *cast.BlockStmt:
+		g.pushScope()
+		for _, sub := range st.List {
+			g.lowerStmt(sub)
+		}
+		g.popScope()
+	case *cast.DeclStmt:
+		for _, vd := range st.Decls {
+			g.lowerLocalDecl(vd)
+		}
+	case *cast.ExprStmt:
+		g.lowerExpr(st.X)
+	case *cast.EmptyStmt:
+	case *cast.IfStmt:
+		g.lowerIf(st)
+	case *cast.WhileStmt:
+		g.lowerWhile(st)
+	case *cast.DoWhileStmt:
+		g.lowerDoWhile(st)
+	case *cast.ForStmt:
+		g.lowerFor(st)
+	case *cast.ReturnStmt:
+		var v ir.Value
+		if st.X != nil {
+			v = g.lowerExpr(st.X)
+			v = g.convert(v, g.fn.Sig.Result, st.RetPos)
+		}
+		r := &ir.Ret{X: v}
+		r.SetPos(st.RetPos)
+		ir.Terminate(g.cur, r)
+		g.deadBlock()
+	case *cast.BreakStmt:
+		if len(g.breaks) == 0 {
+			g.errf(st.KwPos, "break outside loop or switch")
+			return
+		}
+		br := &ir.Br{Then: g.breaks[len(g.breaks)-1]}
+		br.SetPos(st.KwPos)
+		ir.Terminate(g.cur, br)
+		g.deadBlock()
+	case *cast.ContinueStmt:
+		if len(g.conts) == 0 {
+			g.errf(st.KwPos, "continue outside loop")
+			return
+		}
+		br := &ir.Br{Then: g.conts[len(g.conts)-1]}
+		br.SetPos(st.KwPos)
+		ir.Terminate(g.cur, br)
+		g.deadBlock()
+	case *cast.SwitchStmt:
+		g.lowerSwitch(st)
+	case *cast.LabeledStmt:
+		blk := g.labelBlock(st.Name)
+		ir.Terminate(g.cur, &ir.Br{Then: blk})
+		g.cur = blk
+		g.lowerStmt(st.Stmt)
+	case *cast.GotoStmt:
+		blk := g.labelBlock(st.Name)
+		br := &ir.Br{Then: blk}
+		br.SetPos(st.KwPos)
+		ir.Terminate(g.cur, br)
+		g.deadBlock()
+	case *cast.AnnotatedStmt:
+		g.lowerAnnotations(st.Annotations)
+		g.lowerStmt(st.Stmt)
+	default:
+		g.errf(s.Pos(), "irgen: unhandled statement %T", s)
+	}
+}
+
+func (g *generator) labelBlock(name string) *ir.Block {
+	if b, ok := g.labels[name]; ok {
+		return b
+	}
+	b := g.fn.NewBlock("label_" + name)
+	g.labels[name] = b
+	return b
+}
+
+func (g *generator) lowerAnnotations(annots []cast.Annotation) {
+	for _, a := range annots {
+		facts, err := annot.Parse(a.Body, g)
+		if err != nil {
+			g.errf(a.AtPos, "%v", err)
+			continue
+		}
+		for _, f := range facts {
+			switch x := f.(type) {
+			case *annot.AssertSafeFact:
+				g.lowerAssert(x, a.AtPos)
+			case *annot.CoreFact:
+				g.facts.Core = append(g.facts.Core, x)
+			case *annot.ShmVarFact:
+				g.facts.ShmVars = append(g.facts.ShmVars, x)
+			case *annot.NonCoreFact:
+				g.facts.NonCore = append(g.facts.NonCore, x)
+			case *annot.ShmInitFact:
+				g.facts.IsShmInit = true
+			}
+		}
+	}
+}
+
+func (g *generator) lowerAssert(f *annot.AssertSafeFact, pos ctoken.Pos) {
+	addr := g.lookupName(f.Var)
+	if addr == nil {
+		g.errf(pos, "assert(safe(%s)): no variable %q in scope", f.Var, f.Var)
+		return
+	}
+	ld := &ir.Load{Addr: addr}
+	ld.SetPos(pos)
+	g.cur.Append(ld)
+	call := &ir.Call{Callee: g.res.Module.FuncByName(AssertIntrinsic), Args: []ir.Value{ld}}
+	call.SetPos(pos)
+	g.cur.Append(call)
+	g.res.AssertVars[call] = f.Var
+}
+
+func (g *generator) lowerLocalDecl(vd *cast.VarDecl) {
+	obj := g.objectFor(vd)
+	var t ctypes.Type
+	if obj != nil {
+		t = obj.ObjType()
+	} else {
+		t = ctypes.IntType
+	}
+	a := &ir.Alloca{Elem: t, VarName: vd.Name}
+	a.SetPos(vd.NamePos)
+	g.cur.Append(a)
+	if obj != nil {
+		g.allocas[obj] = a
+	}
+	g.bind(vd.Name, a)
+	if vd.Init != nil {
+		g.lowerInitInto(a, t, vd.Init)
+	}
+}
+
+// objectFor finds the csema object for a declaration by matching the Decl
+// pointer (csema stores Uses keyed by idents; declarations we find by
+// scanning — the object is reachable via ExprTypes only for expressions,
+// so we reconstruct through a side table built lazily).
+func (g *generator) objectFor(vd *cast.VarDecl) csema.Object {
+	// csema.LocalVar embeds its Decl; search Uses values once and cache.
+	if g.declObjs == nil {
+		g.declObjs = make(map[*cast.VarDecl]csema.Object)
+		for _, obj := range g.prog.Uses {
+			if lv, ok := obj.(*csema.LocalVar); ok {
+				g.declObjs[lv.Decl] = lv
+			}
+		}
+	}
+	if obj, ok := g.declObjs[vd]; ok {
+		return obj
+	}
+	// Unused local: build a fresh object-equivalent.
+	return nil
+}
+
+func (g *generator) lowerInitInto(addr ir.Value, t ctypes.Type, init cast.Expr) {
+	if call, ok := init.(*cast.CallExpr); ok {
+		if id, ok2 := call.Fun.(*cast.Ident); ok2 && id.Name == "__initlist" {
+			switch tt := t.(type) {
+			case *ctypes.Array:
+				for i, e := range call.Args {
+					elemAddr := &ir.GEP{
+						Base:    addr,
+						Indices: []ir.GEPIndex{{Index: constInt(int64(i))}},
+						ResultT: &ctypes.Pointer{Elem: tt.Elem},
+					}
+					elemAddr.SetPos(e.Pos())
+					g.cur.Append(elemAddr)
+					g.lowerInitInto(elemAddr, tt.Elem, e)
+				}
+			case *ctypes.Struct:
+				for i, e := range call.Args {
+					if i >= len(tt.Fields) {
+						break
+					}
+					fAddr := &ir.GEP{
+						Base:    addr,
+						Indices: []ir.GEPIndex{{Field: i}},
+						ResultT: &ctypes.Pointer{Elem: tt.Fields[i].Type},
+					}
+					fAddr.SetPos(e.Pos())
+					g.cur.Append(fAddr)
+					g.lowerInitInto(fAddr, tt.Fields[i].Type, e)
+				}
+			default:
+				if len(call.Args) == 1 {
+					g.lowerInitInto(addr, t, call.Args[0])
+				}
+			}
+			return
+		}
+	}
+	v := g.lowerExpr(init)
+	v = g.convert(v, t, init.Pos())
+	st := &ir.Store{Val: v, Addr: addr}
+	st.SetPos(init.Pos())
+	g.cur.Append(st)
+}
+
+func (g *generator) lowerIf(st *cast.IfStmt) {
+	thenB := g.fn.NewBlock("if_then")
+	endB := g.fn.NewBlock("if_end")
+	elseB := endB
+	if st.Else != nil {
+		elseB = g.fn.NewBlock("if_else")
+	}
+	g.lowerCondBranch(st.Cond, thenB, elseB)
+	g.cur = thenB
+	g.lowerStmt(st.Then)
+	ir.Terminate(g.cur, &ir.Br{Then: endB})
+	if st.Else != nil {
+		g.cur = elseB
+		g.lowerStmt(st.Else)
+		ir.Terminate(g.cur, &ir.Br{Then: endB})
+	}
+	g.cur = endB
+}
+
+func (g *generator) lowerWhile(st *cast.WhileStmt) {
+	condB := g.fn.NewBlock("while_cond")
+	bodyB := g.fn.NewBlock("while_body")
+	endB := g.fn.NewBlock("while_end")
+	ir.Terminate(g.cur, &ir.Br{Then: condB})
+	g.cur = condB
+	g.lowerCondBranch(st.Cond, bodyB, endB)
+	g.breaks = append(g.breaks, endB)
+	g.conts = append(g.conts, condB)
+	g.cur = bodyB
+	g.lowerStmt(st.Body)
+	ir.Terminate(g.cur, &ir.Br{Then: condB})
+	g.breaks = g.breaks[:len(g.breaks)-1]
+	g.conts = g.conts[:len(g.conts)-1]
+	g.cur = endB
+}
+
+func (g *generator) lowerDoWhile(st *cast.DoWhileStmt) {
+	bodyB := g.fn.NewBlock("do_body")
+	condB := g.fn.NewBlock("do_cond")
+	endB := g.fn.NewBlock("do_end")
+	ir.Terminate(g.cur, &ir.Br{Then: bodyB})
+	g.breaks = append(g.breaks, endB)
+	g.conts = append(g.conts, condB)
+	g.cur = bodyB
+	g.lowerStmt(st.Body)
+	ir.Terminate(g.cur, &ir.Br{Then: condB})
+	g.breaks = g.breaks[:len(g.breaks)-1]
+	g.conts = g.conts[:len(g.conts)-1]
+	g.cur = condB
+	g.lowerCondBranch(st.Cond, bodyB, endB)
+	g.cur = endB
+}
+
+func (g *generator) lowerFor(st *cast.ForStmt) {
+	g.pushScope()
+	if st.Init != nil {
+		g.lowerStmt(st.Init)
+	}
+	condB := g.fn.NewBlock("for_cond")
+	bodyB := g.fn.NewBlock("for_body")
+	postB := g.fn.NewBlock("for_post")
+	endB := g.fn.NewBlock("for_end")
+	ir.Terminate(g.cur, &ir.Br{Then: condB})
+	g.cur = condB
+	if st.Cond != nil {
+		g.lowerCondBranch(st.Cond, bodyB, endB)
+	} else {
+		ir.Terminate(g.cur, &ir.Br{Then: bodyB})
+	}
+	g.breaks = append(g.breaks, endB)
+	g.conts = append(g.conts, postB)
+	g.cur = bodyB
+	g.lowerStmt(st.Body)
+	ir.Terminate(g.cur, &ir.Br{Then: postB})
+	g.cur = postB
+	if st.Post != nil {
+		g.lowerExpr(st.Post)
+	}
+	ir.Terminate(g.cur, &ir.Br{Then: condB})
+	g.breaks = g.breaks[:len(g.breaks)-1]
+	g.conts = g.conts[:len(g.conts)-1]
+	g.cur = endB
+	g.popScope()
+}
+
+func (g *generator) lowerSwitch(st *cast.SwitchStmt) {
+	tag := g.lowerExpr(st.Tag)
+	endB := g.fn.NewBlock("switch_end")
+
+	// Pre-create one body block per clause.
+	bodies := make([]*ir.Block, len(st.Body))
+	var defaultB *ir.Block
+	for i, cl := range st.Body {
+		bodies[i] = g.fn.NewBlock(fmt.Sprintf("case%d", i))
+		if cl.Values == nil {
+			defaultB = bodies[i]
+		}
+	}
+	if defaultB == nil {
+		defaultB = endB
+	}
+
+	// Comparison chain.
+	for i, cl := range st.Body {
+		for _, v := range cl.Values {
+			val := g.lowerExpr(v)
+			cmp := &ir.Cmp{Op: ir.EQ, X: tag, Y: val}
+			cmp.SetPos(v.Pos())
+			g.cur.Append(cmp)
+			next := g.fn.NewBlock("switch_test")
+			br := &ir.Br{Cond: cmp, Then: bodies[i], Else: next}
+			br.SetPos(v.Pos())
+			ir.Terminate(g.cur, br)
+			g.cur = next
+		}
+	}
+	ir.Terminate(g.cur, &ir.Br{Then: defaultB})
+
+	// Clause bodies, with fallthrough into the next body.
+	g.breaks = append(g.breaks, endB)
+	for i, cl := range st.Body {
+		g.cur = bodies[i]
+		g.pushScope()
+		for _, sub := range cl.Body {
+			g.lowerStmt(sub)
+		}
+		g.popScope()
+		if g.cur.Term() == nil {
+			if i+1 < len(bodies) {
+				ir.Terminate(g.cur, &ir.Br{Then: bodies[i+1]})
+			} else {
+				ir.Terminate(g.cur, &ir.Br{Then: endB})
+			}
+		}
+	}
+	g.breaks = g.breaks[:len(g.breaks)-1]
+	g.cur = endB
+}
+
+// ---------------------------------------------------------------------------
+// Conditions
+
+// lowerCondBranch lowers e as a branch condition with short-circuiting.
+func (g *generator) lowerCondBranch(e cast.Expr, thenB, elseB *ir.Block) {
+	switch x := cast.Unparen(e).(type) {
+	case *cast.BinaryExpr:
+		switch x.Op {
+		case ctoken.LAND:
+			mid := g.fn.NewBlock("and_rhs")
+			g.lowerCondBranch(x.X, mid, elseB)
+			g.cur = mid
+			g.lowerCondBranch(x.Y, thenB, elseB)
+			return
+		case ctoken.LOR:
+			mid := g.fn.NewBlock("or_rhs")
+			g.lowerCondBranch(x.X, thenB, mid)
+			g.cur = mid
+			g.lowerCondBranch(x.Y, thenB, elseB)
+			return
+		}
+	case *cast.UnaryExpr:
+		if x.Op == ctoken.NOT {
+			g.lowerCondBranch(x.X, elseB, thenB)
+			return
+		}
+	}
+	v := g.lowerExpr(e)
+	cond := g.truthy(v, e.Pos())
+	br := &ir.Br{Cond: cond, Then: thenB, Else: elseB}
+	br.SetPos(e.Pos())
+	ir.Terminate(g.cur, br)
+}
+
+// truthy converts a scalar to a 0/1 condition value.
+func (g *generator) truthy(v ir.Value, pos ctoken.Pos) ir.Value {
+	if c, ok := v.(*ir.Cmp); ok {
+		return c
+	}
+	var zero ir.Value
+	switch {
+	case ctypes.IsFloat(v.Type()):
+		zero = &ir.ConstFloat{Val: 0, Ty: v.Type()}
+	default:
+		zero = &ir.ConstInt{Val: 0, Ty: v.Type()}
+	}
+	cmp := &ir.Cmp{Op: ir.NE, X: v, Y: zero}
+	cmp.SetPos(pos)
+	g.cur.Append(cmp)
+	return cmp
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+func constInt(v int64) *ir.ConstInt { return &ir.ConstInt{Val: v, Ty: ctypes.IntType} }
+
+func zeroValue(t ctypes.Type) ir.Value {
+	if ctypes.IsFloat(t) {
+		return &ir.ConstFloat{Val: 0, Ty: t}
+	}
+	return &ir.ConstInt{Val: 0, Ty: t}
+}
+
+// lowerExpr lowers e as an rvalue.
+func (g *generator) lowerExpr(e cast.Expr) ir.Value {
+	switch x := e.(type) {
+	case *cast.IntLit:
+		return &ir.ConstInt{Val: x.Value, Ty: g.typeOf(e)}
+	case *cast.FloatLit:
+		return &ir.ConstFloat{Val: x.Value, Ty: g.typeOf(e)}
+	case *cast.StrLit:
+		return &ir.ConstStr{Val: x.Value}
+	case *cast.ParenExpr:
+		return g.lowerExpr(x.X)
+	case *cast.Ident:
+		return g.lowerIdent(x)
+	case *cast.UnaryExpr:
+		return g.lowerUnary(x)
+	case *cast.PostfixExpr:
+		return g.lowerPostfix(x)
+	case *cast.BinaryExpr:
+		return g.lowerBinary(x)
+	case *cast.AssignExpr:
+		return g.lowerAssign(x)
+	case *cast.CondExpr:
+		return g.lowerTernary(x)
+	case *cast.CallExpr:
+		return g.lowerCall(x)
+	case *cast.IndexExpr, *cast.MemberExpr:
+		return g.loadLvalue(e)
+	case *cast.CastExpr:
+		return g.lowerCast(x)
+	case *cast.SizeofExpr:
+		return g.lowerSizeof(x)
+	default:
+		g.errf(e.Pos(), "irgen: unhandled expression %T", e)
+		return constInt(0)
+	}
+}
+
+func (g *generator) typeOf(e cast.Expr) ctypes.Type {
+	if t := g.prog.TypeOf(e); t != nil {
+		return t
+	}
+	return ctypes.IntType
+}
+
+func (g *generator) lowerIdent(x *cast.Ident) ir.Value {
+	obj := g.prog.Uses[x]
+	switch o := obj.(type) {
+	case *csema.EnumConst:
+		return &ir.ConstInt{Val: o.Value, Ty: ctypes.IntType}
+	case *csema.Function:
+		g.errf(x.NamePos, "function %q used as a value (function pointers are outside the subset)", x.Name)
+		return constInt(0)
+	}
+	return g.loadLvalue(x)
+}
+
+// loadLvalue computes the address of an lvalue and loads from it; arrays
+// decay to element pointers instead of loading.
+func (g *generator) loadLvalue(e cast.Expr) ir.Value {
+	addr := g.lowerAddr(e)
+	pointee := ctypes.Deref(addr.Type())
+	if arr, ok := pointee.(*ctypes.Array); ok {
+		// Array decay: &a[0].
+		gep := &ir.GEP{
+			Base:    addr,
+			Indices: []ir.GEPIndex{{Index: constInt(0)}},
+			ResultT: &ctypes.Pointer{Elem: arr.Elem},
+		}
+		gep.SetPos(e.Pos())
+		g.cur.Append(gep)
+		return gep
+	}
+	ld := &ir.Load{Addr: addr}
+	ld.SetPos(e.Pos())
+	g.cur.Append(ld)
+	return ld
+}
+
+// lowerAddr computes the address of an lvalue expression.
+func (g *generator) lowerAddr(e cast.Expr) ir.Value {
+	switch x := cast.Unparen(e).(type) {
+	case *cast.Ident:
+		obj := g.prog.Uses[x]
+		switch o := obj.(type) {
+		case *csema.GlobalVar:
+			if gv := g.res.Module.GlobalByName(o.Name); gv != nil {
+				return gv
+			}
+		case *csema.LocalVar, *csema.ParamVar:
+			if a, ok := g.allocas[obj]; ok {
+				return a
+			}
+		}
+		// Fall back to name lookup (annotation-introduced or recovery).
+		if v := g.lookupName(x.Name); v != nil {
+			return v
+		}
+		g.errf(x.NamePos, "irgen: no storage for %q", x.Name)
+		a := &ir.Alloca{Elem: g.typeOf(x), VarName: x.Name + ".synthetic"}
+		g.cur.Append(a)
+		return a
+	case *cast.UnaryExpr:
+		if x.Op == ctoken.STAR {
+			return g.lowerExpr(x.X)
+		}
+	case *cast.IndexExpr:
+		return g.lowerIndexAddr(x)
+	case *cast.MemberExpr:
+		return g.lowerMemberAddr(x)
+	}
+	g.errf(e.Pos(), "irgen: expression is not an lvalue")
+	a := &ir.Alloca{Elem: g.typeOf(e), VarName: "bad.lvalue"}
+	g.cur.Append(a)
+	return a
+}
+
+func (g *generator) lowerIndexAddr(x *cast.IndexExpr) ir.Value {
+	baseT := g.typeOf(x.X)
+	idx := g.lowerExpr(x.Index)
+	switch bt := baseT.(type) {
+	case *ctypes.Array:
+		base := g.lowerAddr(x.X) // pointer to array
+		gep := &ir.GEP{
+			Base:    base,
+			Indices: []ir.GEPIndex{{Index: idx}},
+			ResultT: &ctypes.Pointer{Elem: bt.Elem},
+		}
+		gep.SetPos(x.LbrackPos)
+		g.cur.Append(gep)
+		return gep
+	case *ctypes.Pointer:
+		base := g.lowerExpr(x.X) // pointer value
+		gep := &ir.GEP{
+			Base:    base,
+			Indices: []ir.GEPIndex{{Index: idx}},
+			ResultT: base.Type(),
+		}
+		gep.SetPos(x.LbrackPos)
+		g.cur.Append(gep)
+		return gep
+	default:
+		g.errf(x.LbrackPos, "irgen: indexing non-array type %s", baseT)
+		return g.lowerAddr(x.X)
+	}
+}
+
+func (g *generator) lowerMemberAddr(x *cast.MemberExpr) ir.Value {
+	var base ir.Value
+	var st *ctypes.Struct
+	if x.Arrow {
+		base = g.lowerExpr(x.X)
+		if p, ok := base.Type().(*ctypes.Pointer); ok {
+			st, _ = p.Elem.(*ctypes.Struct)
+		}
+	} else {
+		base = g.lowerAddr(x.X)
+		if p, ok := base.Type().(*ctypes.Pointer); ok {
+			st, _ = p.Elem.(*ctypes.Struct)
+		}
+	}
+	if st == nil {
+		g.errf(x.DotPos, "irgen: member access on non-struct")
+		return base
+	}
+	fieldIdx := -1
+	var ft ctypes.Type = ctypes.IntType
+	for i, f := range st.Fields {
+		if f.Name == x.Name {
+			fieldIdx = i
+			ft = f.Type
+			break
+		}
+	}
+	if fieldIdx < 0 {
+		g.errf(x.DotPos, "irgen: no field %q", x.Name)
+		return base
+	}
+	gep := &ir.GEP{
+		Base:    base,
+		Indices: []ir.GEPIndex{{Field: fieldIdx}},
+		ResultT: &ctypes.Pointer{Elem: ft},
+	}
+	gep.SetPos(x.DotPos)
+	g.cur.Append(gep)
+	return gep
+}
+
+func (g *generator) lowerUnary(x *cast.UnaryExpr) ir.Value {
+	switch x.Op {
+	case ctoken.MINUS:
+		v := g.lowerExpr(x.X)
+		op := &ir.BinOp{Op: ir.Sub, X: zeroValue(v.Type()), Y: v, Ty: v.Type()}
+		op.SetPos(x.OpPos)
+		g.cur.Append(op)
+		return op
+	case ctoken.TILDE:
+		v := g.lowerExpr(x.X)
+		op := &ir.BinOp{Op: ir.Xor, X: v, Y: &ir.ConstInt{Val: -1, Ty: v.Type()}, Ty: v.Type()}
+		op.SetPos(x.OpPos)
+		g.cur.Append(op)
+		return op
+	case ctoken.NOT:
+		v := g.lowerExpr(x.X)
+		cmp := &ir.Cmp{Op: ir.EQ, X: v, Y: zeroValue(v.Type())}
+		cmp.SetPos(x.OpPos)
+		g.cur.Append(cmp)
+		return cmp
+	case ctoken.STAR:
+		addr := g.lowerExpr(x.X)
+		ld := &ir.Load{Addr: addr}
+		ld.SetPos(x.OpPos)
+		g.cur.Append(ld)
+		return ld
+	case ctoken.AMP:
+		return g.lowerAddr(x.X)
+	case ctoken.INC, ctoken.DEC:
+		// Prefix: value after update.
+		addr := g.lowerAddr(x.X)
+		return g.incDec(addr, x.Op == ctoken.INC, true, x.OpPos)
+	default:
+		g.errf(x.OpPos, "irgen: unhandled unary %s", x.Op)
+		return constInt(0)
+	}
+}
+
+func (g *generator) lowerPostfix(x *cast.PostfixExpr) ir.Value {
+	addr := g.lowerAddr(x.X)
+	return g.incDec(addr, x.Op == ctoken.INC, false, x.OpPos)
+}
+
+func (g *generator) incDec(addr ir.Value, inc, prefix bool, pos ctoken.Pos) ir.Value {
+	ld := &ir.Load{Addr: addr}
+	ld.SetPos(pos)
+	g.cur.Append(ld)
+	t := ld.Type()
+	var updated ir.Value
+	if ctypes.IsPointer(t) {
+		delta := int64(1)
+		if !inc {
+			delta = -1
+		}
+		gep := &ir.GEP{Base: ld, Indices: []ir.GEPIndex{{Index: constInt(delta)}}, ResultT: t}
+		gep.SetPos(pos)
+		g.cur.Append(gep)
+		updated = gep
+	} else {
+		var one ir.Value
+		if ctypes.IsFloat(t) {
+			one = &ir.ConstFloat{Val: 1, Ty: t}
+		} else {
+			one = &ir.ConstInt{Val: 1, Ty: t}
+		}
+		op := ir.Add
+		if !inc {
+			op = ir.Sub
+		}
+		bo := &ir.BinOp{Op: op, X: ld, Y: one, Ty: t}
+		bo.SetPos(pos)
+		g.cur.Append(bo)
+		updated = bo
+	}
+	st := &ir.Store{Val: updated, Addr: addr}
+	st.SetPos(pos)
+	g.cur.Append(st)
+	if prefix {
+		return updated
+	}
+	return ld
+}
+
+var binOps = map[ctoken.Kind]ir.BinKind{
+	ctoken.PLUS: ir.Add, ctoken.MINUS: ir.Sub, ctoken.STAR: ir.Mul,
+	ctoken.SLASH: ir.Div, ctoken.PERCENT: ir.Rem, ctoken.AMP: ir.And,
+	ctoken.PIPE: ir.Or, ctoken.CARET: ir.Xor, ctoken.SHL: ir.Shl, ctoken.SHR: ir.Shr,
+}
+
+var cmpOps = map[ctoken.Kind]ir.CmpKind{
+	ctoken.EQ: ir.EQ, ctoken.NE: ir.NE, ctoken.LT: ir.LT,
+	ctoken.LE: ir.LE, ctoken.GT: ir.GT, ctoken.GE: ir.GE,
+}
+
+func (g *generator) lowerBinary(x *cast.BinaryExpr) ir.Value {
+	switch x.Op {
+	case ctoken.LAND, ctoken.LOR:
+		return g.lowerShortCircuit(x)
+	}
+	if ck, ok := cmpOps[x.Op]; ok {
+		lv := g.lowerExpr(x.X)
+		rv := g.lowerExpr(x.Y)
+		lv, rv = g.unify(lv, rv, x.OpPos)
+		cmp := &ir.Cmp{Op: ck, X: lv, Y: rv}
+		cmp.SetPos(x.OpPos)
+		g.cur.Append(cmp)
+		return cmp
+	}
+	bk, ok := binOps[x.Op]
+	if !ok {
+		g.errf(x.OpPos, "irgen: unhandled binary %s", x.Op)
+		return constInt(0)
+	}
+	lv := g.lowerExpr(x.X)
+	rv := g.lowerExpr(x.Y)
+
+	// Pointer arithmetic lowers to GEP; pointer difference to ptrtoint+sub.
+	lp := ctypes.IsPointer(lv.Type())
+	rp := ctypes.IsPointer(rv.Type())
+	switch {
+	case lp && rp && bk == ir.Sub:
+		ca := &ir.Cast{Kind: ir.PtrToInt, X: lv, To: ctypes.LongType}
+		ca.SetPos(x.OpPos)
+		g.cur.Append(ca)
+		cb := &ir.Cast{Kind: ir.PtrToInt, X: rv, To: ctypes.LongType}
+		cb.SetPos(x.OpPos)
+		g.cur.Append(cb)
+		op := &ir.BinOp{Op: ir.Sub, X: ca, Y: cb, Ty: ctypes.LongType}
+		op.SetPos(x.OpPos)
+		g.cur.Append(op)
+		return op
+	case lp && (bk == ir.Add || bk == ir.Sub):
+		idx := rv
+		if bk == ir.Sub {
+			neg := &ir.BinOp{Op: ir.Sub, X: zeroValue(rv.Type()), Y: rv, Ty: rv.Type()}
+			neg.SetPos(x.OpPos)
+			g.cur.Append(neg)
+			idx = neg
+		}
+		gep := &ir.GEP{Base: lv, Indices: []ir.GEPIndex{{Index: idx}}, ResultT: lv.Type()}
+		gep.SetPos(x.OpPos)
+		g.cur.Append(gep)
+		return gep
+	case rp && bk == ir.Add:
+		gep := &ir.GEP{Base: rv, Indices: []ir.GEPIndex{{Index: lv}}, ResultT: rv.Type()}
+		gep.SetPos(x.OpPos)
+		g.cur.Append(gep)
+		return gep
+	}
+
+	lv, rv = g.unify(lv, rv, x.OpPos)
+	t := g.typeOf(x)
+	op := &ir.BinOp{Op: bk, X: lv, Y: rv, Ty: t}
+	op.SetPos(x.OpPos)
+	g.cur.Append(op)
+	return op
+}
+
+// unify inserts numeric conversions so both operands share a type.
+func (g *generator) unify(a, b ir.Value, pos ctoken.Pos) (ir.Value, ir.Value) {
+	ta, tb := a.Type(), b.Type()
+	if ta.Equal(tb) || ctypes.IsPointer(ta) || ctypes.IsPointer(tb) {
+		return a, b
+	}
+	af, bf := ctypes.IsFloat(ta), ctypes.IsFloat(tb)
+	switch {
+	case af && !bf:
+		return a, g.cast(ir.IntToFp, b, ta, pos)
+	case bf && !af:
+		return g.cast(ir.IntToFp, a, tb, pos), b
+	case af && bf:
+		if ta.Size() >= tb.Size() {
+			return a, g.cast(ir.FpCast, b, ta, pos)
+		}
+		return g.cast(ir.FpCast, a, tb, pos), b
+	default:
+		if ta.Size() >= tb.Size() {
+			return a, g.cast(ir.Ext, b, ta, pos)
+		}
+		return g.cast(ir.Ext, a, tb, pos), b
+	}
+}
+
+func (g *generator) cast(k ir.CastKind, v ir.Value, to ctypes.Type, pos ctoken.Pos) ir.Value {
+	c := &ir.Cast{Kind: k, X: v, To: to}
+	c.SetPos(pos)
+	g.cur.Append(c)
+	return c
+}
+
+func (g *generator) lowerShortCircuit(x *cast.BinaryExpr) ir.Value {
+	thenB := g.fn.NewBlock("sc_true")
+	elseB := g.fn.NewBlock("sc_false")
+	endB := g.fn.NewBlock("sc_end")
+	g.lowerCondBranch(x, thenB, elseB)
+	g.cur = thenB
+	ir.Terminate(g.cur, &ir.Br{Then: endB})
+	g.cur = elseB
+	ir.Terminate(g.cur, &ir.Br{Then: endB})
+	g.cur = endB
+	phi := &ir.Phi{
+		Edges: []ir.PhiEdge{
+			{Val: constInt(1), Pred: thenB},
+			{Val: constInt(0), Pred: elseB},
+		},
+		Ty: ctypes.IntType,
+	}
+	phi.SetPos(x.OpPos)
+	// Phis must lead the block.
+	endB.Instrs = append([]ir.Instr{phi}, endB.Instrs...)
+	phiSetParent(phi, endB)
+	return phi
+}
+
+func phiSetParent(p *ir.Phi, b *ir.Block) {
+	// Append normally tracks parents; since we spliced at the front, set it
+	// via a zero-cost helper on the embedded base.
+	p.SetParentBlock(b)
+}
+
+func (g *generator) lowerTernary(x *cast.CondExpr) ir.Value {
+	thenB := g.fn.NewBlock("cond_then")
+	elseB := g.fn.NewBlock("cond_else")
+	endB := g.fn.NewBlock("cond_end")
+	g.lowerCondBranch(x.Cond, thenB, elseB)
+
+	g.cur = thenB
+	tv := g.lowerExpr(x.Then)
+	thenOut := g.cur
+	ir.Terminate(g.cur, &ir.Br{Then: endB})
+
+	g.cur = elseB
+	ev := g.lowerExpr(x.Else)
+	elseOut := g.cur
+	ir.Terminate(g.cur, &ir.Br{Then: endB})
+
+	g.cur = endB
+	t := g.typeOf(x)
+	phi := &ir.Phi{
+		Edges: []ir.PhiEdge{{Val: tv, Pred: thenOut}, {Val: ev, Pred: elseOut}},
+		Ty:    t,
+	}
+	phi.SetPos(x.QPos)
+	endB.Instrs = append([]ir.Instr{phi}, endB.Instrs...)
+	phiSetParent(phi, endB)
+	return phi
+}
+
+func (g *generator) lowerAssign(x *cast.AssignExpr) ir.Value {
+	addr := g.lowerAddr(x.LHS)
+	lhsT := g.typeOf(x.LHS)
+	if x.Op == ctoken.ASSIGN {
+		v := g.lowerExpr(x.RHS)
+		v = g.convert(v, lhsT, x.OpPos)
+		st := &ir.Store{Val: v, Addr: addr}
+		st.SetPos(x.OpPos)
+		g.cur.Append(st)
+		return v
+	}
+	// Compound assignment.
+	ld := &ir.Load{Addr: addr}
+	ld.SetPos(x.OpPos)
+	g.cur.Append(ld)
+	rv := g.lowerExpr(x.RHS)
+
+	var compound = map[ctoken.Kind]ir.BinKind{
+		ctoken.ADDASSIGN: ir.Add, ctoken.SUBASSIGN: ir.Sub,
+		ctoken.MULASSIGN: ir.Mul, ctoken.DIVASSIGN: ir.Div,
+		ctoken.MODASSIGN: ir.Rem, ctoken.ANDASSIGN: ir.And,
+		ctoken.ORASSIGN: ir.Or, ctoken.XORASSIGN: ir.Xor,
+		ctoken.SHLASSIGN: ir.Shl, ctoken.SHRASSIGN: ir.Shr,
+	}
+	bk := compound[x.Op]
+	var updated ir.Value
+	if ctypes.IsPointer(lhsT) {
+		idx := rv
+		if bk == ir.Sub {
+			neg := &ir.BinOp{Op: ir.Sub, X: zeroValue(rv.Type()), Y: rv, Ty: rv.Type()}
+			neg.SetPos(x.OpPos)
+			g.cur.Append(neg)
+			idx = neg
+		}
+		gep := &ir.GEP{Base: ld, Indices: []ir.GEPIndex{{Index: idx}}, ResultT: lhsT}
+		gep.SetPos(x.OpPos)
+		g.cur.Append(gep)
+		updated = gep
+	} else {
+		lv2, rv2 := g.unify(ld, rv, x.OpPos)
+		op := &ir.BinOp{Op: bk, X: lv2, Y: rv2, Ty: lv2.Type()}
+		op.SetPos(x.OpPos)
+		g.cur.Append(op)
+		updated = g.convert(op, lhsT, x.OpPos)
+	}
+	st := &ir.Store{Val: updated, Addr: addr}
+	st.SetPos(x.OpPos)
+	g.cur.Append(st)
+	return updated
+}
+
+// convert coerces v to type t, inserting a cast when needed.
+func (g *generator) convert(v ir.Value, t ctypes.Type, pos ctoken.Pos) ir.Value {
+	vt := v.Type()
+	if vt.Equal(t) || ctypes.IsVoid(t) {
+		return v
+	}
+	switch {
+	case ctypes.IsPointer(vt) && ctypes.IsPointer(t):
+		return g.cast(ir.Bitcast, v, t, pos)
+	case ctypes.IsPointer(t) && ctypes.IsInteger(vt):
+		return g.cast(ir.IntToPtr, v, t, pos)
+	case ctypes.IsInteger(t) && ctypes.IsPointer(vt):
+		return g.cast(ir.PtrToInt, v, t, pos)
+	case ctypes.IsFloat(t) && ctypes.IsInteger(vt):
+		return g.cast(ir.IntToFp, v, t, pos)
+	case ctypes.IsInteger(t) && ctypes.IsFloat(vt):
+		return g.cast(ir.FpToInt, v, t, pos)
+	case ctypes.IsFloat(t) && ctypes.IsFloat(vt):
+		return g.cast(ir.FpCast, v, t, pos)
+	case ctypes.IsInteger(t) && ctypes.IsInteger(vt):
+		if t.Size() < vt.Size() {
+			return g.cast(ir.Trunc, v, t, pos)
+		}
+		return g.cast(ir.Ext, v, t, pos)
+	default:
+		return v // aggregate assignment: leave as-is
+	}
+}
+
+func (g *generator) lowerCall(x *cast.CallExpr) ir.Value {
+	id, ok := cast.Unparen(x.Fun).(*cast.Ident)
+	if !ok {
+		g.errf(x.Fun.Pos(), "irgen: indirect call")
+		return constInt(0)
+	}
+	callee := g.res.Module.FuncByName(id.Name)
+	if callee == nil {
+		g.errf(id.NamePos, "irgen: call to unknown function %q", id.Name)
+		return constInt(0)
+	}
+	var args []ir.Value
+	for i, a := range x.Args {
+		v := g.lowerExpr(a)
+		if i < len(callee.Sig.Params) {
+			v = g.convert(v, callee.Sig.Params[i], a.Pos())
+		}
+		args = append(args, v)
+	}
+	call := &ir.Call{Callee: callee, Args: args}
+	call.SetPos(x.LparenPos)
+	g.cur.Append(call)
+
+	// Calls to exit/abort end control flow.
+	if id.Name == "exit" || id.Name == "abort" {
+		ir.Terminate(g.cur, &ir.Unreachable{})
+		g.deadBlock()
+	}
+	return call
+}
+
+func (g *generator) lowerCast(x *cast.CastExpr) ir.Value {
+	v := g.lowerExpr(x.X)
+	t := g.typeOf(x)
+	if v.Type().Equal(t) {
+		return v
+	}
+	return g.convert(v, t, x.LparenPos)
+}
+
+func (g *generator) lowerSizeof(x *cast.SizeofExpr) ir.Value {
+	var sz int64
+	if x.Type != nil {
+		if v, ok := g.prog.ConstEval(x); ok {
+			sz = v
+		}
+	} else if t := g.prog.TypeOf(x.X); t != nil {
+		sz = t.Size()
+	}
+	return &ir.ConstInt{Val: sz, Ty: ctypes.ULongType}
+}
+
+// ---------------------------------------------------------------------------
+// Unreachable-block pruning
+
+// pruneUnreachable removes blocks with no path from entry, maintaining
+// pred/succ lists and phi edges.
+func pruneUnreachable(f *ir.Function) {
+	if len(f.Blocks) == 0 {
+		return
+	}
+	reachable := make(map[*ir.Block]bool)
+	var visit func(b *ir.Block)
+	visit = func(b *ir.Block) {
+		if reachable[b] {
+			return
+		}
+		reachable[b] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	visit(f.Blocks[0])
+
+	var kept []*ir.Block
+	for _, b := range f.Blocks {
+		if reachable[b] {
+			kept = append(kept, b)
+		}
+	}
+	for _, b := range kept {
+		var preds []*ir.Block
+		for _, p := range b.Preds {
+			if reachable[p] {
+				preds = append(preds, p)
+			}
+		}
+		b.Preds = preds
+		var succs []*ir.Block
+		for _, s := range b.Succs {
+			if reachable[s] {
+				succs = append(succs, s)
+			}
+		}
+		b.Succs = succs
+		for _, in := range b.Instrs {
+			if phi, ok := in.(*ir.Phi); ok {
+				var edges []ir.PhiEdge
+				for _, e := range phi.Edges {
+					if reachable[e.Pred] {
+						edges = append(edges, e)
+					}
+				}
+				phi.Edges = edges
+			}
+		}
+	}
+	f.Blocks = kept
+	f.RenumberBlocks()
+}

@@ -1,0 +1,430 @@
+package irgen
+
+import (
+	"strings"
+	"testing"
+
+	"safeflow/internal/cast"
+	"safeflow/internal/clex"
+	"safeflow/internal/cparse"
+	"safeflow/internal/csema"
+	"safeflow/internal/ctypes"
+	"safeflow/internal/ir"
+)
+
+func build(t *testing.T, src string, promote bool) *Result {
+	t.Helper()
+	l := clex.New("t.c", src)
+	toks := l.All()
+	if errs := l.Errors(); len(errs) > 0 {
+		t.Fatalf("lex: %v", errs)
+	}
+	p := cparse.New("t.c", toks)
+	f, err := p.ParseFile()
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := csema.Analyze([]*cast.File{f})
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	res := Build("t", prog)
+	if len(res.Errors) > 0 {
+		t.Fatalf("irgen: %v", res.Errors)
+	}
+	if promote {
+		Promote(res.Module)
+	}
+	return res
+}
+
+func countInstr[T ir.Instr](f *ir.Function) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if _, ok := in.(T); ok {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestStraightLineLowering(t *testing.T) {
+	res := build(t, `
+int add(int a, int b) { return a + b; }
+`, false)
+	f := res.Module.FuncByName("add")
+	if f == nil || len(f.Blocks) == 0 {
+		t.Fatal("add not lowered")
+	}
+	if n := countInstr[*ir.Alloca](f); n != 2 {
+		t.Errorf("allocas = %d, want 2 (param spills)", n)
+	}
+	if n := countInstr[*ir.BinOp](f); n != 1 {
+		t.Errorf("binops = %d, want 1", n)
+	}
+	if _, ok := f.Blocks[len(f.Blocks)-1].Term().(*ir.Ret); !ok {
+		t.Error("missing return terminator")
+	}
+}
+
+func TestMem2RegPromotesScalars(t *testing.T) {
+	res := build(t, `
+int count(int n)
+{
+	int i;
+	int acc;
+	acc = 0;
+	for (i = 0; i < n; i++) {
+		acc += i;
+	}
+	return acc;
+}
+`, true)
+	f := res.Module.FuncByName("count")
+	if n := countInstr[*ir.Alloca](f); n != 0 {
+		t.Errorf("allocas after promotion = %d, want 0:\n%s", n, f)
+	}
+	if n := countInstr[*ir.Phi](f); n < 2 {
+		t.Errorf("phis after promotion = %d, want >= 2 (i and acc):\n%s", n, f)
+	}
+	if n := countInstr[*ir.Load](f); n != 0 {
+		t.Errorf("loads after promotion = %d, want 0:\n%s", n, f)
+	}
+}
+
+func TestAddressTakenNotPromoted(t *testing.T) {
+	res := build(t, `
+void setter(double *out) { *out = 1.5; }
+double fn()
+{
+	double v;
+	setter(&v);
+	return v;
+}
+`, true)
+	f := res.Module.FuncByName("fn")
+	if n := countInstr[*ir.Alloca](f); n != 1 {
+		t.Errorf("allocas = %d, want 1 (v escapes):\n%s", n, f)
+	}
+	if n := countInstr[*ir.Load](f); n != 1 {
+		t.Errorf("loads = %d, want 1 (re-read of v):\n%s", n, f)
+	}
+}
+
+func TestAggregatesNotPromoted(t *testing.T) {
+	res := build(t, `
+typedef struct { int a; int b; } S;
+int fn()
+{
+	S s;
+	int arr[4];
+	s.a = 1;
+	arr[2] = 5;
+	return s.a + arr[2];
+}
+`, true)
+	f := res.Module.FuncByName("fn")
+	if n := countInstr[*ir.Alloca](f); n != 2 {
+		t.Errorf("allocas = %d, want 2 (struct + array):\n%s", n, f)
+	}
+	if n := countInstr[*ir.GEP](f); n < 4 {
+		t.Errorf("GEPs = %d, want >= 4:\n%s", n, f)
+	}
+}
+
+func TestShortCircuitLowering(t *testing.T) {
+	res := build(t, `
+int both(int a, int b) { return a && b; }
+`, true)
+	f := res.Module.FuncByName("both")
+	// Short circuit requires control flow: > 1 block and a phi.
+	if len(f.Blocks) < 3 {
+		t.Errorf("blocks = %d, want >= 3:\n%s", len(f.Blocks), f)
+	}
+	if n := countInstr[*ir.Phi](f); n != 1 {
+		t.Errorf("phis = %d, want 1:\n%s", n, f)
+	}
+}
+
+func TestTernaryLowering(t *testing.T) {
+	res := build(t, `
+int pick(int c, int a, int b) { return c ? a : b; }
+`, true)
+	f := res.Module.FuncByName("pick")
+	if n := countInstr[*ir.Phi](f); n != 1 {
+		t.Errorf("phis = %d, want 1:\n%s", n, f)
+	}
+}
+
+func TestSwitchLowering(t *testing.T) {
+	res := build(t, `
+int classify(int n)
+{
+	int r;
+	switch (n) {
+	case 0:
+		r = 10;
+		break;
+	case 1:
+	case 2:
+		r = 20;
+		break;
+	default:
+		r = 30;
+	}
+	return r;
+}
+`, true)
+	f := res.Module.FuncByName("classify")
+	// Three comparisons: n==0, n==1, n==2.
+	if n := countInstr[*ir.Cmp](f); n != 3 {
+		t.Errorf("cmps = %d, want 3:\n%s", n, f)
+	}
+	if n := countInstr[*ir.Phi](f); n < 1 {
+		t.Errorf("phi for r missing:\n%s", f)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	res := build(t, `
+int fall(int n)
+{
+	int r;
+	r = 0;
+	switch (n) {
+	case 0:
+		r += 1;
+	case 1:
+		r += 2;
+		break;
+	default:
+		r = 9;
+	}
+	return r;
+}
+`, false)
+	f := res.Module.FuncByName("fall")
+	// case0's body must branch into case1's body block (fallthrough), which
+	// therefore has two predecessors.
+	var case1 *ir.Block
+	for _, b := range f.Blocks {
+		if strings.HasPrefix(b.Label, "case1") {
+			case1 = b
+		}
+	}
+	if case1 == nil {
+		t.Fatalf("case1 block missing:\n%s", f)
+	}
+	if len(case1.Preds) < 2 {
+		t.Errorf("case1 preds = %d, want >= 2 (fallthrough + dispatch):\n%s", len(case1.Preds), f)
+	}
+}
+
+func TestGotoLowering(t *testing.T) {
+	res := build(t, `
+int fn(int n)
+{
+	int acc;
+	acc = 0;
+again:
+	acc += n;
+	if (acc < 10) {
+		goto again;
+	}
+	return acc;
+}
+`, true)
+	f := res.Module.FuncByName("fn")
+	var label *ir.Block
+	for _, b := range f.Blocks {
+		if strings.Contains(b.Label, "again") {
+			label = b
+		}
+	}
+	if label == nil {
+		t.Fatalf("label block missing:\n%s", f)
+	}
+	if len(label.Preds) < 2 {
+		t.Errorf("label preds = %d, want >= 2 (entry + back edge)", len(label.Preds))
+	}
+}
+
+func TestPointerArithmeticBecomesGEP(t *testing.T) {
+	res := build(t, `
+double take(double *p, int i) { return *(p + i); }
+`, true)
+	f := res.Module.FuncByName("take")
+	if n := countInstr[*ir.GEP](f); n != 1 {
+		t.Errorf("GEPs = %d, want 1:\n%s", n, f)
+	}
+}
+
+func TestCastKinds(t *testing.T) {
+	res := build(t, `
+typedef struct { int v; } S;
+void fn(void *p, double d)
+{
+	S *sp;
+	int i;
+	long l;
+	sp = (S *) p;
+	i = (int) d;
+	d = (double) i;
+	l = (long) sp;
+}
+`, false)
+	f := res.Module.FuncByName("fn")
+	kinds := map[ir.CastKind]int{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if c, ok := in.(*ir.Cast); ok {
+				kinds[c.Kind]++
+			}
+		}
+	}
+	if kinds[ir.Bitcast] != 1 {
+		t.Errorf("bitcasts = %d, want 1", kinds[ir.Bitcast])
+	}
+	if kinds[ir.FpToInt] != 1 || kinds[ir.IntToFp] != 1 {
+		t.Errorf("float casts = %v", kinds)
+	}
+	if kinds[ir.PtrToInt] != 1 {
+		t.Errorf("ptrtoint = %d, want 1", kinds[ir.PtrToInt])
+	}
+}
+
+func TestExitTerminatesFlow(t *testing.T) {
+	res := build(t, `
+int main()
+{
+	int fd;
+	fd = shmget(1, 8, 0);
+	if (fd < 0) {
+		exit(1);
+	}
+	return fd;
+}
+`, true)
+	f := res.Module.FuncByName("main")
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if c, ok := in.(*ir.Call); ok && c.Callee.Name == "exit" {
+				if _, isUnreachable := b.Term().(*ir.Unreachable); !isUnreachable {
+					t.Errorf("exit block terminator = %v", b.Term())
+				}
+			}
+		}
+	}
+}
+
+func TestIncDecSemantics(t *testing.T) {
+	res := build(t, `
+int fn()
+{
+	int i;
+	int a;
+	int b;
+	i = 5;
+	a = i++;
+	b = ++i;
+	return a + b;
+}
+`, false)
+	f := res.Module.FuncByName("fn")
+	// Both forms store the updated value; the difference is the returned
+	// one. Just assert the adds exist and the function lowers.
+	if n := countInstr[*ir.BinOp](f); n < 3 {
+		t.Errorf("binops = %d, want >= 3:\n%s", n, f)
+	}
+}
+
+func TestAssertIntrinsicValue(t *testing.T) {
+	res := build(t, `
+int main()
+{
+	double u;
+	u = 1.5;
+	/***SafeFlow Annotation assert(safe(u)) /***/
+	writeDA(0, u);
+	return 0;
+}
+`, true)
+	f := res.Module.FuncByName("main")
+	found := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			c, ok := in.(*ir.Call)
+			if !ok || c.Callee.Name != AssertIntrinsic {
+				continue
+			}
+			found = true
+			if res.AssertVars[c] != "u" {
+				t.Errorf("assert var = %q", res.AssertVars[c])
+			}
+			if len(c.Args) != 1 || !ctypes.IsFloat(c.Args[0].Type()) {
+				t.Errorf("assert arg = %#v", c.Args)
+			}
+			// After mem2reg the argument must be the constant 1.5, not a load.
+			if cf, ok := c.Args[0].(*ir.ConstFloat); !ok || cf.Val != 1.5 {
+				t.Errorf("assert arg after promotion = %s, want 1.5", c.Args[0].Ident())
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("assert intrinsic missing:\n%s", f)
+	}
+}
+
+func TestInitializerListLowering(t *testing.T) {
+	res := build(t, `
+int fn()
+{
+	int a[3] = {1, 2, 3};
+	return a[1];
+}
+`, false)
+	f := res.Module.FuncByName("fn")
+	if n := countInstr[*ir.Store](f); n < 3 {
+		t.Errorf("stores = %d, want >= 3 for the init list:\n%s", n, f)
+	}
+}
+
+func TestUnreachableBlocksPruned(t *testing.T) {
+	res := build(t, `
+int fn(int n)
+{
+	if (n > 0) {
+		return 1;
+	} else {
+		return 2;
+	}
+	return 3;
+}
+`, true)
+	f := res.Module.FuncByName("fn")
+	for _, b := range f.Blocks {
+		if b != f.Entry() && len(b.Preds) == 0 {
+			t.Errorf("unreachable block %s survived pruning:\n%s", b.Label, f)
+		}
+	}
+}
+
+func TestFuncFactsAttached(t *testing.T) {
+	res := build(t, `
+typedef struct { double v; } T;
+T *region;
+void init()
+/***SafeFlow Annotation shminit /***/
+{
+	/***SafeFlow Annotation assume(shmvar(region, sizeof(T))) /***/
+	/***SafeFlow Annotation assume(noncore(region)) /***/
+}
+`, false)
+	f := res.Module.FuncByName("init")
+	facts, ok := f.Facts.(interface{ Empty() bool })
+	if !ok || facts.Empty() {
+		t.Fatalf("facts = %#v", f.Facts)
+	}
+}

@@ -1,0 +1,165 @@
+package irgen
+
+import (
+	"testing"
+
+	"safeflow/internal/ctypes"
+	"safeflow/internal/ir"
+)
+
+// TestVerifyAcceptsLoweredPrograms runs the verifier over a program using
+// every construct the lowering handles, before and after promotion.
+func TestVerifyAcceptsLoweredPrograms(t *testing.T) {
+	src := `
+typedef struct { double a; double b[4]; int n; } S;
+S box;
+S *p;
+
+double helper(S *s, int k)
+{
+	double acc;
+	int i;
+	acc = 0.0;
+	for (i = 0; i < k; i++) {
+		acc += s->b[i] * (i % 2 == 0 ? 1.0 : -1.0);
+	}
+	switch (k) {
+	case 0:
+		acc = -1.0;
+		break;
+	case 1:
+	case 2:
+		acc *= 2.0;
+	default:
+		acc += 1.0;
+	}
+	while (acc > 100.0) {
+		acc /= 2.0;
+	}
+	return acc;
+}
+
+int main()
+{
+	double r;
+	int tries;
+	tries = 0;
+retry:
+	r = helper(&box, 3);
+	if (r < 0.0 && tries < 3) {
+		tries++;
+		goto retry;
+	}
+	return (int) r;
+}
+`
+	res := build(t, src, false)
+	if errs := Verify(res.Module); len(errs) > 0 {
+		t.Fatalf("pre-promotion verify: %v", errs)
+	}
+	Promote(res.Module)
+	if errs := Verify(res.Module); len(errs) > 0 {
+		t.Fatalf("post-promotion verify: %v", errs)
+	}
+}
+
+func TestVerifyCorpusShapedProgram(t *testing.T) {
+	src := `
+typedef struct { double v; int flag; int pad; } R;
+R *region;
+void initComm()
+/***SafeFlow Annotation shminit /***/
+{
+	region = (R *) shmat(shmget(1, sizeof(R), 0), 0, 0);
+	/***SafeFlow Annotation assume(shmvar(region, sizeof(R))) /***/
+	/***SafeFlow Annotation assume(noncore(region)) /***/
+}
+double monitor()
+/***SafeFlow Annotation assume(core(region, 0, sizeof(R))) /***/
+{
+	if (region->flag == 0) { return 0.0; }
+	return region->v;
+}
+int main()
+{
+	double u;
+	initComm();
+	u = monitor();
+	/***SafeFlow Annotation assert(safe(u)) /***/
+	writeDA(0, u);
+	return 0;
+}
+`
+	res := build(t, src, true)
+	if errs := Verify(res.Module); len(errs) > 0 {
+		t.Fatalf("verify: %v", errs)
+	}
+}
+
+// TestVerifyCatchesBrokenIR corrupts hand-built functions and checks the
+// verifier reports each corruption class.
+func TestVerifyCatchesBrokenIR(t *testing.T) {
+	mk := func() (*ir.Module, *ir.Function, *ir.Block, *ir.Block) {
+		m := ir.NewModule("t")
+		f := &ir.Function{Name: "f", Sig: &ctypes.Func{Result: ctypes.IntType}}
+		m.AddFunc(f)
+		b0 := f.NewBlock("entry")
+		b1 := f.NewBlock("next")
+		ir.Terminate(b0, &ir.Br{Then: b1})
+		ir.Terminate(b1, &ir.Ret{X: &ir.ConstInt{Ty: ctypes.IntType}})
+		return m, f, b0, b1
+	}
+
+	t.Run("valid baseline", func(t *testing.T) {
+		m, _, _, _ := mk()
+		if errs := Verify(m); len(errs) != 0 {
+			t.Fatalf("baseline invalid: %v", errs)
+		}
+	})
+
+	t.Run("unterminated block", func(t *testing.T) {
+		m, _, _, b1 := mk()
+		b1.Instrs = b1.Instrs[:0]
+		if errs := Verify(m); len(errs) == 0 {
+			t.Error("empty block accepted")
+		}
+	})
+
+	t.Run("phi pred mismatch", func(t *testing.T) {
+		m, f, b0, b1 := mk()
+		_ = b0
+		ghost := f.NewBlock("ghost")
+		ir.Terminate(ghost, &ir.Ret{X: &ir.ConstInt{Ty: ctypes.IntType}})
+		phi := &ir.Phi{
+			Edges: []ir.PhiEdge{{Val: &ir.ConstInt{Val: 1, Ty: ctypes.IntType}, Pred: ghost}},
+			Ty:    ctypes.IntType,
+		}
+		phi.SetParentBlock(b1)
+		b1.Instrs = append([]ir.Instr{phi}, b1.Instrs...)
+		if errs := Verify(m); len(errs) == 0 {
+			t.Error("phi with non-pred edge accepted")
+		}
+	})
+
+	t.Run("use before def", func(t *testing.T) {
+		m, _, b0, b1 := mk()
+		// An op in b0 uses a value defined in b1 (which does not dominate b0).
+		late := &ir.BinOp{Op: ir.Add, X: &ir.ConstInt{Ty: ctypes.IntType}, Y: &ir.ConstInt{Ty: ctypes.IntType}, Ty: ctypes.IntType}
+		late.SetParentBlock(b1)
+		b1.Instrs = append([]ir.Instr{late}, b1.Instrs...)
+		early := &ir.BinOp{Op: ir.Add, X: late, Y: &ir.ConstInt{Ty: ctypes.IntType}, Ty: ctypes.IntType}
+		early.SetParentBlock(b0)
+		b0.Instrs = append([]ir.Instr{early}, b0.Instrs...)
+		if errs := Verify(m); len(errs) == 0 {
+			t.Error("use-before-def accepted")
+		}
+	})
+
+	t.Run("asymmetric edge", func(t *testing.T) {
+		m, _, _, b1 := mk()
+		b1.Preds = nil // break the mirror
+		if errs := Verify(m); len(errs) == 0 {
+			t.Error("asymmetric CFG edge accepted")
+		}
+	})
+}

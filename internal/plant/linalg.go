@@ -1,0 +1,248 @@
+// Dense linear algebra for the plant models and the Simplex controller
+// synthesis: the small fixed-size systems here (≤ 6 states) need only
+// straightforward dense routines.
+
+package plant
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	R, C int
+	A    []float64
+}
+
+// NewMat returns an R×C zero matrix.
+func NewMat(r, c int) Mat { return Mat{R: r, C: c, A: make([]float64, r*c)} }
+
+// MatFrom builds a matrix from rows (which must be rectangular).
+func MatFrom(rows [][]float64) Mat {
+	r := len(rows)
+	if r == 0 {
+		return Mat{}
+	}
+	c := len(rows[0])
+	m := NewMat(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("plant: ragged matrix row %d: %d != %d", i, len(row), c))
+		}
+		copy(m.A[i*c:], row)
+	}
+	return m
+}
+
+// Eye returns the n×n identity.
+func Eye(n int) Mat {
+	m := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m Mat) At(i, j int) float64 { return m.A[i*m.C+j] }
+
+// Set assigns element (i, j).
+func (m Mat) Set(i, j int, v float64) { m.A[i*m.C+j] = v }
+
+// Clone copies the matrix.
+func (m Mat) Clone() Mat {
+	out := NewMat(m.R, m.C)
+	copy(out.A, m.A)
+	return out
+}
+
+// Add returns m + n.
+func (m Mat) Add(n Mat) Mat {
+	mustSameShape(m, n)
+	out := NewMat(m.R, m.C)
+	for i := range m.A {
+		out.A[i] = m.A[i] + n.A[i]
+	}
+	return out
+}
+
+// Sub returns m - n.
+func (m Mat) Sub(n Mat) Mat {
+	mustSameShape(m, n)
+	out := NewMat(m.R, m.C)
+	for i := range m.A {
+		out.A[i] = m.A[i] - n.A[i]
+	}
+	return out
+}
+
+// Scale returns k*m.
+func (m Mat) Scale(k float64) Mat {
+	out := NewMat(m.R, m.C)
+	for i := range m.A {
+		out.A[i] = k * m.A[i]
+	}
+	return out
+}
+
+// Mul returns m*n.
+func (m Mat) Mul(n Mat) Mat {
+	if m.C != n.R {
+		panic(fmt.Sprintf("plant: dimension mismatch %dx%d * %dx%d", m.R, m.C, n.R, n.C))
+	}
+	out := NewMat(m.R, n.C)
+	for i := 0; i < m.R; i++ {
+		for k := 0; k < m.C; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < n.C; j++ {
+				out.A[i*out.C+j] += a * n.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// T returns the transpose.
+func (m Mat) T() Mat {
+	out := NewMat(m.C, m.R)
+	for i := 0; i < m.R; i++ {
+		for j := 0; j < m.C; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// MulVec returns m*x.
+func (m Mat) MulVec(x []float64) []float64 {
+	if m.C != len(x) {
+		panic(fmt.Sprintf("plant: dimension mismatch %dx%d * vec%d", m.R, m.C, len(x)))
+	}
+	out := make([]float64, m.R)
+	for i := 0; i < m.R; i++ {
+		s := 0.0
+		for j := 0; j < m.C; j++ {
+			s += m.At(i, j) * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Inv returns the inverse via Gauss–Jordan elimination with partial
+// pivoting, or an error for singular matrices.
+func (m Mat) Inv() (Mat, error) {
+	if m.R != m.C {
+		return Mat{}, fmt.Errorf("plant: cannot invert %dx%d matrix", m.R, m.C)
+	}
+	n := m.R
+	aug := NewMat(n, 2*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			aug.Set(i, j, m.At(i, j))
+		}
+		aug.Set(i, n+i, 1)
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(aug.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(aug.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return Mat{}, fmt.Errorf("plant: singular matrix (pivot %g at column %d)", best, col)
+		}
+		if pivot != col {
+			for j := 0; j < 2*n; j++ {
+				a, b := aug.At(col, j), aug.At(pivot, j)
+				aug.Set(col, j, b)
+				aug.Set(pivot, j, a)
+			}
+		}
+		p := aug.At(col, col)
+		for j := 0; j < 2*n; j++ {
+			aug.Set(col, j, aug.At(col, j)/p)
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := aug.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < 2*n; j++ {
+				aug.Set(r, j, aug.At(r, j)-f*aug.At(col, j))
+			}
+		}
+	}
+	out := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out.Set(i, j, aug.At(i, n+j))
+		}
+	}
+	return out, nil
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference.
+func (m Mat) MaxAbsDiff(n Mat) float64 {
+	mustSameShape(m, n)
+	max := 0.0
+	for i := range m.A {
+		if d := math.Abs(m.A[i] - n.A[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func mustSameShape(m, n Mat) {
+	if m.R != n.R || m.C != n.C {
+		panic(fmt.Sprintf("plant: shape mismatch %dx%d vs %dx%d", m.R, m.C, n.R, n.C))
+	}
+}
+
+// Quad computes the quadratic form xᵀ M x.
+func (m Mat) Quad(x []float64) float64 {
+	y := m.MulVec(x)
+	s := 0.0
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// VecAdd returns a + b.
+func VecAdd(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// VecScale returns k*a.
+func VecScale(k float64, a []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = k * a[i]
+	}
+	return out
+}
+
+// Dot returns aᵀb.
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

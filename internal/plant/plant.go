@@ -1,0 +1,213 @@
+// Package plant provides the physical-plant substrate of the paper's
+// evaluation systems: the inverted pendulum on a cart (Figure 1), the
+// double inverted pendulum, and a generic linear plant configurable like
+// the "generic Simplex" system, together with numerical integrators and
+// the controller-synthesis routines (discrete LQR, discrete Lyapunov)
+// that the Simplex architecture's safety controller and recoverability
+// monitor are built from.
+package plant
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dynamics is a continuous-time dynamical system ẋ = f(x, u) with a
+// single control input.
+type Dynamics interface {
+	// Derive returns dx/dt at state x under control u.
+	Derive(x []float64, u float64) []float64
+	// Dim returns the state dimension.
+	Dim() int
+}
+
+// Linearizable exposes a linearization around the upright equilibrium.
+type Linearizable interface {
+	Dynamics
+	// Linearize returns (A, B) with ẋ ≈ Ax + Bu near the equilibrium.
+	Linearize() (A, B Mat)
+}
+
+// ---------------------------------------------------------------------------
+// Integrators
+
+// RK4 advances x one step of size dt under constant control u using the
+// classical fourth-order Runge–Kutta method.
+func RK4(d Dynamics, x []float64, u, dt float64) []float64 {
+	k1 := d.Derive(x, u)
+	k2 := d.Derive(VecAdd(x, VecScale(dt/2, k1)), u)
+	k3 := d.Derive(VecAdd(x, VecScale(dt/2, k2)), u)
+	k4 := d.Derive(VecAdd(x, VecScale(dt, k3)), u)
+	sum := VecAdd(VecAdd(k1, VecScale(2, k2)), VecAdd(VecScale(2, k3), k4))
+	return VecAdd(x, VecScale(dt/6, sum))
+}
+
+// Euler advances x one explicit-Euler step (the cheap integrator the
+// embedded controllers themselves use for prediction).
+func Euler(d Dynamics, x []float64, u, dt float64) []float64 {
+	return VecAdd(x, VecScale(dt, d.Derive(x, u)))
+}
+
+// ---------------------------------------------------------------------------
+// Inverted pendulum on a cart (Figure 1)
+
+// Pendulum is the nonlinear cart-pole: state [track, trackVel, angle,
+// angleVel], control = horizontal force on the cart (the paper's ±5 V
+// actuator maps linearly to force).
+type Pendulum struct {
+	MCart   float64 // cart mass (kg)
+	MPole   float64 // pole mass (kg)
+	Length  float64 // pole half-length (m)
+	Gravity float64 // m/s^2
+}
+
+// DefaultPendulum returns the lab-scale parameters used throughout the
+// examples and benchmarks.
+func DefaultPendulum() *Pendulum {
+	return &Pendulum{MCart: 1.0, MPole: 0.1, Length: 0.5, Gravity: 9.81}
+}
+
+// Dim implements Dynamics.
+func (p *Pendulum) Dim() int { return 4 }
+
+// Derive implements Dynamics (standard cart-pole equations, angle measured
+// from upright).
+func (p *Pendulum) Derive(x []float64, u float64) []float64 {
+	_, dv, th, dth := x[0], x[1], x[2], x[3]
+	_ = dv
+	sin, cos := math.Sin(th), math.Cos(th)
+	total := p.MCart + p.MPole
+	ml := p.MPole * p.Length
+
+	den := total - p.MPole*cos*cos
+	ddth := (total*p.Gravity*sin - cos*(u+ml*dth*dth*sin)) / (p.Length * (4.0/3.0*total - p.MPole*cos*cos))
+	ddx := (u + ml*(dth*dth*sin-ddth*cos)) / total
+	_ = den
+	return []float64{x[1], ddx, x[3], ddth}
+}
+
+// Linearize implements Linearizable (small-angle upright equilibrium).
+func (p *Pendulum) Linearize() (Mat, Mat) {
+	total := p.MCart + p.MPole
+	l := p.Length
+	g := p.Gravity
+	den := l * (4.0/3.0*total - p.MPole)
+	a23 := -p.MPole * g / (4.0/3.0*total - p.MPole)
+	a43 := total * g / den
+	b2 := (1 + p.MPole/(4.0/3.0*total-p.MPole)) / total
+	b4 := -1 / den
+	A := MatFrom([][]float64{
+		{0, 1, 0, 0},
+		{0, 0, a23, 0},
+		{0, 0, 0, 1},
+		{0, 0, a43, 0},
+	})
+	B := MatFrom([][]float64{{0}, {b2}, {0}, {b4}})
+	return A, B
+}
+
+// ---------------------------------------------------------------------------
+// Double inverted pendulum on a cart
+
+// DoublePendulum is the serial double inverted pendulum on a cart,
+// linearized about the upright equilibrium (the nonlinear simulation uses
+// the linearized model plus a saturation — adequate for the control-mode
+// behaviors the double-IP corpus system exercises). State: [track,
+// trackVel, angle1, angleVel1, angle2, angleVel2].
+type DoublePendulum struct {
+	MCart   float64
+	M1, M2  float64 // link masses
+	L1, L2  float64 // link half-lengths
+	Gravity float64
+}
+
+// DefaultDoublePendulum returns lab-scale parameters.
+func DefaultDoublePendulum() *DoublePendulum {
+	return &DoublePendulum{MCart: 1.5, M1: 0.5, M2: 0.25, L1: 0.5, L2: 0.25, Gravity: 9.81}
+}
+
+// Dim implements Dynamics.
+func (d *DoublePendulum) Dim() int { return 6 }
+
+// Linearize implements Linearizable using the standard mass-matrix
+// formulation: M q̈ = K q + F u with q = [track, angle1, angle2].
+func (d *DoublePendulum) Linearize() (Mat, Mat) {
+	m0, m1, m2 := d.MCart, d.M1, d.M2
+	l1, l2 := d.L1, d.L2
+	g := d.Gravity
+
+	// Mass matrix (about the upright equilibrium).
+	M := MatFrom([][]float64{
+		{m0 + m1 + m2, (m1/2 + m2) * l1, m2 * l2 / 2},
+		{(m1/2 + m2) * l1, (m1/3 + m2) * l1 * l1, m2 * l1 * l2 / 2},
+		{m2 * l2 / 2, m2 * l1 * l2 / 2, m2 * l2 * l2 / 3},
+	})
+	// Gravity stiffness.
+	K := MatFrom([][]float64{
+		{0, 0, 0},
+		{0, (m1/2 + m2) * l1 * g, 0},
+		{0, 0, m2 * l2 * g / 2},
+	})
+	F := MatFrom([][]float64{{1}, {0}, {0}})
+
+	Minv, err := M.Inv()
+	if err != nil {
+		panic(fmt.Sprintf("plant: double-pendulum mass matrix singular: %v", err))
+	}
+	MK := Minv.Mul(K)
+	MF := Minv.Mul(F)
+
+	A := NewMat(6, 6)
+	B := NewMat(6, 1)
+	// Positions: x0=track, x2=angle1, x4=angle2; velocities interleaved.
+	for qi := 0; qi < 3; qi++ {
+		A.Set(2*qi, 2*qi+1, 1)
+		for qj := 0; qj < 3; qj++ {
+			A.Set(2*qi+1, 2*qj, MK.At(qi, qj))
+		}
+		B.Set(2*qi+1, 0, MF.At(qi, 0))
+	}
+	return A, B
+}
+
+// Derive implements Dynamics via the linearized model (sufficient near
+// upright, where the Simplex monitor keeps the system).
+func (d *DoublePendulum) Derive(x []float64, u float64) []float64 {
+	A, B := d.Linearize()
+	dx := A.MulVec(x)
+	bu := B.MulVec([]float64{u})
+	return VecAdd(dx, bu)
+}
+
+// ---------------------------------------------------------------------------
+// Generic configurable LTI plant (the "generic Simplex" substrate)
+
+// LTI is a linear plant ẋ = Ax + Bu defined by a configuration, as used
+// by the generic Simplex implementation ("a configuration file that can
+// be customized for different plants").
+type LTI struct {
+	A Mat
+	B Mat
+}
+
+// Dim implements Dynamics.
+func (p *LTI) Dim() int { return p.A.R }
+
+// Derive implements Dynamics.
+func (p *LTI) Derive(x []float64, u float64) []float64 {
+	return VecAdd(p.A.MulVec(x), p.B.MulVec([]float64{u}))
+}
+
+// Linearize implements Linearizable (an LTI is its own linearization).
+func (p *LTI) Linearize() (Mat, Mat) { return p.A, p.B }
+
+// Validate checks the configuration shapes.
+func (p *LTI) Validate() error {
+	if p.A.R != p.A.C {
+		return fmt.Errorf("plant: A must be square, got %dx%d", p.A.R, p.A.C)
+	}
+	if p.B.R != p.A.R || p.B.C != 1 {
+		return fmt.Errorf("plant: B must be %dx1, got %dx%d", p.A.R, p.B.R, p.B.C)
+	}
+	return nil
+}

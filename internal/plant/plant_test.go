@@ -1,0 +1,195 @@
+package plant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatInv(t *testing.T) {
+	m := MatFrom([][]float64{
+		{4, 7, 2},
+		{3, 6, 1},
+		{2, 5, 3},
+	})
+	inv, err := m.Inv()
+	if err != nil {
+		t.Fatalf("Inv: %v", err)
+	}
+	prod := m.Mul(inv)
+	if d := prod.MaxAbsDiff(Eye(3)); d > 1e-9 {
+		t.Errorf("M*M^-1 differs from I by %g", d)
+	}
+}
+
+func TestMatInvSingular(t *testing.T) {
+	m := MatFrom([][]float64{
+		{1, 2},
+		{2, 4},
+	})
+	if _, err := m.Inv(); err == nil {
+		t.Error("expected error inverting singular matrix")
+	}
+}
+
+// Property: for random well-conditioned diagonal-dominant matrices,
+// inversion round-trips.
+func TestQuickMatInvRoundTrip(t *testing.T) {
+	f := func(a, b, c, d int8) bool {
+		m := MatFrom([][]float64{
+			{float64(a)/16 + 8, float64(b) / 32},
+			{float64(c) / 32, float64(d)/16 + 8},
+		})
+		inv, err := m.Inv()
+		if err != nil {
+			return false
+		}
+		return m.Mul(inv).MaxAbsDiff(Eye(2)) < 1e-8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiscretizeDoubleIntegrator(t *testing.T) {
+	// ẋ = v, v̇ = u has an exact ZOH discretization:
+	// Ad = [1 dt; 0 1], Bd = [dt²/2; dt].
+	A := MatFrom([][]float64{{0, 1}, {0, 0}})
+	B := MatFrom([][]float64{{0}, {1}})
+	dt := 0.01
+	Ad, Bd := Discretize(A, B, dt)
+	if math.Abs(Ad.At(0, 1)-dt) > 1e-12 || math.Abs(Ad.At(0, 0)-1) > 1e-12 {
+		t.Errorf("Ad = %+v", Ad)
+	}
+	if math.Abs(Bd.At(0, 0)-dt*dt/2) > 1e-12 || math.Abs(Bd.At(1, 0)-dt) > 1e-12 {
+		t.Errorf("Bd = %+v", Bd)
+	}
+}
+
+func TestDLQRStabilizesPendulum(t *testing.T) {
+	p := DefaultPendulum()
+	A, B := p.Linearize()
+	dt := 0.01
+	Ad, Bd := Discretize(A, B, dt)
+	Q := Eye(4)
+	Q.Set(2, 2, 10) // weight the angle
+	K, err := DLQR(Ad, Bd, Q, 0.1)
+	if err != nil {
+		t.Fatalf("DLQR: %v", err)
+	}
+
+	// The closed loop must be stable.
+	KMat := NewMat(1, 4)
+	for j, k := range K {
+		KMat.Set(0, j, k)
+	}
+	Acl := Ad.Sub(Bd.Mul(KMat))
+	if rho := SpectralRadius(Acl, 500); rho >= 1.0 {
+		t.Fatalf("closed-loop spectral radius %g >= 1", rho)
+	}
+
+	// Simulating the nonlinear plant from a 0.2 rad tilt must balance it.
+	x := []float64{0, 0, 0.2, 0}
+	for step := 0; step < 3000; step++ {
+		u := -Dot(K, x)
+		if u > 20 {
+			u = 20
+		}
+		if u < -20 {
+			u = -20
+		}
+		x = RK4(p, x, u, dt)
+	}
+	if math.Abs(x[2]) > 0.01 {
+		t.Errorf("pendulum angle after 30s = %g rad, not balanced", x[2])
+	}
+}
+
+func TestDLyapEnvelope(t *testing.T) {
+	p := DefaultPendulum()
+	A, B := p.Linearize()
+	Ad, Bd := Discretize(A, B, 0.01)
+	K, err := DLQR(Ad, Bd, Eye(4), 0.1)
+	if err != nil {
+		t.Fatalf("DLQR: %v", err)
+	}
+	KMat := NewMat(1, 4)
+	for j, k := range K {
+		KMat.Set(0, j, k)
+	}
+	Acl := Ad.Sub(Bd.Mul(KMat))
+	P, err := DLyap(Acl, Eye(4))
+	if err != nil {
+		t.Fatalf("DLyap: %v", err)
+	}
+
+	// P must satisfy the Lyapunov property: V decreases along closed-loop
+	// trajectories. Check V(Acl x) < V(x) for sample states.
+	for _, x := range [][]float64{
+		{0.1, 0, 0.05, 0},
+		{-0.2, 0.1, -0.03, 0.02},
+		{0, 0, 0.1, -0.1},
+	} {
+		v0 := P.Quad(x)
+		x1 := Acl.MulVec(x)
+		v1 := P.Quad(x1)
+		if v1 >= v0 {
+			t.Errorf("V not decreasing: V=%g then %g for x=%v", v0, v1, x)
+		}
+	}
+}
+
+func TestDoublePendulumLinearization(t *testing.T) {
+	d := DefaultDoublePendulum()
+	A, B := d.Linearize()
+	if A.R != 6 || A.C != 6 || B.R != 6 || B.C != 1 {
+		t.Fatalf("shapes: A %dx%d, B %dx%d", A.R, A.C, B.R, B.C)
+	}
+	// Upright equilibrium is unstable: gravity terms must be positive on
+	// the angle accelerations' own angles.
+	if A.At(3, 2) <= 0 {
+		t.Errorf("A[3][2] = %g, want positive (unstable upright)", A.At(3, 2))
+	}
+	// And DLQR must still stabilize it.
+	Ad, Bd := Discretize(A, B, 0.005)
+	Q := Eye(6)
+	Q.Set(2, 2, 20)
+	Q.Set(4, 4, 20)
+	K, err := DLQR(Ad, Bd, Q, 0.05)
+	if err != nil {
+		t.Fatalf("DLQR: %v", err)
+	}
+	KMat := NewMat(1, 6)
+	for j, k := range K {
+		KMat.Set(0, j, k)
+	}
+	Acl := Ad.Sub(Bd.Mul(KMat))
+	if rho := SpectralRadius(Acl, 800); rho >= 1.0 {
+		t.Errorf("double-IP closed-loop spectral radius %g >= 1", rho)
+	}
+}
+
+func TestRK4MatchesExactLinear(t *testing.T) {
+	// ẋ = -x has exact solution e^{-t}; RK4 with dt=0.1 should be accurate
+	// to ~1e-6 over one unit of time.
+	sys := &LTI{A: MatFrom([][]float64{{-1}}), B: MatFrom([][]float64{{0}})}
+	x := []float64{1}
+	for i := 0; i < 10; i++ {
+		x = RK4(sys, x, 0, 0.1)
+	}
+	want := math.Exp(-1)
+	if math.Abs(x[0]-want) > 1e-6 {
+		t.Errorf("RK4 result %g, want %g", x[0], want)
+	}
+}
+
+func TestLTIValidate(t *testing.T) {
+	bad := &LTI{A: MatFrom([][]float64{{0, 1}}), B: MatFrom([][]float64{{1}})}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected validation error for non-square A")
+	}
+	good := &LTI{A: Eye(2), B: MatFrom([][]float64{{0}, {1}})}
+	if err := good.Validate(); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

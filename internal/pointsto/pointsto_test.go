@@ -1,0 +1,262 @@
+package pointsto
+
+import (
+	"testing"
+
+	"safeflow/internal/frontend"
+	"safeflow/internal/ir"
+)
+
+func compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	res, err := frontend.CompileString("t", src, frontend.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return res.Module
+}
+
+// findLoadOfGlobalField returns the first load whose address is a GEP on a
+// value loaded from the named global.
+func findStore(m *ir.Module, fnName string) *ir.Store {
+	f := m.FuncByName(fnName)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if st, ok := in.(*ir.Store); ok {
+				return st
+			}
+		}
+	}
+	return nil
+}
+
+func modes() []Mode { return []Mode{ModeSubset, ModeUnify} }
+
+func TestGlobalAddressOf(t *testing.T) {
+	m := compile(t, `
+double g;
+void set() { g = 1.5; }
+`)
+	for _, mode := range modes() {
+		r := Analyze(m, mode)
+		st := findStore(m, "set")
+		refs := r.PointsTo(st.Addr)
+		if len(refs) != 1 || refs[0].Obj.Kind != ObjGlobal || refs[0].Obj.Name != "g" {
+			t.Errorf("mode %v: store target refs = %v", mode, refs)
+		}
+	}
+}
+
+func TestParamAliasing(t *testing.T) {
+	m := compile(t, `
+double a;
+double b;
+void write(double *p) { *p = 1.0; }
+void caller() { write(&a); write(&b); }
+`)
+	for _, mode := range modes() {
+		r := Analyze(m, mode)
+		st := findStore(m, "write")
+		refs := r.PointsTo(st.Addr)
+		names := map[string]bool{}
+		for _, ref := range refs {
+			names[ref.Obj.Name] = true
+		}
+		if !names["a"] || !names["b"] {
+			t.Errorf("mode %v: write target = %v, want both a and b", mode, refs)
+		}
+	}
+}
+
+func TestFieldSensitivitySubset(t *testing.T) {
+	m := compile(t, `
+typedef struct { double x; double y; } P;
+P g;
+void setx() { g.x = 1.0; }
+void sety() { g.y = 2.0; }
+`)
+	r := Analyze(m, ModeSubset)
+	stx := findStore(m, "setx")
+	sty := findStore(m, "sety")
+	if r.MayAlias(stx.Addr, sty.Addr) {
+		t.Errorf("subset mode: distinct fields alias: %v vs %v",
+			r.PointsTo(stx.Addr), r.PointsTo(sty.Addr))
+	}
+	// The unify mode is field-insensitive: same-object fields may alias.
+	ru := Analyze(m, ModeUnify)
+	if !ru.MayAlias(stx.Addr, sty.Addr) {
+		t.Errorf("unify mode should conservatively alias same-object fields")
+	}
+}
+
+func TestHeapThroughPointerChain(t *testing.T) {
+	m := compile(t, `
+typedef struct { double v; } T;
+T *tp;
+void init()
+{
+	void *base;
+	base = shmat(0, 0, 0);
+	tp = (T *) base;
+}
+double read()
+{
+	return tp->v;
+}
+`)
+	for _, mode := range modes() {
+		r := Analyze(m, mode)
+		f := m.FuncByName("read")
+		var load *ir.Load
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if ld, ok := in.(*ir.Load); ok {
+					if _, isF := ld.Type().(interface{ IsFloat() bool }); isF {
+						_ = isF
+					}
+					load = ld // last load reads tp->v
+				}
+			}
+		}
+		refs := r.PointsTo(load.Addr)
+		foundShm := false
+		for _, ref := range refs {
+			if ref.Obj.Kind == ObjShm {
+				foundShm = true
+			}
+		}
+		if !foundShm {
+			t.Errorf("mode %v: tp->v refs = %v, want an shm object", mode, refs)
+		}
+	}
+}
+
+func TestReturnValuePlumbing(t *testing.T) {
+	m := compile(t, `
+double g;
+double *which() { return &g; }
+void set() { *which() = 3.0; }
+`)
+	for _, mode := range modes() {
+		r := Analyze(m, mode)
+		st := findStore(m, "set")
+		refs := r.PointsTo(st.Addr)
+		found := false
+		for _, ref := range refs {
+			if ref.Obj.Name == "g" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("mode %v: return-value aliasing lost: %v", mode, refs)
+		}
+	}
+}
+
+func TestUnknownExternal(t *testing.T) {
+	m := compile(t, `
+double *mystery();
+void use()
+{
+	double *p;
+	p = mystery();
+	*p = 1.0;
+}
+`)
+	r := Analyze(m, ModeSubset)
+	st := findStore(m, "use")
+	if !r.PointsToUnknown(st.Addr) {
+		t.Errorf("pointer from unknown external should reference the unknown object: %v",
+			r.PointsTo(st.Addr))
+	}
+}
+
+func TestPhiMerge(t *testing.T) {
+	m := compile(t, `
+double a;
+double b;
+void set(int c)
+{
+	double *p;
+	if (c) { p = &a; } else { p = &b; }
+	*p = 9.0;
+}
+`)
+	for _, mode := range modes() {
+		r := Analyze(m, mode)
+		st := findStore(m, "set")
+		names := map[string]bool{}
+		for _, ref := range r.PointsTo(st.Addr) {
+			names[ref.Obj.Name] = true
+		}
+		if !names["a"] || !names["b"] {
+			t.Errorf("mode %v: phi points-to = %v, want {a, b}", mode, r.PointsTo(st.Addr))
+		}
+	}
+}
+
+func TestSubsetMorePreciseThanUnify(t *testing.T) {
+	// x only ever points to a; y only to b. Unification may merge their
+	// classes through the shared helper, subset must not.
+	m := compile(t, `
+double a;
+double b;
+void touch(double *p) { *p = 1.0; }
+void fx() { double *x; x = &a; touch(x); *x = 2.0; }
+void fy() { double *y; y = &b; touch(y); *y = 3.0; }
+`)
+	rs := Analyze(m, ModeSubset)
+	st := findStore(m, "fx") // first store in fx is *x (after the call? order: call then store) — find all
+	_ = st
+	f := m.FuncByName("fx")
+	var direct *ir.Store
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if s, ok := in.(*ir.Store); ok {
+				direct = s // last store is *x = 2.0
+			}
+		}
+	}
+	refs := rs.PointsTo(direct.Addr)
+	for _, ref := range refs {
+		if ref.Obj.Name == "b" {
+			t.Errorf("subset mode: x spuriously points to b: %v", refs)
+		}
+	}
+}
+
+func TestCellPointsTo(t *testing.T) {
+	m := compile(t, `
+double target;
+double *holder;
+void init() { holder = &target; }
+void use() { *holder = 2.0; }
+`)
+	r := Analyze(m, ModeSubset)
+	st := findStore(m, "use")
+	names := map[string]bool{}
+	for _, ref := range r.PointsTo(st.Addr) {
+		names[ref.Obj.Name] = true
+	}
+	if !names["target"] {
+		t.Errorf("load-through-global aliasing lost: %v", r.PointsTo(st.Addr))
+	}
+}
+
+func TestObjectsDeterministic(t *testing.T) {
+	m := compile(t, `
+double a; double b; double c;
+void f() { a = 1; b = 2; c = 3; }
+`)
+	r1 := Analyze(m, ModeSubset)
+	r2 := Analyze(m, ModeSubset)
+	o1, o2 := r1.Objects(), r2.Objects()
+	if len(o1) != len(o2) {
+		t.Fatalf("object counts differ: %d vs %d", len(o1), len(o2))
+	}
+	for i := range o1 {
+		if o1[i].Name != o2[i].Name || o1[i].Kind != o2[i].Kind {
+			t.Errorf("object %d differs: %v vs %v", i, o1[i], o2[i])
+		}
+	}
+}

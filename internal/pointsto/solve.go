@@ -1,0 +1,232 @@
+// Solvers for the points-to constraint system: an inclusion-based
+// (Andersen) fixpoint and a unification-based (Steensgaard/DSA-style)
+// union-find pass.
+
+package pointsto
+
+import (
+	"safeflow/internal/ir"
+)
+
+// ---------------------------------------------------------------------------
+// Subset (Andersen) solver — field-sensitive.
+
+func (a *analyzer) solveSubset() *Result {
+	res := &Result{
+		mode:    ModeSubset,
+		objects: a.objects,
+		valPts:  make(map[ir.Value]map[Ref]bool),
+		cellPts: make(map[Ref]map[Ref]bool),
+		unknown: a.unknown,
+	}
+	// The unknown object's contents are unknown.
+	res.addCell(Ref{Obj: a.unknown, Off: UnknownOffset}, Ref{Obj: a.unknown, Off: UnknownOffset})
+	res.addVal(unknownVal{a.unknown}, Ref{Obj: a.unknown, Off: UnknownOffset})
+
+	// Round-robin to fixpoint; constraint counts in the corpus are small
+	// enough that the simple strategy is fast and obviously correct.
+	for changed := true; changed; {
+		changed = false
+		for _, c := range a.cons {
+			switch c.kind {
+			case cAddr:
+				changed = res.addVal(c.dst, c.ref) || changed
+			case cCopy:
+				for r := range res.valPts[c.src] {
+					changed = res.addVal(c.dst, r) || changed
+				}
+			case cGEP:
+				for r := range res.valPts[c.src] {
+					changed = res.addVal(c.dst, shiftRef(r, c.delta)) || changed
+				}
+			case cLoad:
+				for addr := range res.valPts[c.src] {
+					for _, content := range res.cellContents(addr) {
+						changed = res.addVal(c.dst, content) || changed
+					}
+				}
+			case cStore:
+				for addr := range res.valPts[c.dst] {
+					for v := range res.valPts[c.src] {
+						changed = res.addCell(addr, v) || changed
+					}
+				}
+			}
+		}
+	}
+	return res
+}
+
+func (r *Result) addVal(v ir.Value, ref Ref) bool {
+	set, ok := r.valPts[v]
+	if !ok {
+		set = make(map[Ref]bool)
+		r.valPts[v] = set
+	}
+	if set[ref] {
+		return false
+	}
+	set[ref] = true
+	return true
+}
+
+func (r *Result) addCell(addr, content Ref) bool {
+	set, ok := r.cellPts[addr]
+	if !ok {
+		set = make(map[Ref]bool)
+		r.cellPts[addr] = set
+	}
+	if set[content] {
+		return false
+	}
+	set[content] = true
+	return true
+}
+
+// cellContents reads the cell(s) named by addr: an exact offset reads its
+// own cell plus the object's summary cell; an unknown offset reads every
+// cell of the object.
+func (r *Result) cellContents(addr Ref) []Ref {
+	var out []Ref
+	if addr.Off != UnknownOffset {
+		for c := range r.cellPts[addr] {
+			out = append(out, c)
+		}
+		for c := range r.cellPts[Ref{Obj: addr.Obj, Off: UnknownOffset}] {
+			out = append(out, c)
+		}
+		return out
+	}
+	for cellAddr, set := range r.cellPts {
+		if cellAddr.Obj != addr.Obj {
+			continue
+		}
+		for c := range set {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Unification (Steensgaard) solver — field-insensitive, near-linear.
+
+type node struct {
+	parent  *node
+	pointee *node
+	objs    []*Object
+}
+
+func find(n *node) *node {
+	for n.parent != n {
+		n.parent = n.parent.parent
+		n = n.parent
+	}
+	return n
+}
+
+type unifier struct {
+	valNode map[ir.Value]*node
+	objNode map[*Object]*node
+}
+
+func (u *unifier) fresh() *node {
+	n := &node{}
+	n.parent = n
+	return n
+}
+
+func (u *unifier) nodeOfVal(v ir.Value) *node {
+	if n, ok := u.valNode[v]; ok {
+		return find(n)
+	}
+	n := u.fresh()
+	u.valNode[v] = n
+	return n
+}
+
+func (u *unifier) nodeOfObj(o *Object) *node {
+	if n, ok := u.objNode[o]; ok {
+		return find(n)
+	}
+	n := u.fresh()
+	n.objs = []*Object{o}
+	u.objNode[o] = n
+	return n
+}
+
+// pointeeOf lazily materializes the pointee class of a node.
+func (u *unifier) pointeeOf(n *node) *node {
+	n = find(n)
+	if n.pointee == nil {
+		n.pointee = u.fresh()
+	}
+	return find(n.pointee)
+}
+
+// union merges two classes (and recursively their pointees — Steensgaard's
+// conditional unification).
+func (u *unifier) union(a, b *node) {
+	a, b = find(a), find(b)
+	if a == b {
+		return
+	}
+	// Merge b into a.
+	b.parent = a
+	a.objs = append(a.objs, b.objs...)
+	b.objs = nil
+	switch {
+	case a.pointee == nil:
+		a.pointee = b.pointee
+	case b.pointee != nil:
+		pa, pb := find(a.pointee), find(b.pointee)
+		if pa != pb {
+			u.union(pa, pb)
+		}
+	}
+}
+
+func (a *analyzer) solveUnify() *Result {
+	u := &unifier{
+		valNode: make(map[ir.Value]*node),
+		objNode: make(map[*Object]*node),
+	}
+	for _, c := range a.cons {
+		switch c.kind {
+		case cAddr:
+			u.union(u.pointeeOf(u.nodeOfVal(c.dst)), u.nodeOfObj(c.ref.Obj))
+		case cCopy, cGEP: // field-insensitive: GEP is a copy
+			u.union(u.pointeeOf(u.nodeOfVal(c.dst)), u.pointeeOf(u.nodeOfVal(c.src)))
+		case cLoad:
+			srcPointee := u.pointeeOf(u.nodeOfVal(c.src))
+			u.union(u.pointeeOf(u.nodeOfVal(c.dst)), u.pointeeOf(srcPointee))
+		case cStore:
+			dstPointee := u.pointeeOf(u.nodeOfVal(c.dst))
+			u.union(u.pointeeOf(dstPointee), u.pointeeOf(u.nodeOfVal(c.src)))
+		}
+	}
+
+	res := &Result{
+		mode:    ModeUnify,
+		objects: a.objects,
+		valPts:  make(map[ir.Value]map[Ref]bool),
+		cellPts: make(map[Ref]map[Ref]bool),
+		unknown: a.unknown,
+	}
+	// Extract: pts(v) = objects in class(pointee(v)); cells likewise, all
+	// at the summary offset (the unify mode is field-insensitive).
+	for v := range u.valNode {
+		pointee := u.pointeeOf(u.nodeOfVal(v))
+		for _, o := range pointee.objs {
+			res.addVal(v, Ref{Obj: o, Off: UnknownOffset})
+		}
+	}
+	for o := range u.objNode {
+		cellClass := u.pointeeOf(u.nodeOfObj(o))
+		for _, content := range cellClass.objs {
+			res.addCell(Ref{Obj: o, Off: UnknownOffset}, Ref{Obj: content, Off: UnknownOffset})
+		}
+	}
+	res.addCell(Ref{Obj: a.unknown, Off: UnknownOffset}, Ref{Obj: a.unknown, Off: UnknownOffset})
+	return res
+}

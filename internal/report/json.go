@@ -1,0 +1,121 @@
+// JSON rendering of SafeFlow reports, for tooling that consumes analysis
+// results programmatically (CI gates, dashboards).
+
+package report
+
+import (
+	"encoding/json"
+	"io"
+
+	"safeflow/internal/core"
+	"safeflow/internal/vfg"
+)
+
+// JSONReport is the stable machine-readable form of a Report.
+type JSONReport struct {
+	Name            string          `json:"name"`
+	LinesOfCode     int             `json:"lines_of_code"`
+	AnnotationLines int             `json:"annotation_lines"`
+	Regions         []JSONRegion    `json:"regions"`
+	AnnotationErrs  []string        `json:"annotation_errors,omitempty"`
+	Violations      []JSONViolation `json:"violations,omitempty"`
+	Warnings        []JSONWarning   `json:"warnings,omitempty"`
+	Errors          []JSONError     `json:"errors,omitempty"`
+	ControlReports  []JSONError     `json:"control_reports,omitempty"`
+	Clean           bool            `json:"clean"`
+}
+
+// JSONRegion describes one shared-memory variable.
+type JSONRegion struct {
+	Name    string `json:"name"`
+	Size    int64  `json:"size"`
+	NonCore bool   `json:"noncore"`
+}
+
+// JSONViolation is one restriction violation.
+type JSONViolation struct {
+	Rule     string `json:"rule"`
+	Function string `json:"function"`
+	Pos      string `json:"pos"`
+	Message  string `json:"message"`
+}
+
+// JSONWarning is one unmonitored non-core access.
+type JSONWarning struct {
+	Pos      string `json:"pos"`
+	Function string `json:"function"`
+	Region   string `json:"region,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+// JSONError is one critical-data dependency.
+type JSONError struct {
+	Pos         string       `json:"pos"`
+	Function    string       `json:"function"`
+	Var         string       `json:"var"`
+	ControlOnly bool         `json:"control_only"`
+	Sources     []JSONSource `json:"sources"`
+}
+
+// JSONSource is one value-flow witness edge.
+type JSONSource struct {
+	Pos    string `json:"pos"`
+	Region string `json:"region,omitempty"`
+	Kind   string `json:"kind"` // data | control
+}
+
+// ToJSON converts a report to its machine-readable form.
+func ToJSON(rep *core.Report) *JSONReport {
+	out := &JSONReport{
+		Name:            rep.Name,
+		LinesOfCode:     rep.LinesOfCode,
+		AnnotationLines: rep.AnnotationLines,
+		Clean:           rep.Clean(),
+	}
+	for _, r := range rep.Regions {
+		out.Regions = append(out.Regions, JSONRegion{Name: r.Name, Size: r.Size, NonCore: r.NonCore})
+	}
+	for _, e := range rep.AnnotationErrors {
+		out.AnnotationErrs = append(out.AnnotationErrs, e.Error())
+	}
+	for _, v := range rep.Violations {
+		out.Violations = append(out.Violations, JSONViolation{
+			Rule: string(v.Rule), Function: v.Fn.Name, Pos: v.Pos.String(), Message: v.Msg,
+		})
+	}
+	for _, w := range rep.Warnings {
+		jw := JSONWarning{Pos: w.Pos.String(), Function: w.FnName, Detail: w.Detail}
+		if w.Region != nil {
+			jw.Region = w.Region.Name
+		}
+		out.Warnings = append(out.Warnings, jw)
+	}
+	out.Errors = jsonErrors(rep.ErrorsData)
+	out.ControlReports = jsonErrors(rep.ErrorsControlOnly)
+	return out
+}
+
+func jsonErrors(errs []*vfg.ErrorDep) []JSONError {
+	var out []JSONError
+	for _, e := range errs {
+		je := JSONError{
+			Pos: e.Pos.String(), Function: e.FnName, Var: e.Var, ControlOnly: e.ControlOnly,
+		}
+		for _, s := range e.SortedSources() {
+			js := JSONSource{Pos: s.Pos.String(), Kind: e.Sources[s].String()}
+			if s.Region != nil {
+				js.Region = s.Region.Name
+			}
+			je.Sources = append(je.Sources, js)
+		}
+		out = append(out, je)
+	}
+	return out
+}
+
+// WriteJSON renders the report as indented JSON.
+func WriteJSON(w io.Writer, rep *core.Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ToJSON(rep))
+}

@@ -1,0 +1,54 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	rep := figure2Report(t)
+	var sb strings.Builder
+	if err := WriteJSON(&sb, rep); err != nil {
+		t.Fatal(err)
+	}
+	var decoded JSONReport
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if decoded.Name != "figure2" || decoded.Clean {
+		t.Errorf("decoded header = %+v", decoded)
+	}
+	if len(decoded.Regions) != 2 || len(decoded.Warnings) != 3 || len(decoded.Errors) != 1 {
+		t.Errorf("counts: regions=%d warnings=%d errors=%d",
+			len(decoded.Regions), len(decoded.Warnings), len(decoded.Errors))
+	}
+	e := decoded.Errors[0]
+	if e.Var != "output" || e.ControlOnly || len(e.Sources) < 2 {
+		t.Errorf("error = %+v", e)
+	}
+	dataEdges := 0
+	for _, s := range e.Sources {
+		if s.Region != "feedback" {
+			t.Errorf("source region = %+v", s)
+		}
+		switch s.Kind {
+		case "data":
+			dataEdges++
+		case "control":
+		default:
+			t.Errorf("source kind = %q", s.Kind)
+		}
+	}
+	if dataEdges != 2 {
+		t.Errorf("data witness edges = %d, want 2 (the computeSafety reads)", dataEdges)
+	}
+}
+
+func TestJSONCleanReport(t *testing.T) {
+	rep := mustAnalyzeString(t, "int main() { return 0; }")
+	j := ToJSON(rep)
+	if !j.Clean || len(j.Warnings) != 0 || len(j.Errors) != 0 {
+		t.Errorf("clean JSON = %+v", j)
+	}
+}

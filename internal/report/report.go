@@ -1,0 +1,92 @@
+// Package report renders SafeFlow analysis reports: per-diagnostic
+// listings with their unsafe-source witnesses (the distilled value-flow
+// graph evidence the paper's manual inspection step relies on), and the
+// Table 1 summary rows the benchmark harness regenerates.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"safeflow/internal/core"
+	"safeflow/internal/vfg"
+)
+
+// Write renders the full report for one analyzed system.
+func Write(w io.Writer, rep *core.Report) {
+	fmt.Fprintf(w, "SafeFlow report for %s\n", rep.Name)
+	fmt.Fprintf(w, "%s\n", strings.Repeat("=", 20+len(rep.Name)))
+	fmt.Fprintf(w, "source lines: %d   annotation lines: %d\n", rep.LinesOfCode, rep.AnnotationLines)
+
+	fmt.Fprintf(w, "\nShared-memory regions (%d):\n", len(rep.Regions))
+	for _, r := range rep.Regions {
+		fmt.Fprintf(w, "  %s\n", r)
+	}
+
+	if len(rep.AnnotationErrors) > 0 {
+		fmt.Fprintf(w, "\nAnnotation errors (%d):\n", len(rep.AnnotationErrors))
+		for _, e := range rep.AnnotationErrors {
+			fmt.Fprintf(w, "  %v\n", e)
+		}
+	}
+
+	if len(rep.Violations) > 0 {
+		fmt.Fprintf(w, "\nRestriction violations (%d):\n", len(rep.Violations))
+		for _, v := range rep.Violations {
+			fmt.Fprintf(w, "  %s\n", v)
+		}
+	}
+
+	fmt.Fprintf(w, "\nWarnings — unmonitored non-core accesses (%d):\n", len(rep.Warnings))
+	for _, s := range rep.Warnings {
+		fmt.Fprintf(w, "  %s\n", s)
+	}
+
+	fmt.Fprintf(w, "\nError dependencies (%d):\n", len(rep.ErrorsData))
+	for _, e := range rep.ErrorsData {
+		writeError(w, e)
+	}
+
+	fmt.Fprintf(w, "\nControl-dependence reports — manual inspection required (%d):\n",
+		len(rep.ErrorsControlOnly))
+	for _, e := range rep.ErrorsControlOnly {
+		writeError(w, e)
+	}
+
+	if rep.Clean() {
+		fmt.Fprintf(w, "\nsafe value flow verified: no unmonitored non-core value reaches critical data\n")
+	}
+}
+
+// writeError prints one error with its value-flow witness: the unsafe
+// sources the critical data depends on and the dependency kind of each.
+func writeError(w io.Writer, e *vfg.ErrorDep) {
+	fmt.Fprintf(w, "  %s\n", e)
+	for _, s := range e.SortedSources() {
+		kind := e.Sources[s]
+		fmt.Fprintf(w, "      via %s flow from %s\n", kind, s)
+	}
+}
+
+// Table1Header returns the header lines of the paper's Table 1.
+func Table1Header() string {
+	return fmt.Sprintf("%-17s %9s %11s %7s %9s %7s\n%s",
+		"System", "LOC(core)", "Annot.lines", "Errors", "Warnings", "FalsePos",
+		strings.Repeat("-", 66))
+}
+
+// Table1Row renders one system's row of Table 1.
+func Table1Row(rep *core.Report) string {
+	return fmt.Sprintf("%-17s %9d %11d %7d %9d %7d",
+		rep.Name, rep.LinesOfCode, rep.AnnotationLines,
+		len(rep.ErrorsData), len(rep.Warnings), len(rep.ErrorsControlOnly))
+}
+
+// WriteTable1 renders the whole table.
+func WriteTable1(w io.Writer, reps []*core.Report) {
+	fmt.Fprintln(w, Table1Header())
+	for _, rep := range reps {
+		fmt.Fprintln(w, Table1Row(rep))
+	}
+}

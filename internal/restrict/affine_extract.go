@@ -1,0 +1,266 @@
+// Affine extraction for the A2 checks: decomposing SSA integer values into
+// affine expressions over symbolic atoms (loop induction phis, parameters,
+// loads), recognizing induction patterns, and harvesting the branch
+// conditions that dominate an access.
+
+package restrict
+
+import (
+	"safeflow/internal/affine"
+	"safeflow/internal/cfgraph"
+	"safeflow/internal/ir"
+)
+
+// extractor maps SSA values to affine expressions over a per-function atom
+// numbering.
+type extractor struct {
+	fn    *ir.Function
+	atoms map[ir.Value]affine.Var
+	memo  map[ir.Value]affineResult
+	next  affine.Var
+	// induction records init/step for atoms that are induction phis.
+	induction map[affine.Var]inductionInfo
+}
+
+type inductionInfo struct {
+	init int64
+	step int64
+}
+
+type affineResult struct {
+	expr affine.Expr
+	ok   bool
+}
+
+func newExtractor(fn *ir.Function) *extractor {
+	return &extractor{
+		fn:        fn,
+		atoms:     make(map[ir.Value]affine.Var),
+		memo:      make(map[ir.Value]affineResult),
+		induction: make(map[affine.Var]inductionInfo),
+	}
+}
+
+func (e *extractor) atomFor(v ir.Value) affine.Var {
+	if a, ok := e.atoms[v]; ok {
+		return a
+	}
+	e.next++
+	e.atoms[v] = e.next
+	if phi, isPhi := v.(*ir.Phi); isPhi {
+		if info, isInd := inductionPattern(phi); isInd {
+			e.induction[e.next] = info
+		}
+	}
+	return e.next
+}
+
+// affineOf decomposes v; ok is false when v is not affine over atoms.
+func (e *extractor) affineOf(v ir.Value) (affine.Expr, bool) {
+	if r, ok := e.memo[v]; ok {
+		return r.expr, r.ok
+	}
+	// Pre-mark to cut cycles through phis: a self-referential value is its
+	// own atom.
+	e.memo[v] = affineResult{expr: affine.NewVarExpr(e.atomFor(v)), ok: true}
+	expr, ok := e.decompose(v)
+	e.memo[v] = affineResult{expr: expr, ok: ok}
+	return expr, ok
+}
+
+func (e *extractor) decompose(v ir.Value) (affine.Expr, bool) {
+	switch x := v.(type) {
+	case *ir.ConstInt:
+		return affine.NewExpr(x.Val), true
+	case *ir.BinOp:
+		switch x.Op {
+		case ir.Add:
+			a, ok1 := e.affineOf(x.X)
+			b, ok2 := e.affineOf(x.Y)
+			if ok1 && ok2 {
+				return a.Add(b), true
+			}
+		case ir.Sub:
+			a, ok1 := e.affineOf(x.X)
+			b, ok2 := e.affineOf(x.Y)
+			if ok1 && ok2 {
+				return a.Sub(b), true
+			}
+		case ir.Mul:
+			if c, isC := x.X.(*ir.ConstInt); isC {
+				if b, ok := e.affineOf(x.Y); ok {
+					return b.Scale(c.Val), true
+				}
+			}
+			if c, isC := x.Y.(*ir.ConstInt); isC {
+				if a, ok := e.affineOf(x.X); ok {
+					return a.Scale(c.Val), true
+				}
+			}
+		case ir.Shl:
+			if c, isC := x.Y.(*ir.ConstInt); isC && c.Val >= 0 && c.Val < 31 {
+				if a, ok := e.affineOf(x.X); ok {
+					return a.Scale(int64(1) << uint(c.Val)), true
+				}
+			}
+		}
+		return affine.Expr{}, false
+	case *ir.Cast:
+		switch x.Kind {
+		case ir.Ext, ir.Trunc:
+			return e.affineOf(x.X)
+		}
+		return affine.NewVarExpr(e.atomFor(v)), true
+	case *ir.Phi, *ir.Param, *ir.Load, *ir.Call, *ir.Cmp:
+		return affine.NewVarExpr(e.atomFor(v)), true
+	default:
+		return affine.Expr{}, false
+	}
+}
+
+// inductionConstraints adds the monotonicity facts of recognized induction
+// variables: a positive step bounds the variable below by its initial
+// value; a negative step bounds it above.
+func (e *extractor) inductionConstraints(sys *affine.System) {
+	for v, info := range e.induction {
+		switch {
+		case info.step > 0:
+			sys.Add(affine.GE(affine.NewVarExpr(v), affine.NewExpr(info.init)))
+		case info.step < 0:
+			sys.Add(affine.LE(affine.NewVarExpr(v), affine.NewExpr(info.init)))
+		}
+	}
+}
+
+// inductionPattern matches phi(init const, phi±const) loops.
+func inductionPattern(phi *ir.Phi) (inductionInfo, bool) {
+	if len(phi.Edges) != 2 {
+		return inductionInfo{}, false
+	}
+	match := func(initV, stepV ir.Value) (inductionInfo, bool) {
+		init, isConst := initV.(*ir.ConstInt)
+		if !isConst {
+			return inductionInfo{}, false
+		}
+		bo, isBin := stepV.(*ir.BinOp)
+		if !isBin {
+			return inductionInfo{}, false
+		}
+		var step int64
+		switch {
+		case bo.Op == ir.Add && bo.X == ir.Value(phi):
+			c, ok := bo.Y.(*ir.ConstInt)
+			if !ok {
+				return inductionInfo{}, false
+			}
+			step = c.Val
+		case bo.Op == ir.Add && bo.Y == ir.Value(phi):
+			c, ok := bo.X.(*ir.ConstInt)
+			if !ok {
+				return inductionInfo{}, false
+			}
+			step = c.Val
+		case bo.Op == ir.Sub && bo.X == ir.Value(phi):
+			c, ok := bo.Y.(*ir.ConstInt)
+			if !ok {
+				return inductionInfo{}, false
+			}
+			step = -c.Val
+		default:
+			return inductionInfo{}, false
+		}
+		return inductionInfo{init: init.Val, step: step}, true
+	}
+	if info, ok := match(phi.Edges[0].Val, phi.Edges[1].Val); ok {
+		return info, true
+	}
+	return match(phi.Edges[1].Val, phi.Edges[0].Val)
+}
+
+// ---------------------------------------------------------------------------
+// Dominating guards
+
+// guardIndex finds, per block, the conditional branches whose outcome is
+// pinned on every path to the block (via the dominator tree: an ancestor's
+// branch constrains B when exactly one successor of the ancestor
+// dominates B).
+type guardIndex struct {
+	dt *cfgraph.DomTree
+}
+
+func newGuardIndex(fn *ir.Function) *guardIndex {
+	return &guardIndex{dt: cfgraph.NewDomTree(fn)}
+}
+
+// constraintsFor adds the affine constraints implied by the guards of
+// block b to sys.
+func (gi *guardIndex) constraintsFor(b *ir.Block, ext *extractor, sys *affine.System) {
+	seen := make(map[*ir.Block]bool)
+	cur := b
+	for {
+		d := gi.dt.IDom(cur)
+		if d == nil || d == cur || seen[d] {
+			return
+		}
+		seen[d] = true
+		if br, ok := d.Term().(*ir.Br); ok && br.Cond != nil && br.Then != br.Else {
+			thenDom := gi.dt.Dominates(br.Then, b)
+			elseDom := gi.dt.Dominates(br.Else, b)
+			if thenDom != elseDom {
+				addCmpConstraint(br.Cond, thenDom, ext, sys)
+			}
+		}
+		cur = d
+	}
+}
+
+// addCmpConstraint turns "cmp taken/not-taken" into linear constraints
+// when both operands are affine.
+func addCmpConstraint(cond ir.Value, taken bool, ext *extractor, sys *affine.System) {
+	cmp, ok := cond.(*ir.Cmp)
+	if !ok {
+		return
+	}
+	a, ok1 := ext.affineOf(cmp.X)
+	b, ok2 := ext.affineOf(cmp.Y)
+	if !ok1 || !ok2 {
+		return
+	}
+	op := cmp.Op
+	if !taken {
+		op = negateCmp(op)
+	}
+	switch op {
+	case ir.LT:
+		sys.Add(affine.LT(a, b))
+	case ir.LE:
+		sys.Add(affine.LE(a, b))
+	case ir.GT:
+		sys.Add(affine.GT(a, b))
+	case ir.GE:
+		sys.Add(affine.GE(a, b))
+	case ir.EQ:
+		sys.Add(affine.EQ(a, b)...)
+	case ir.NE:
+		// A disjunction; no single linear constraint. Skip (sound: fewer
+		// constraints only weakens infeasibility proofs).
+	}
+}
+
+func negateCmp(op ir.CmpKind) ir.CmpKind {
+	switch op {
+	case ir.EQ:
+		return ir.NE
+	case ir.NE:
+		return ir.EQ
+	case ir.LT:
+		return ir.GE
+	case ir.LE:
+		return ir.GT
+	case ir.GT:
+		return ir.LE
+	case ir.GE:
+		return ir.LT
+	}
+	return op
+}

@@ -1,0 +1,218 @@
+// Package shm emulates the SysV shared-memory substrate the paper's lab
+// systems communicate through: named segments of raw bytes attached by
+// multiple (simulated) components, typed variable views at byte offsets,
+// advisory locks, and the InitCheck run-time verification that SafeFlow
+// inserts into initializing functions (paper §3.2.1) to confirm that the
+// annotated shared-memory variables do not overlap and lie within the
+// segment.
+//
+// The emulation is deliberately faithful to the failure modes the paper
+// cares about: any component holding an attachment can write any byte at
+// any time (there is no hardware protection), so a "read-only" convention
+// on a region is exactly as unenforced as it is on real SysV segments.
+package shm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Segment is one emulated shared-memory segment.
+type Segment struct {
+	key  int
+	data []byte
+	mu   sync.Mutex // the advisory lock (Lock/Unlock)
+}
+
+// registry emulates the kernel's key -> segment table.
+type registry struct {
+	mu   sync.Mutex
+	segs map[int]*Segment
+}
+
+var _segments = &registry{segs: make(map[int]*Segment)}
+
+// Get returns the segment for key, creating it with the given size when
+// absent (shmget semantics with IPC_CREAT). Getting an existing segment
+// with a larger size fails, as it does on SysV.
+func Get(key int, size int) (*Segment, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("shm: invalid segment size %d", size)
+	}
+	_segments.mu.Lock()
+	defer _segments.mu.Unlock()
+	if s, ok := _segments.segs[key]; ok {
+		if size > len(s.data) {
+			return nil, fmt.Errorf("shm: segment %d exists with size %d < requested %d", key, len(s.data), size)
+		}
+		return s, nil
+	}
+	s := &Segment{key: key, data: make([]byte, size)}
+	_segments.segs[key] = s
+	return s, nil
+}
+
+// Remove destroys the segment (shmctl IPC_RMID).
+func Remove(key int) {
+	_segments.mu.Lock()
+	defer _segments.mu.Unlock()
+	delete(_segments.segs, key)
+}
+
+// Reset clears all segments (between tests/simulations).
+func Reset() {
+	_segments.mu.Lock()
+	defer _segments.mu.Unlock()
+	_segments.segs = make(map[int]*Segment)
+}
+
+// Size returns the segment size in bytes.
+func (s *Segment) Size() int { return len(s.data) }
+
+// Key returns the segment's key.
+func (s *Segment) Key() int { return s.key }
+
+// Lock acquires the segment's advisory lock.
+func (s *Segment) Lock() { s.mu.Lock() }
+
+// Unlock releases the segment's advisory lock.
+func (s *Segment) Unlock() { s.mu.Unlock() }
+
+// ---------------------------------------------------------------------------
+// Raw accessors (unsynchronized, like real shared memory)
+
+func (s *Segment) check(off, n int) error {
+	if off < 0 || off+n > len(s.data) {
+		return fmt.Errorf("shm: access [%d,%d) outside segment of %d bytes", off, off+n, len(s.data))
+	}
+	return nil
+}
+
+// ReadFloat64 reads a float64 at the byte offset.
+func (s *Segment) ReadFloat64(off int) (float64, error) {
+	if err := s.check(off, 8); err != nil {
+		return 0, err
+	}
+	bits := binary.LittleEndian.Uint64(s.data[off:])
+	return math.Float64frombits(bits), nil
+}
+
+// WriteFloat64 writes a float64 at the byte offset.
+func (s *Segment) WriteFloat64(off int, v float64) error {
+	if err := s.check(off, 8); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(s.data[off:], math.Float64bits(v))
+	return nil
+}
+
+// ReadInt32 reads an int32 at the byte offset.
+func (s *Segment) ReadInt32(off int) (int32, error) {
+	if err := s.check(off, 4); err != nil {
+		return 0, err
+	}
+	return int32(binary.LittleEndian.Uint32(s.data[off:])), nil
+}
+
+// WriteInt32 writes an int32 at the byte offset.
+func (s *Segment) WriteInt32(off int, v int32) error {
+	if err := s.check(off, 4); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(s.data[off:], uint32(v))
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Typed variable views
+
+// Var is a typed window into a segment — the Go analogue of a shared
+// memory pointer declared by shmvar(ptr, size).
+type Var struct {
+	Seg    *Segment
+	Name   string
+	Offset int
+	Size   int
+}
+
+// NewVar creates a variable view after bounds-checking it.
+func NewVar(seg *Segment, name string, offset, size int) (*Var, error) {
+	if err := seg.check(offset, size); err != nil {
+		return nil, fmt.Errorf("shm: variable %q: %w", name, err)
+	}
+	return &Var{Seg: seg, Name: name, Offset: offset, Size: size}, nil
+}
+
+// Float64At reads the float64 at byte offset off within the variable.
+func (v *Var) Float64At(off int) (float64, error) {
+	if off < 0 || off+8 > v.Size {
+		return 0, fmt.Errorf("shm: %s: access %d outside variable of %d bytes", v.Name, off, v.Size)
+	}
+	return v.Seg.ReadFloat64(v.Offset + off)
+}
+
+// SetFloat64At writes the float64 at byte offset off within the variable.
+func (v *Var) SetFloat64At(off int, x float64) error {
+	if off < 0 || off+8 > v.Size {
+		return fmt.Errorf("shm: %s: access %d outside variable of %d bytes", v.Name, off, v.Size)
+	}
+	return v.Seg.WriteFloat64(v.Offset+off, x)
+}
+
+// Int32At reads the int32 at byte offset off within the variable.
+func (v *Var) Int32At(off int) (int32, error) {
+	if off < 0 || off+4 > v.Size {
+		return 0, fmt.Errorf("shm: %s: access %d outside variable of %d bytes", v.Name, off, v.Size)
+	}
+	return v.Seg.ReadInt32(v.Offset + off)
+}
+
+// SetInt32At writes the int32 at byte offset off within the variable.
+func (v *Var) SetInt32At(off int, x int32) error {
+	if off < 0 || off+4 > v.Size {
+		return fmt.Errorf("shm: %s: access %d outside variable of %d bytes", v.Name, off, v.Size)
+	}
+	return v.Seg.WriteInt32(v.Offset+off, x)
+}
+
+// ---------------------------------------------------------------------------
+// InitCheck
+
+// InitCheck verifies, once at bootstrap, that the declared shared-memory
+// variables (the shmvar annotations of an initializing function) are
+// pairwise non-overlapping and each lies entirely within the segment —
+// the run-time check the paper auto-inserts to validate the programmer's
+// size annotations. A failure must terminate the core component before it
+// starts; callers are expected to treat the returned error as fatal.
+func InitCheck(seg *Segment, vars ...*Var) error {
+	if seg == nil {
+		return fmt.Errorf("shm: InitCheck: nil segment")
+	}
+	sorted := make([]*Var, len(vars))
+	copy(sorted, vars)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Offset < sorted[j].Offset })
+	for i, v := range sorted {
+		if v.Seg != seg {
+			return fmt.Errorf("shm: InitCheck: variable %q belongs to a different segment", v.Name)
+		}
+		if v.Size <= 0 {
+			return fmt.Errorf("shm: InitCheck: variable %q has non-positive size %d", v.Name, v.Size)
+		}
+		if v.Offset < 0 || v.Offset+v.Size > seg.Size() {
+			return fmt.Errorf("shm: InitCheck: variable %q [%d,%d) outside segment of %d bytes",
+				v.Name, v.Offset, v.Offset+v.Size, seg.Size())
+		}
+		if i > 0 {
+			prev := sorted[i-1]
+			if prev.Offset+prev.Size > v.Offset {
+				return fmt.Errorf("shm: InitCheck: variables %q [%d,%d) and %q [%d,%d) overlap",
+					prev.Name, prev.Offset, prev.Offset+prev.Size,
+					v.Name, v.Offset, v.Offset+v.Size)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package shm
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestGetCreateAndReuse(t *testing.T) {
+	Reset()
+	s1, err := Get(100, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Get(100, 32) // smaller request attaches to the same segment
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("same key returned different segments")
+	}
+	if _, err := Get(100, 128); err == nil {
+		t.Error("larger request on existing segment should fail")
+	}
+	if _, err := Get(101, 0); err == nil {
+		t.Error("zero-size segment should fail")
+	}
+	Remove(100)
+	s3, err := Get(100, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 == s1 {
+		t.Error("segment survived Remove")
+	}
+}
+
+func TestTypedAccess(t *testing.T) {
+	Reset()
+	s, _ := Get(1, 64)
+	if err := s.WriteFloat64(8, 3.25); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.ReadFloat64(8)
+	if err != nil || v != 3.25 {
+		t.Errorf("ReadFloat64 = %v, %v", v, err)
+	}
+	if err := s.WriteInt32(0, -7); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.ReadInt32(0)
+	if err != nil || n != -7 {
+		t.Errorf("ReadInt32 = %v, %v", n, err)
+	}
+}
+
+func TestOutOfBoundsAccess(t *testing.T) {
+	Reset()
+	s, _ := Get(1, 16)
+	if err := s.WriteFloat64(12, 1); err == nil {
+		t.Error("write past end accepted")
+	}
+	if _, err := s.ReadFloat64(-1); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if _, err := s.ReadInt32(16); err == nil {
+		t.Error("read at end accepted")
+	}
+}
+
+func TestVarViews(t *testing.T) {
+	Reset()
+	s, _ := Get(1, 64)
+	v, err := NewVar(s, "fb", 16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetFloat64At(0, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	// The variable's offset 0 is segment offset 16.
+	raw, _ := s.ReadFloat64(16)
+	if raw != 2.5 {
+		t.Errorf("segment view = %v", raw)
+	}
+	if err := v.SetFloat64At(32, 1); err == nil {
+		t.Error("write past variable end accepted")
+	}
+	if err := v.SetInt32At(30, 1); err == nil {
+		t.Error("int write crossing variable end accepted")
+	}
+	if _, err := NewVar(s, "bad", 60, 16); err == nil {
+		t.Error("variable outside segment accepted")
+	}
+}
+
+func TestInitCheckValid(t *testing.T) {
+	Reset()
+	s, _ := Get(1, 64)
+	a, _ := NewVar(s, "a", 0, 32)
+	b, _ := NewVar(s, "b", 32, 32)
+	if err := InitCheck(s, a, b); err != nil {
+		t.Errorf("valid layout rejected: %v", err)
+	}
+	// Order independence.
+	if err := InitCheck(s, b, a); err != nil {
+		t.Errorf("valid layout rejected in reverse order: %v", err)
+	}
+	if err := InitCheck(s); err != nil {
+		t.Errorf("empty layout rejected: %v", err)
+	}
+}
+
+func TestInitCheckOverlap(t *testing.T) {
+	Reset()
+	s, _ := Get(1, 64)
+	a, _ := NewVar(s, "a", 0, 40)
+	b, _ := NewVar(s, "b", 32, 32)
+	if err := InitCheck(s, a, b); err == nil {
+		t.Error("overlap accepted")
+	}
+}
+
+func TestInitCheckForeignSegment(t *testing.T) {
+	Reset()
+	s1, _ := Get(1, 64)
+	s2, _ := Get(2, 64)
+	a, _ := NewVar(s2, "a", 0, 8)
+	if err := InitCheck(s1, a); err == nil {
+		t.Error("variable from another segment accepted")
+	}
+	if err := InitCheck(nil); err == nil {
+		t.Error("nil segment accepted")
+	}
+}
+
+func TestLockExcludes(t *testing.T) {
+	Reset()
+	s, _ := Get(1, 16)
+	var wg sync.WaitGroup
+	counter := 0
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				s.Lock()
+				counter++
+				s.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8000 {
+		t.Errorf("counter = %d, want 8000 (lock not exclusive)", counter)
+	}
+}
+
+// Property: float round-trips exactly at any valid aligned offset.
+func TestQuickFloatRoundTrip(t *testing.T) {
+	Reset()
+	s, _ := Get(1, 128)
+	f := func(off uint8, val float64) bool {
+		o := int(off) % 120
+		if err := s.WriteFloat64(o, val); err != nil {
+			return false
+		}
+		got, err := s.ReadFloat64(o)
+		if err != nil {
+			return false
+		}
+		return got == val || (val != val && got != got) // NaN round-trips too
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: InitCheck accepts any non-overlapping ascending layout and
+// rejects any layout where a variable is shrunk into its neighbor.
+func TestQuickInitCheckLayouts(t *testing.T) {
+	Reset()
+	seg, _ := Get(9, 4096)
+	f := func(sizes []uint8) bool {
+		if len(sizes) > 16 {
+			sizes = sizes[:16]
+		}
+		var vars []*Var
+		off := 0
+		for i, raw := range sizes {
+			size := int(raw)%32 + 1
+			if off+size > seg.Size() {
+				break
+			}
+			v, err := NewVar(seg, string(rune('a'+i%26)), off, size)
+			if err != nil {
+				return false
+			}
+			vars = append(vars, v)
+			off += size
+		}
+		if InitCheck(seg, vars...) != nil {
+			return false
+		}
+		if len(vars) >= 2 {
+			// Introduce an overlap: grow the first variable into the second.
+			bad := *vars[0]
+			bad.Size = vars[1].Offset - vars[0].Offset + 1
+			tampered := append([]*Var{&bad}, vars[1:]...)
+			if InitCheck(seg, tampered...) == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,48 @@
+package simplex
+
+import (
+	"testing"
+)
+
+// TestConcurrentHealthy runs the two components as real goroutines. The
+// trace is nondeterministic; the asserted properties are interleaving-
+// independent: the plant never diverges and the non-core loop makes
+// progress.
+func TestConcurrentHealthy(t *testing.T) {
+	tr, err := RunConcurrent(Config{Steps: 2000, ShmKey: 0x1600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Diverged {
+		t.Fatal("healthy concurrent run diverged")
+	}
+	if tr.NonCoreIters == 0 {
+		t.Error("non-core goroutine never ran")
+	}
+	if tr.NonCoreUsed+tr.Rejected+tr.StaleSkipped > tr.Steps {
+		t.Errorf("accounting overflow: used=%d rejected=%d stale=%d steps=%d",
+			tr.NonCoreUsed, tr.Rejected, tr.StaleSkipped, tr.Steps)
+	}
+}
+
+// TestConcurrentFaultContained checks the safety property that must hold
+// under EVERY interleaving: with the monitor in place, a hostile non-core
+// controller cannot destabilize the plant.
+func TestConcurrentFaultContained(t *testing.T) {
+	for _, fault := range []FaultMode{FaultSignFlip, FaultSaturate, FaultNaN} {
+		t.Run(fault.String(), func(t *testing.T) {
+			tr, err := RunConcurrent(Config{
+				Steps: 2500, Fault: fault, FaultStep: 500, ShmKey: 0x1700 + int(fault),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Diverged {
+				t.Fatalf("fault %s escaped the monitor under concurrency", fault)
+			}
+			if tr.MaxAbsState[2] > 0.5 {
+				t.Errorf("fault %s: max angle %g too large", fault, tr.MaxAbsState[2])
+			}
+		})
+	}
+}

@@ -1,0 +1,260 @@
+// The closed-loop simulation harness for Figure 1: synthesize both
+// controllers, build the monitor, and run the plant with the core and
+// non-core components exchanging state and control through shared memory.
+
+package simplex
+
+import (
+	"fmt"
+	"math"
+
+	"safeflow/internal/plant"
+	"safeflow/internal/shm"
+)
+
+// Config describes one closed-loop experiment.
+type Config struct {
+	Plant plant.Linearizable
+	// DT is the control period in seconds (100 Hz default).
+	DT float64
+	// Steps is the number of control periods to simulate.
+	Steps int
+	// InitState is the initial plant state (defaults to a small tilt for
+	// pendulum-shaped plants).
+	InitState []float64
+	// UMax is the actuator limit (the paper's ±5 V).
+	UMax float64
+	// AngleWeight boosts the Q weight on odd-position states for the
+	// safety controller (conservative tuning); the complex controller uses
+	// a performance-oriented tuning automatically.
+	AngleWeight float64
+	// EnvelopeMargin scales the Lyapunov level set (default 4x the initial
+	// condition's V).
+	EnvelopeMargin float64
+	// Fault configures the non-core controller's failure.
+	Fault     FaultMode
+	FaultStep int
+	// ShmKey selects the shared-memory segment (unique per experiment).
+	ShmKey int
+	// Unmonitored bypasses the decision module, applying the non-core
+	// output directly — the failure SafeFlow exists to prevent. For
+	// demonstration only.
+	Unmonitored bool
+}
+
+// StepRecord is one control period's outcome.
+type StepRecord struct {
+	T           float64
+	State       []float64
+	U           float64
+	UsedNonCore bool
+}
+
+// Trace is the result of a closed-loop run.
+type Trace struct {
+	Steps       []StepRecord
+	Switches    int // transitions between controllers
+	NonCoreUsed int // periods where the complex output was admitted
+	Rejected    int // periods where the monitor rejected the proposal
+	MaxAbsState []float64
+	Diverged    bool // plant left the safe state space
+	DivergedAt  int
+}
+
+// FracNonCore returns the fraction of periods driven by the complex
+// controller.
+func (t *Trace) FracNonCore() float64 {
+	if len(t.Steps) == 0 {
+		return 0
+	}
+	return float64(t.NonCoreUsed) / float64(len(t.Steps))
+}
+
+// Run executes the experiment.
+func Run(cfg Config) (*Trace, error) {
+	if cfg.Plant == nil {
+		cfg.Plant = plant.DefaultPendulum()
+	}
+	if cfg.DT == 0 {
+		cfg.DT = 0.01
+	}
+	if cfg.Steps == 0 {
+		cfg.Steps = 2000
+	}
+	if cfg.UMax == 0 {
+		cfg.UMax = 20
+	}
+	if cfg.AngleWeight == 0 {
+		cfg.AngleWeight = 10
+	}
+	if cfg.EnvelopeMargin == 0 {
+		cfg.EnvelopeMargin = 4
+	}
+	if cfg.FaultStep == 0 {
+		cfg.FaultStep = cfg.Steps / 2
+	}
+	if cfg.Fault == 0 {
+		cfg.Fault = FaultNone
+	}
+	n := cfg.Plant.Dim()
+	if cfg.InitState == nil {
+		cfg.InitState = make([]float64, n)
+		if n >= 3 {
+			cfg.InitState[2] = 0.1 // small tilt
+		}
+	}
+	if len(cfg.InitState) != n {
+		return nil, fmt.Errorf("simplex: init state has %d values, plant has %d", len(cfg.InitState), n)
+	}
+
+	// Controller synthesis.
+	A, B := cfg.Plant.Linearize()
+	Ad, Bd := plant.Discretize(A, B, cfg.DT)
+
+	qSafe := plant.Eye(n)
+	for i := 2; i < n; i += 2 {
+		qSafe.Set(i, i, cfg.AngleWeight)
+	}
+	kSafe, err := plant.DLQR(Ad, Bd, qSafe, 1.0)
+	if err != nil {
+		return nil, fmt.Errorf("simplex: safety controller synthesis: %w", err)
+	}
+	// The complex controller is tuned for performance: cheap control,
+	// aggressive tracking.
+	qPerf := plant.Eye(n)
+	for i := 2; i < n; i += 2 {
+		qPerf.Set(i, i, cfg.AngleWeight*5)
+	}
+	kPerf, err := plant.DLQR(Ad, Bd, qPerf, 0.05)
+	if err != nil {
+		return nil, fmt.Errorf("simplex: complex controller synthesis: %w", err)
+	}
+
+	// Monitor: Lyapunov envelope of the safety loop.
+	kMat := plant.NewMat(1, n)
+	for j, k := range kSafe {
+		kMat.Set(0, j, k)
+	}
+	acl := Ad.Sub(Bd.Mul(kMat))
+	p, err := plant.DLyap(acl, plant.Eye(n))
+	if err != nil {
+		return nil, fmt.Errorf("simplex: Lyapunov envelope: %w", err)
+	}
+	c := p.Quad(cfg.InitState) * cfg.EnvelopeMargin
+	monitor := &DecisionModule{Ad: Ad, Bd: Bd, P: p, C: c, UMax: cfg.UMax}
+
+	// Shared memory.
+	key := cfg.ShmKey
+	if key == 0 {
+		key = 0x5afe
+	}
+	shm.Remove(key)
+	shared, err := NewSharedState(key, n)
+	if err != nil {
+		return nil, err
+	}
+
+	safety := &LQRController{Label: "safety", K: kSafe}
+	complexCtl := &ComplexController{
+		Inner:     &LQRController{Label: "lqr-perf", K: kPerf},
+		Fault:     cfg.Fault,
+		FaultStep: cfg.FaultStep,
+		UMax:      cfg.UMax,
+	}
+
+	// Closed loop.
+	trace := &Trace{MaxAbsState: make([]float64, n)}
+	x := append([]float64(nil), cfg.InitState...)
+	prevNonCore := false
+	for step := 0; step < cfg.Steps; step++ {
+		shared.Seg.Lock()
+		if err := shared.PublishState(x, int32(step)); err != nil {
+			shared.Seg.Unlock()
+			return nil, err
+		}
+		shared.Seg.Unlock()
+
+		// Non-core component period: read feedback, propose control.
+		shared.Seg.Lock()
+		fbState, _, err := shared.ReadState()
+		if err != nil {
+			shared.Seg.Unlock()
+			return nil, err
+		}
+		if err := shared.ProposeControl(complexCtl.Output(fbState)); err != nil {
+			shared.Seg.Unlock()
+			return nil, err
+		}
+		shared.Seg.Unlock()
+
+		// Core component period: read proposal, monitor, dispatch.
+		shared.Seg.Lock()
+		proposal, ready, err := shared.ReadProposal()
+		shared.Seg.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		safeU := clamp(safety.Output(x), cfg.UMax)
+		var u float64
+		usedNonCore := false
+		switch {
+		case cfg.Unmonitored && ready:
+			u = proposal // the defect: unmonitored non-core value flow
+			usedNonCore = true
+		case ready:
+			u, usedNonCore = monitor.Decide(x, proposal, safeU)
+			if !usedNonCore {
+				trace.Rejected++
+			}
+		default:
+			u = safeU
+		}
+		if usedNonCore {
+			trace.NonCoreUsed++
+		}
+		if usedNonCore != prevNonCore && step > 0 {
+			trace.Switches++
+		}
+		prevNonCore = usedNonCore
+
+		x = plant.RK4(cfg.Plant, x, u, cfg.DT)
+		for i, v := range x {
+			if a := math.Abs(v); a > trace.MaxAbsState[i] {
+				trace.MaxAbsState[i] = a
+			}
+		}
+		trace.Steps = append(trace.Steps, StepRecord{
+			T: float64(step) * cfg.DT, State: append([]float64(nil), x...),
+			U: u, UsedNonCore: usedNonCore,
+		})
+		if !trace.Diverged && stateDiverged(x) {
+			trace.Diverged = true
+			trace.DivergedAt = step
+		}
+	}
+	return trace, nil
+}
+
+func clamp(u, limit float64) float64 {
+	if u > limit {
+		return limit
+	}
+	if u < -limit {
+		return -limit
+	}
+	return u
+}
+
+// stateDiverged reports whether the plant has left any plausible safe
+// state space (angles beyond ~0.7 rad or NaN).
+func stateDiverged(x []float64) bool {
+	for i, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		if i >= 2 && i%2 == 0 && math.Abs(v) > 0.7 {
+			return true
+		}
+	}
+	return false
+}

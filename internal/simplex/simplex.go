@@ -1,0 +1,233 @@
+// Package simplex implements the Simplex architecture runtime of Figure 1:
+// a core (safety) controller and a non-core (complex, high-performance)
+// controller communicating through emulated shared memory, with the
+// decision module's Lyapunov-envelope recoverability monitor guarding
+// every non-core control output before it reaches the actuator.
+//
+// This is the run-time counterpart of what SafeFlow verifies statically:
+// the monitor here is the "monitoring function" the annotations describe,
+// and the fault-injection hooks demonstrate why the core component must
+// never use non-core values without it.
+package simplex
+
+import (
+	"fmt"
+	"math"
+
+	"safeflow/internal/plant"
+	"safeflow/internal/shm"
+)
+
+// Shared-memory layout (byte offsets).
+//
+// The feedback region carries the published plant state (up to MaxState
+// float64 values plus a sequence number); the command region carries the
+// non-core controller's proposed output and a ready flag. The layout
+// mirrors the C corpus systems' SHMData structures.
+const (
+	// MaxState is the largest supported state dimension.
+	MaxState = 8
+	// feedback region: MaxState float64 + int32 seq (padded to 8).
+	feedbackSize = MaxState*8 + 8
+	// command region: float64 control + int32 ready (padded to 8).
+	commandSize = 16
+
+	offControl = 0
+	offReady   = 8
+)
+
+// SharedState wires two typed variables over one segment and validates
+// them with InitCheck, exactly as an initializing function does.
+type SharedState struct {
+	Seg      *shm.Segment
+	Feedback *shm.Var
+	Command  *shm.Var
+	dim      int
+}
+
+// NewSharedState attaches (creating) the segment for the given key and
+// lays out the two regions.
+func NewSharedState(key, dim int) (*SharedState, error) {
+	if dim <= 0 || dim > MaxState {
+		return nil, fmt.Errorf("simplex: state dimension %d outside [1,%d]", dim, MaxState)
+	}
+	seg, err := shm.Get(key, feedbackSize+commandSize)
+	if err != nil {
+		return nil, err
+	}
+	fb, err := shm.NewVar(seg, "feedback", 0, feedbackSize)
+	if err != nil {
+		return nil, err
+	}
+	cmd, err := shm.NewVar(seg, "noncoreCtrl", feedbackSize, commandSize)
+	if err != nil {
+		return nil, err
+	}
+	if err := shm.InitCheck(seg, fb, cmd); err != nil {
+		return nil, err
+	}
+	return &SharedState{Seg: seg, Feedback: fb, Command: cmd, dim: dim}, nil
+}
+
+// PublishState writes the plant state into the feedback region.
+func (s *SharedState) PublishState(x []float64, seq int32) error {
+	for i, v := range x {
+		if err := s.Feedback.SetFloat64At(i*8, v); err != nil {
+			return err
+		}
+	}
+	return s.Feedback.SetInt32At(MaxState*8, seq)
+}
+
+// ReadState reads the plant state from the feedback region.
+func (s *SharedState) ReadState() ([]float64, int32, error) {
+	x := make([]float64, s.dim)
+	for i := range x {
+		v, err := s.Feedback.Float64At(i * 8)
+		if err != nil {
+			return nil, 0, err
+		}
+		x[i] = v
+	}
+	seq, err := s.Feedback.Int32At(MaxState * 8)
+	return x, seq, err
+}
+
+// ProposeControl writes the non-core controller's output.
+func (s *SharedState) ProposeControl(u float64) error {
+	if err := s.Command.SetFloat64At(offControl, u); err != nil {
+		return err
+	}
+	return s.Command.SetInt32At(offReady, 1)
+}
+
+// ReadProposal reads the non-core control output and ready flag.
+func (s *SharedState) ReadProposal() (float64, bool, error) {
+	u, err := s.Command.Float64At(offControl)
+	if err != nil {
+		return 0, false, err
+	}
+	ready, err := s.Command.Int32At(offReady)
+	return u, ready != 0, err
+}
+
+// ---------------------------------------------------------------------------
+// Controllers
+
+// Controller computes one control output from a state.
+type Controller interface {
+	Name() string
+	Output(x []float64) float64
+}
+
+// LQRController is a linear state-feedback controller u = -K·x.
+type LQRController struct {
+	Label string
+	K     []float64
+}
+
+// Name implements Controller.
+func (c *LQRController) Name() string { return c.Label }
+
+// Output implements Controller.
+func (c *LQRController) Output(x []float64) float64 { return -plant.Dot(c.K, x) }
+
+// FaultMode selects the failure the non-core controller injects.
+type FaultMode int
+
+// Fault modes for the complex controller.
+const (
+	FaultNone     FaultMode = iota + 1
+	FaultSignFlip           // output with inverted sign (destabilizing)
+	FaultSaturate           // slam the actuator limit
+	FaultNaN                // emit NaN (crash-adjacent garbage)
+	FaultFreeze             // stop updating (stale value)
+)
+
+// String implements fmt.Stringer.
+func (m FaultMode) String() string {
+	switch m {
+	case FaultSignFlip:
+		return "sign-flip"
+	case FaultSaturate:
+		return "saturate"
+	case FaultNaN:
+		return "nan"
+	case FaultFreeze:
+		return "freeze"
+	default:
+		return "none"
+	}
+}
+
+// ComplexController is the non-core high-performance controller with a
+// fault-injection hook.
+type ComplexController struct {
+	Inner     Controller
+	Fault     FaultMode
+	FaultStep int // step at which the fault begins
+	UMax      float64
+
+	step   int
+	frozen float64
+}
+
+// Name implements Controller.
+func (c *ComplexController) Name() string { return "complex(" + c.Inner.Name() + ")" }
+
+// Output implements Controller.
+func (c *ComplexController) Output(x []float64) float64 {
+	u := c.Inner.Output(x)
+	faulting := c.Fault != FaultNone && c.Fault != 0 && c.step >= c.FaultStep
+	switch {
+	case !faulting:
+		c.frozen = u
+	case c.Fault == FaultSignFlip:
+		u = -2 * u
+	case c.Fault == FaultSaturate:
+		u = math.Copysign(c.UMax*10, u)
+	case c.Fault == FaultNaN:
+		u = math.NaN()
+	case c.Fault == FaultFreeze:
+		u = c.frozen
+	}
+	c.step++
+	return u
+}
+
+// ---------------------------------------------------------------------------
+// Decision module
+
+// DecisionModule is the run-time monitor: it admits a non-core control
+// output only if it is finite, within actuator limits, and keeps the
+// one-step-ahead state inside the Lyapunov stability envelope
+// {x : xᵀPx ≤ C} of the safety controller (the Simplex recoverability
+// check [22] the paper's annotations describe).
+type DecisionModule struct {
+	Ad, Bd plant.Mat
+	P      plant.Mat
+	C      float64
+	UMax   float64
+}
+
+// Recoverable reports whether applying u at state x keeps the system
+// recoverable by the safety controller.
+func (d *DecisionModule) Recoverable(x []float64, u float64) bool {
+	if math.IsNaN(u) || math.IsInf(u, 0) {
+		return false
+	}
+	if math.Abs(u) > d.UMax {
+		return false
+	}
+	xn := plant.VecAdd(d.Ad.MulVec(x), d.Bd.MulVec([]float64{u}))
+	return d.P.Quad(xn) <= d.C
+}
+
+// Decide implements Figure 2's decision(): the non-core output when the
+// monitor admits it, otherwise the safety controller's output.
+func (d *DecisionModule) Decide(x []float64, noncoreU, safeU float64) (u float64, usedNonCore bool) {
+	if d.Recoverable(x, noncoreU) {
+		return noncoreU, true
+	}
+	return safeU, false
+}

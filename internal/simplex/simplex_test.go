@@ -1,0 +1,154 @@
+package simplex
+
+import (
+	"math"
+	"testing"
+
+	"safeflow/internal/plant"
+	"safeflow/internal/shm"
+)
+
+func TestHealthyComplexControllerRuns(t *testing.T) {
+	tr, err := Run(Config{Steps: 2000, ShmKey: 0x1001})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if tr.Diverged {
+		t.Fatalf("healthy system diverged at step %d", tr.DivergedAt)
+	}
+	// A healthy complex controller should drive almost every period.
+	if f := tr.FracNonCore(); f < 0.9 {
+		t.Errorf("non-core usage fraction = %g, want >= 0.9", f)
+	}
+	// And the pendulum must end up balanced.
+	last := tr.Steps[len(tr.Steps)-1].State
+	if math.Abs(last[2]) > 0.02 {
+		t.Errorf("final angle %g rad, not balanced", last[2])
+	}
+}
+
+func TestMonitorCatchesFaults(t *testing.T) {
+	for _, fault := range []FaultMode{FaultSignFlip, FaultSaturate, FaultNaN} {
+		t.Run(fault.String(), func(t *testing.T) {
+			tr, err := Run(Config{
+				Steps: 3000, Fault: fault, FaultStep: 1000, ShmKey: 0x1100 + int(fault),
+			})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if tr.Diverged {
+				t.Fatalf("monitored system diverged at step %d under %s", tr.DivergedAt, fault)
+			}
+			if tr.Rejected == 0 {
+				t.Errorf("monitor rejected nothing under fault %s", fault)
+			}
+			last := tr.Steps[len(tr.Steps)-1].State
+			if math.Abs(last[2]) > 0.05 {
+				t.Errorf("final angle %g rad under %s, not recovered", last[2], fault)
+			}
+		})
+	}
+}
+
+// TestUnmonitoredFaultDiverges demonstrates the failure SafeFlow prevents:
+// without the monitor, a faulty non-core output destabilizes the plant.
+func TestUnmonitoredFaultDiverges(t *testing.T) {
+	tr, err := Run(Config{
+		Steps: 3000, Fault: FaultSignFlip, FaultStep: 1000,
+		Unmonitored: true, ShmKey: 0x1200,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !tr.Diverged {
+		t.Fatal("unmonitored sign-flip fault should destabilize the pendulum")
+	}
+	if tr.DivergedAt < 1000 {
+		t.Errorf("diverged at %d, before the fault at 1000", tr.DivergedAt)
+	}
+}
+
+func TestDoublePendulumSimplex(t *testing.T) {
+	tr, err := Run(Config{
+		Plant: plant.DefaultDoublePendulum(),
+		DT:    0.005, Steps: 4000,
+		InitState: []float64{0, 0, 0.05, 0, 0.03, 0},
+		Fault:     FaultSaturate, FaultStep: 2000,
+		ShmKey: 0x1300,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if tr.Diverged {
+		t.Fatalf("double pendulum diverged at %d", tr.DivergedAt)
+	}
+	if tr.Rejected == 0 {
+		t.Error("monitor rejected nothing after the saturate fault")
+	}
+}
+
+func TestSharedStateRoundTrip(t *testing.T) {
+	shm.Remove(0x1400)
+	s, err := NewSharedState(0x1400, 4)
+	if err != nil {
+		t.Fatalf("NewSharedState: %v", err)
+	}
+	x := []float64{0.1, -0.2, 0.3, -0.4}
+	if err := s.PublishState(x, 7); err != nil {
+		t.Fatal(err)
+	}
+	got, seq, err := s.ReadState()
+	if err != nil || seq != 7 {
+		t.Fatalf("ReadState: %v seq=%d", err, seq)
+	}
+	for i := range x {
+		if got[i] != x[i] {
+			t.Errorf("state[%d] = %g, want %g", i, got[i], x[i])
+		}
+	}
+	if err := s.ProposeControl(2.5); err != nil {
+		t.Fatal(err)
+	}
+	u, ready, err := s.ReadProposal()
+	if err != nil || !ready || u != 2.5 {
+		t.Errorf("ReadProposal = (%g, %v, %v), want (2.5, true, nil)", u, ready, err)
+	}
+}
+
+func TestInitCheckRejectsOverlap(t *testing.T) {
+	shm.Remove(0x1500)
+	seg, err := shm.Get(0x1500, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := shm.NewVar(seg, "a", 0, 40)
+	b, _ := shm.NewVar(seg, "b", 32, 32)
+	if err := shm.InitCheck(seg, a, b); err == nil {
+		t.Error("InitCheck should reject overlapping variables")
+	}
+	c, _ := shm.NewVar(seg, "c", 0, 32)
+	d, _ := shm.NewVar(seg, "d", 32, 32)
+	if err := shm.InitCheck(seg, c, d); err != nil {
+		t.Errorf("InitCheck rejected a valid layout: %v", err)
+	}
+}
+
+func TestDecisionModuleRejectsNonFinite(t *testing.T) {
+	d := &DecisionModule{
+		Ad: plant.Eye(2), Bd: plant.MatFrom([][]float64{{0}, {0.01}}),
+		P: plant.Eye(2), C: 100, UMax: 5,
+	}
+	x := []float64{0, 0}
+	if d.Recoverable(x, math.NaN()) {
+		t.Error("NaN admitted")
+	}
+	if d.Recoverable(x, math.Inf(1)) {
+		t.Error("Inf admitted")
+	}
+	if d.Recoverable(x, 6) {
+		t.Error("over-limit output admitted")
+	}
+	if !d.Recoverable(x, 1) {
+		t.Error("benign output rejected")
+	}
+}

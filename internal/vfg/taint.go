@@ -1,0 +1,315 @@
+// Taint domain for SafeFlow's phase 3: values carry the set of unsafe
+// sources they depend on, each tagged with the strength of the dependency
+// (data flow vs control flow only), plus symbolic dependencies on function
+// parameters for the ESP-style summaries.
+
+package vfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"safeflow/internal/ctoken"
+	"safeflow/internal/shmflow"
+)
+
+// Kind grades a dependency. Data dominates Ctrl: if critical data depends
+// on a source through any data-flow path it is a true error dependency;
+// control-only dependencies are the paper's false-positive class that
+// needs manual inspection (§3.4.1).
+type Kind uint8
+
+// Dependency kinds, weakest first.
+const (
+	KindNone Kind = iota
+	KindCtrl
+	KindData
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindCtrl:
+		return "control"
+	case KindData:
+		return "data"
+	default:
+		return "none"
+	}
+}
+
+func maxKind(a, b Kind) Kind {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minKind(a, b Kind) Kind {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SourceKind classifies unsafe-value sources.
+type SourceKind int
+
+// Source kinds.
+const (
+	SrcUnmonitoredRead SourceKind = iota + 1 // shared-memory read outside core assumptions
+	SrcNonCoreRecv                           // message received on a noncore socket (§3.4.3)
+)
+
+// Source is one unsafe-value origin — each corresponds to a SafeFlow
+// warning ("unmonitored non-core value access").
+type Source struct {
+	Kind   SourceKind
+	Pos    ctoken.Pos
+	FnName string
+	Region *shmflow.Region // nil for SrcNonCoreRecv
+	Detail string
+	// Contexts records the monitored-assumption contexts in which the read
+	// is unmonitored (informational).
+	Contexts map[string]bool
+}
+
+// String implements fmt.Stringer.
+func (s *Source) String() string {
+	switch s.Kind {
+	case SrcNonCoreRecv:
+		return fmt.Sprintf("%s: %s: unmonitored non-core message data (%s)", s.Pos, s.FnName, s.Detail)
+	default:
+		return fmt.Sprintf("%s: %s: unmonitored read of non-core shared memory %s%s",
+			s.Pos, s.FnName, s.Region.Name, s.Detail)
+	}
+}
+
+// Taint is the dependency fact of one SSA value.
+type Taint struct {
+	// Sources maps each unsafe source the value may depend on to the
+	// strongest dependency kind observed.
+	Sources map[*Source]Kind
+	// Params maps parameter indices of the enclosing function to the
+	// dependency kind on that (symbolic) input.
+	Params map[int]Kind
+}
+
+// Empty reports whether the taint carries no dependencies.
+func (t Taint) Empty() bool { return len(t.Sources) == 0 && len(t.Params) == 0 }
+
+// HasSources reports whether any concrete unsafe source is present.
+func (t Taint) HasSources() bool { return len(t.Sources) > 0 }
+
+// MaxSourceKind returns the strongest dependency kind over the sources.
+func (t Taint) MaxSourceKind() Kind {
+	k := KindNone
+	for _, sk := range t.Sources {
+		k = maxKind(k, sk)
+	}
+	return k
+}
+
+// SortedSources returns the sources ordered by position for stable output.
+func (t Taint) SortedSources() []*Source {
+	out := make([]*Source, 0, len(t.Sources))
+	for s := range t.Sources {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := out[i].Pos, out[j].Pos
+		if pi.File != pj.File {
+			return pi.File < pj.File
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Col < pj.Col
+	})
+	return out
+}
+
+// clone deep-copies the taint.
+func (t Taint) clone() Taint {
+	out := Taint{}
+	if len(t.Sources) > 0 {
+		out.Sources = make(map[*Source]Kind, len(t.Sources))
+		for s, k := range t.Sources {
+			out.Sources[s] = k
+		}
+	}
+	if len(t.Params) > 0 {
+		out.Params = make(map[int]Kind, len(t.Params))
+		for p, k := range t.Params {
+			out.Params[p] = k
+		}
+	}
+	return out
+}
+
+// addSource merges one source dependency.
+func (t *Taint) addSource(s *Source, k Kind) bool {
+	if k == KindNone {
+		return false
+	}
+	if t.Sources == nil {
+		t.Sources = make(map[*Source]Kind)
+	}
+	if old := t.Sources[s]; old >= k {
+		return false
+	}
+	t.Sources[s] = k
+	return true
+}
+
+// addParam merges one parameter dependency.
+func (t *Taint) addParam(i int, k Kind) bool {
+	if k == KindNone {
+		return false
+	}
+	if t.Params == nil {
+		t.Params = make(map[int]Kind)
+	}
+	if old := t.Params[i]; old >= k {
+		return false
+	}
+	t.Params[i] = k
+	return true
+}
+
+// joinTaint returns the pointwise maximum of a and b.
+func joinTaint(a, b Taint) Taint {
+	if b.Empty() {
+		return a
+	}
+	if a.Empty() {
+		return b.clone()
+	}
+	out := a.clone()
+	for s, k := range b.Sources {
+		out.addSource(s, k)
+	}
+	for p, k := range b.Params {
+		out.addParam(p, k)
+	}
+	return out
+}
+
+// weaken caps every dependency kind at limit (used when flow passes
+// through a control edge or a control-graded summary edge).
+func (t Taint) weaken(limit Kind) Taint {
+	out := Taint{}
+	for s, k := range t.Sources {
+		out.addSource(s, minKind(k, limit))
+	}
+	for p, k := range t.Params {
+		out.addParam(p, minKind(k, limit))
+	}
+	return out
+}
+
+func equalTaint(a, b Taint) bool {
+	if len(a.Sources) != len(b.Sources) || len(a.Params) != len(b.Params) {
+		return false
+	}
+	for s, k := range a.Sources {
+		if b.Sources[s] != k {
+			return false
+		}
+	}
+	for p, k := range a.Params {
+		if b.Params[p] != k {
+			return false
+		}
+	}
+	return true
+}
+
+// taintLattice adapts Taint to the dataflow solver.
+type taintLattice struct{}
+
+func (taintLattice) Join(a, b Taint) Taint { return joinTaint(a, b) }
+func (taintLattice) Equal(a, b Taint) bool { return equalTaint(a, b) }
+func (taintLattice) Bottom() Taint         { return Taint{} }
+
+// ---------------------------------------------------------------------------
+// Core-assumption contexts
+
+// CoreRange is one resolved assume(core(ptr, off, size)) fact: the byte
+// range [Lo, Hi) of Region may be treated as core.
+type CoreRange struct {
+	Region *shmflow.Region
+	Lo, Hi int64
+}
+
+// String implements fmt.Stringer.
+func (c CoreRange) String() string {
+	return fmt.Sprintf("core(%s,[%d,%d))", c.Region.Name, c.Lo, c.Hi)
+}
+
+// Context is a canonicalized set of active core assumptions.
+type Context []CoreRange
+
+// Key returns a canonical string key for memoization.
+func (c Context) Key() string {
+	if len(c) == 0 {
+		return ""
+	}
+	parts := make([]string, len(c))
+	for i, r := range c {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// with returns the context extended by extra ranges, canonicalized.
+func (c Context) with(extra []CoreRange) Context {
+	if len(extra) == 0 {
+		return c
+	}
+	seen := make(map[CoreRange]bool, len(c)+len(extra))
+	var out Context
+	for _, r := range c {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	for _, r := range extra {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Region.Name != out[j].Region.Name {
+			return out[i].Region.Name < out[j].Region.Name
+		}
+		if out[i].Lo != out[j].Lo {
+			return out[i].Lo < out[j].Lo
+		}
+		return out[i].Hi < out[j].Hi
+	})
+	return out
+}
+
+// covers reports whether the context marks [iv.Lo, iv.Hi+size) of region
+// core. An unknown interval is covered only by a whole-region assumption.
+func (c Context) covers(region *shmflow.Region, iv shmflow.Interval, size int64) bool {
+	for _, r := range c {
+		if r.Region != region {
+			continue
+		}
+		if iv.Unknown {
+			if r.Lo <= 0 && r.Hi >= region.Size {
+				return true
+			}
+			continue
+		}
+		if r.Lo <= iv.Lo && iv.Hi+size <= r.Hi {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,818 @@
+// Package vfg implements phase 3 of the SafeFlow analysis: the
+// interprocedural value-flow analysis that (a) reports a warning for every
+// read of unmonitored non-core shared memory and (b) reports an error
+// dependency wherever critical data (assert(safe(x))) is data- or
+// control-dependent on such a read (paper §3.3).
+//
+// The analysis is context-sensitive in the monitoring assumptions: each
+// function is analyzed once per distinct set of active core(ptr,off,size)
+// assumptions inherited down the call graph from monitoring functions.
+// Function behavior is captured by ESP-style value-flow summaries (return
+// and memory-effect dependencies expressed over symbolic parameters), so
+// each (function, context) unit is analyzed to a local fixpoint and reused
+// at every call site — the efficient variant the paper describes. The
+// exponential re-analysis variant (one unit per call path) is retained
+// behind Config.Exponential for the ablation benchmarks.
+package vfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"safeflow/internal/annot"
+	"safeflow/internal/callgraph"
+	"safeflow/internal/cfgraph"
+	"safeflow/internal/ctoken"
+	"safeflow/internal/dataflow"
+	"safeflow/internal/ir"
+	"safeflow/internal/irgen"
+	"safeflow/internal/pointsto"
+	"safeflow/internal/shmflow"
+)
+
+// Config configures the phase-3 analysis.
+type Config struct {
+	Module *ir.Module
+	CG     *callgraph.Graph
+	SF     *shmflow.Result
+	PTS    *pointsto.Result
+	// AssertVars maps assert intrinsic calls to the annotated variable.
+	AssertVars map[*ir.Call]string
+	// Roots are the entry functions; when empty, every defined, non-init
+	// function without callers is a root.
+	Roots []*ir.Function
+	// Exponential disables summary sharing: every call path gets its own
+	// analysis unit (the paper's unoptimized algorithm; ablation A-2).
+	Exponential bool
+}
+
+// ErrorDep is one reported error: critical data depends on unmonitored
+// non-core values.
+type ErrorDep struct {
+	Pos     ctoken.Pos
+	FnName  string
+	Var     string
+	Sources map[*Source]Kind
+	// ControlOnly marks dependencies that are control-flow only — the
+	// class the paper identifies as requiring manual inspection (its false
+	// positives were all of this class).
+	ControlOnly bool
+}
+
+// String implements fmt.Stringer.
+func (e *ErrorDep) String() string {
+	kind := "data"
+	if e.ControlOnly {
+		kind = "control-only"
+	}
+	return fmt.Sprintf("%s: critical data %q in %s depends on unmonitored non-core values (%s, %d source(s))",
+		e.Pos, e.Var, e.FnName, kind, len(e.Sources))
+}
+
+// SortedSources lists the error's sources in stable order.
+func (e *ErrorDep) SortedSources() []*Source {
+	t := Taint{Sources: e.Sources}
+	return t.SortedSources()
+}
+
+// Result is the phase-3 output.
+type Result struct {
+	// Warnings lists every unmonitored non-core read (no false positives
+	// or negatives by construction — each is a concrete unsafe access).
+	Warnings []*Source
+	// Errors lists critical-data dependencies on unsafe values.
+	Errors []*ErrorDep
+	// UnitsAnalyzed counts (function, context) analysis units solved
+	// (solves, not distinct units) — the ablation metric.
+	UnitsAnalyzed int
+}
+
+// Run executes the analysis.
+func Run(cfg Config) *Result {
+	a := &analysis{
+		cfg:      cfg,
+		units:    make(map[string]*unit),
+		sources:  make(map[srcKey]*Source),
+		errors:   make(map[string]*ErrorDep),
+		mem:      newMemStore(),
+		ctrlDeps: make(map[*ir.Function]map[*ir.Block][]cfgraph.ControlDep),
+	}
+	a.seedRoots()
+	a.fixpoint()
+	return a.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Analysis state
+
+type srcKey struct {
+	instr  ir.Instr
+	region *shmflow.Region
+}
+
+type obligation struct {
+	pos    ctoken.Pos
+	fnName string
+	vbl    string
+	params map[int]Kind
+}
+
+type effect struct {
+	ref    pointsto.Ref
+	params map[int]Kind
+}
+
+type summary struct {
+	ret     Taint
+	effects []effect
+	asserts []obligation
+}
+
+type unit struct {
+	key    string
+	fn     *ir.Function
+	ctx    Context
+	active Context // ctx extended with the function's own core facts
+	sum    summary
+	// noncoreParams are parameter names annotated noncore (socket
+	// descriptors, §3.4.3); coreLocals are names of local buffers assumed
+	// core by assume(core(...)) that did not resolve to a region.
+	noncoreParams map[string]bool
+	coreLocals    map[string]bool
+}
+
+type analysis struct {
+	cfg      Config
+	units    map[string]*unit
+	unitList []*unit
+	sources  map[srcKey]*Source
+	errors   map[string]*ErrorDep
+	mem      *memStore
+	ctrlDeps map[*ir.Function]map[*ir.Block][]cfgraph.ControlDep
+	solves   int
+	changed  bool
+}
+
+// maxRounds caps the driver fixpoint as a safety net; the lattices are
+// finite so convergence is guaranteed well before this.
+const maxRounds = 1000
+
+func (a *analysis) seedRoots() {
+	roots := a.cfg.Roots
+	if len(roots) == 0 {
+		for _, f := range a.cfg.Module.Funcs {
+			if f.IsDecl || a.cfg.SF.InitFuncs[f] {
+				continue
+			}
+			if len(a.cfg.CG.Callers[f]) == 0 {
+				roots = append(roots, f)
+			}
+		}
+	}
+	for _, r := range roots {
+		if r != nil && !r.IsDecl && !a.cfg.SF.InitFuncs[r] {
+			a.getUnit(r, nil, "")
+		}
+	}
+}
+
+func (a *analysis) fixpoint() {
+	for round := 0; round < maxRounds; round++ {
+		a.changed = false
+		for i := 0; i < len(a.unitList); i++ {
+			a.solveUnit(a.unitList[i])
+		}
+		if !a.changed {
+			return
+		}
+	}
+}
+
+// maxCallPathDepth bounds per-call-path context growth in exponential
+// mode: beyond this depth (recursion, or very deep call chains) the unit
+// falls back to the shared summary key so the analysis still terminates.
+const maxCallPathDepth = 10
+
+// getUnit returns (creating if needed) the analysis unit for fn in ctx.
+// callPath distinguishes units in exponential mode.
+func (a *analysis) getUnit(fn *ir.Function, ctx Context, callPath string) *unit {
+	key := fn.Name + "|" + ctx.Key()
+	if a.cfg.Exponential && strings.Count(callPath, "@") < maxCallPathDepth {
+		key += "|@" + callPath
+	}
+	if u, ok := a.units[key]; ok {
+		return u
+	}
+	u := &unit{
+		key:           key,
+		fn:            fn,
+		ctx:           ctx,
+		noncoreParams: make(map[string]bool),
+		coreLocals:    make(map[string]bool),
+	}
+	u.active = ctx.with(a.resolveCoreFacts(fn, u))
+	a.units[key] = u
+	a.unitList = append(a.unitList, u)
+	a.changed = true
+	return u
+}
+
+// resolveCoreFacts turns the function's assume facts into core ranges and
+// records noncore socket parameters and core local buffers.
+func (a *analysis) resolveCoreFacts(fn *ir.Function, u *unit) []CoreRange {
+	ff, _ := fn.Facts.(*annot.FuncFacts)
+	if ff == nil {
+		return nil
+	}
+	var out []CoreRange
+	for _, cf := range ff.Core {
+		if reg, ok := a.cfg.SF.RegionByName[cf.Ptr]; ok {
+			out = append(out, CoreRange{Region: reg, Lo: cf.Offset, Hi: cf.Offset + cf.Size})
+			continue
+		}
+		if p := paramByName(fn, cf.Ptr); p != nil {
+			fact := a.cfg.SF.FactOf(fn, p)
+			resolved := false
+			for reg, iv := range fact {
+				if !iv.Unknown && iv.Lo == iv.Hi {
+					out = append(out, CoreRange{Region: reg, Lo: iv.Lo + cf.Offset, Hi: iv.Lo + cf.Offset + cf.Size})
+					resolved = true
+				}
+			}
+			if resolved {
+				continue
+			}
+		}
+		// Not a region: a local received-data buffer (§3.4.3).
+		u.coreLocals[cf.Ptr] = true
+	}
+	for _, nc := range ff.NonCore {
+		if _, isRegion := a.cfg.SF.RegionByName[nc.Name]; !isRegion {
+			u.noncoreParams[nc.Name] = true
+		}
+	}
+	return out
+}
+
+func paramByName(fn *ir.Function, name string) *ir.Param {
+	for _, p := range fn.Params {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+func (a *analysis) controlDepsOf(fn *ir.Function) map[*ir.Block][]cfgraph.ControlDep {
+	if d, ok := a.ctrlDeps[fn]; ok {
+		return d
+	}
+	d := cfgraph.ControlDeps(fn)
+	a.ctrlDeps[fn] = d
+	return d
+}
+
+func (a *analysis) sourceFor(in ir.Instr, region *shmflow.Region, fn *ir.Function, kind SourceKind, detail string) *Source {
+	k := srcKey{instr: in, region: region}
+	if s, ok := a.sources[k]; ok {
+		return s
+	}
+	s := &Source{
+		Kind:     kind,
+		Pos:      in.Pos(),
+		FnName:   fn.Name,
+		Region:   region,
+		Detail:   detail,
+		Contexts: make(map[string]bool),
+	}
+	a.sources[k] = s
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Unit solving
+
+// maxInnerRounds caps the load/store iteration within one unit.
+const maxInnerRounds = 20
+
+func (a *analysis) solveUnit(u *unit) {
+	a.solves++
+	fn := u.fn
+	deps := a.controlDepsOf(fn)
+
+	// Local memory overlay: cells written in this unit, with full taints
+	// (including symbolic parameter deps visible to later loads here).
+	local := newMemStore()
+	var facts map[ir.Value]Taint
+	newSum := summary{}
+
+	// Control-dependence edges are not operands, so the solver needs them
+	// declared explicitly: a phi (or a call result) must be re-evaluated
+	// when the taint of a controlling branch condition changes.
+	extraUses := make(map[ir.Value][]ir.Instr)
+	addCtrlUses := func(in ir.Instr, b *ir.Block) {
+		for _, d := range deps[b] {
+			extraUses[d.Cond] = append(extraUses[d.Cond], in)
+		}
+	}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			switch x := in.(type) {
+			case *ir.Phi:
+				addCtrlUses(x, b)
+				for _, e := range x.Edges {
+					addCtrlUses(x, e.Pred)
+				}
+			case *ir.Call:
+				addCtrlUses(x, b)
+			}
+		}
+	}
+
+	for inner := 0; inner < maxInnerRounds; inner++ {
+		solver := &dataflow.ValueSolver[Taint]{
+			Fn:      fn,
+			Lattice: taintLattice{},
+			Transfer: func(in ir.Instr, get func(ir.Value) Taint) (Taint, bool) {
+				return a.transfer(u, in, get, local, deps)
+			},
+			ExtraUses: extraUses,
+		}
+		seeds := make(map[ir.Value]Taint)
+		for i, p := range fn.Params {
+			seeds[p] = Taint{Params: map[int]Kind{i: KindData}}
+		}
+		facts = solver.Solve(seeds)
+		for v, t := range seeds {
+			facts[v] = joinTaint(facts[v], t)
+		}
+
+		memChanged := a.applyEffectsPass(u, facts, local, deps, &newSum)
+		if !memChanged {
+			break
+		}
+		newSum = summary{} // recollected next pass with the updated memory
+	}
+
+	if !summaryEqual(u.sum, newSum) {
+		u.sum = newSum
+		a.changed = true
+	}
+}
+
+// transfer computes the taint of one instruction's result.
+func (a *analysis) transfer(u *unit, in ir.Instr, get func(ir.Value) Taint, local *memStore, deps map[*ir.Block][]cfgraph.ControlDep) (Taint, bool) {
+	fn := u.fn
+	switch x := in.(type) {
+	case *ir.Load:
+		t := get(x.Addr).clone() // a tainted address taints the loaded value
+		fact := a.cfg.SF.FactOf(fn, x.Addr)
+		if !fact.Empty() {
+			for region, iv := range fact {
+				if region.NonCore && !u.active.covers(region, iv, x.Type().Size()) {
+					src := a.sourceFor(x, region, fn, SrcUnmonitoredRead, iv.String())
+					src.Contexts[u.active.Key()] = true
+					t.addSource(src, KindData)
+				}
+			}
+			return t, true
+		}
+		for _, ref := range a.cfg.PTS.PointsTo(x.Addr) {
+			t = joinTaint(t, local.read(ref))
+			t = joinTaint(t, a.mem.read(ref))
+		}
+		return t, true
+	case *ir.Phi:
+		t := Taint{}
+		for _, e := range x.Edges {
+			t = joinTaint(t, get(e.Val))
+			// Which edge executes is decided by the branches its
+			// predecessor is control dependent on — the merge block itself
+			// post-dominates them, so its own deps are not enough.
+			t = joinTaint(t, a.blockCtrlTaint(e.Pred, get, deps))
+		}
+		t = joinTaint(t, a.blockCtrlTaint(x.Parent(), get, deps))
+		return t, true
+	case *ir.BinOp:
+		return joinTaint(get(x.X), get(x.Y)), true
+	case *ir.Cmp:
+		return joinTaint(get(x.X), get(x.Y)), true
+	case *ir.Cast:
+		return get(x.X).clone(), true
+	case *ir.GEP:
+		t := get(x.Base).clone()
+		for _, ix := range x.Indices {
+			if ix.Index != nil {
+				t = joinTaint(t, get(ix.Index))
+			}
+		}
+		return t, true
+	case *ir.Call:
+		return a.transferCall(u, x, get, deps)
+	default:
+		return Taint{}, false
+	}
+}
+
+func (a *analysis) transferCall(u *unit, call *ir.Call, get func(ir.Value) Taint, deps map[*ir.Block][]cfgraph.ControlDep) (Taint, bool) {
+	callee := call.Callee
+	switch {
+	case callee.Name == irgen.AssertIntrinsic:
+		return Taint{}, false
+	case callee.Name == "recv" || callee.Name == "read":
+		if len(call.Args) > 0 && a.isNonCoreDescriptor(u, call.Args[0]) {
+			// A monitored receive (the buffer is named by a core
+			// assumption, §3.4.3) covers the whole operation, including
+			// the returned length.
+			if len(call.Args) > 1 && a.bufferAssumedCore(u, call.Args[1]) {
+				return Taint{}, true
+			}
+			src := a.sourceFor(call, nil, u.fn, SrcNonCoreRecv, callee.Name+" on noncore descriptor")
+			src.Contexts[u.active.Key()] = true
+			t := Taint{}
+			t.addSource(src, KindData)
+			return t, true
+		}
+		return Taint{}, true
+	case callee.IsDecl || a.cfg.SF.InitFuncs[callee]:
+		// External/library call: the result conservatively depends on the
+		// arguments (fabs(x), atan2(y,x), ...).
+		t := Taint{}
+		for _, arg := range call.Args {
+			t = joinTaint(t, get(arg))
+		}
+		return t, true
+	default:
+		s := a.getUnit(callee, u.active, u.key+"@"+call.Pos().String()).sum
+		t := Taint{Sources: cloneSources(s.ret.Sources)}
+		for i, k := range s.ret.Params {
+			if i < len(call.Args) {
+				t = joinTaint(t, get(call.Args[i]).weaken(k))
+			}
+		}
+		t = joinTaint(t, a.blockCtrlTaint(call.Parent(), get, deps))
+		return t, true
+	}
+}
+
+func cloneSources(m map[*Source]Kind) map[*Source]Kind {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[*Source]Kind, len(m))
+	for s, k := range m {
+		out[s] = k
+	}
+	return out
+}
+
+// isNonCoreDescriptor reports whether the descriptor value traces to a
+// parameter annotated noncore.
+func (a *analysis) isNonCoreDescriptor(u *unit, v ir.Value) bool {
+	if p, ok := v.(*ir.Param); ok {
+		return u.noncoreParams[p.Name]
+	}
+	if c, ok := v.(*ir.Cast); ok {
+		return a.isNonCoreDescriptor(u, c.X)
+	}
+	return false
+}
+
+// blockCtrlTaint joins the (control-weakened) taints of the branch
+// conditions the block is control dependent on.
+func (a *analysis) blockCtrlTaint(b *ir.Block, get func(ir.Value) Taint, deps map[*ir.Block][]cfgraph.ControlDep) Taint {
+	t := Taint{}
+	for _, d := range deps[b] {
+		t = joinTaint(t, get(d.Cond).weaken(KindCtrl))
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Effects, asserts, returns
+
+// applyEffectsPass scans stores, calls, asserts and returns with the
+// solved value taints, updating memories, errors and the new summary.
+// It reports whether the local memory overlay changed (requiring another
+// inner round).
+func (a *analysis) applyEffectsPass(u *unit, facts map[ir.Value]Taint, local *memStore, deps map[*ir.Block][]cfgraph.ControlDep, sum *summary) bool {
+	fn := u.fn
+	get := func(v ir.Value) Taint { return facts[v] }
+	localChanged := false
+
+	for _, b := range fn.Blocks {
+		ctrl := a.blockCtrlTaint(b, get, deps)
+		for _, in := range b.Instrs {
+			switch x := in.(type) {
+			case *ir.Store:
+				if !a.cfg.SF.FactOf(fn, x.Addr).Empty() {
+					continue // shared-memory cells are modeled by region reads
+				}
+				t := joinTaint(get(x.Val), ctrl)
+				if t.Empty() {
+					continue
+				}
+				for _, ref := range a.cfg.PTS.PointsTo(x.Addr) {
+					if local.write(ref, t) {
+						localChanged = true
+					}
+					if a.mem.write(ref, Taint{Sources: t.Sources}) {
+						a.changed = true
+					}
+					if len(t.Params) > 0 {
+						sum.effects = append(sum.effects, effect{ref: ref, params: cloneParams(t.Params)})
+					}
+				}
+			case *ir.Call:
+				localChanged = a.applyCallEffects(u, x, get, ctrl, local, sum) || localChanged
+			case *ir.Ret:
+				if x.X != nil {
+					// A return executed under tainted control makes the
+					// function's result control-dependent on the taint.
+					sum.ret = joinTaint(sum.ret, joinTaint(get(x.X), ctrl))
+				}
+			}
+		}
+	}
+	return localChanged
+}
+
+func (a *analysis) applyCallEffects(u *unit, call *ir.Call, get func(ir.Value) Taint, ctrl Taint, local *memStore, sum *summary) bool {
+	callee := call.Callee
+	localChanged := false
+
+	switch {
+	case callee.Name == irgen.AssertIntrinsic:
+		if len(call.Args) == 0 {
+			return false
+		}
+		t := get(call.Args[0])
+		vbl := a.cfg.AssertVars[call]
+		if t.HasSources() {
+			a.recordError(call.Pos(), u.fn.Name, vbl, t.Sources)
+		}
+		if len(t.Params) > 0 {
+			sum.asserts = append(sum.asserts, obligation{
+				pos: call.Pos(), fnName: u.fn.Name, vbl: vbl, params: cloneParams(t.Params),
+			})
+		}
+		return false
+	case callee.Name == "kill" && len(call.Args) > 0:
+		// The paper asserts system-call arguments — specifically the pid
+		// argument of kill — as critical data implicitly. Invoking kill at
+		// all is the critical action, so the block's control taint joins
+		// the argument's value taint.
+		t := joinTaint(get(call.Args[0]), ctrl)
+		if t.HasSources() {
+			a.recordError(call.Pos(), u.fn.Name, "kill.pid", t.Sources)
+		}
+		if len(t.Params) > 0 {
+			sum.asserts = append(sum.asserts, obligation{
+				pos: call.Pos(), fnName: u.fn.Name, vbl: "kill.pid", params: cloneParams(t.Params),
+			})
+		}
+		return false
+	case (callee.Name == "recv" || callee.Name == "read") && len(call.Args) > 1 && a.isNonCoreDescriptor(u, call.Args[0]):
+		// The received buffer contents become unsafe unless a core
+		// assumption names the buffer (monitored receive).
+		if a.bufferAssumedCore(u, call.Args[1]) {
+			return false
+		}
+		src := a.sourceFor(call, nil, u.fn, SrcNonCoreRecv, callee.Name+" buffer")
+		src.Contexts[u.active.Key()] = true
+		t := Taint{}
+		t.addSource(src, KindData)
+		for _, ref := range a.cfg.PTS.PointsTo(call.Args[1]) {
+			if local.write(ref, t) {
+				localChanged = true
+			}
+			if a.mem.write(ref, t) {
+				a.changed = true
+			}
+		}
+		return localChanged
+	case callee.IsDecl || a.cfg.SF.InitFuncs[callee]:
+		return false
+	}
+
+	// Defined callee: instantiate its summary's effects and obligations.
+	s := a.getUnit(callee, u.active, u.key+"@"+call.Pos().String()).sum
+	resolve := func(params map[int]Kind) Taint {
+		t := Taint{}
+		for i, k := range params {
+			if i < len(call.Args) {
+				t = joinTaint(t, get(call.Args[i]).weaken(k))
+			}
+		}
+		return joinTaint(t, ctrl)
+	}
+	for _, eff := range s.effects {
+		t := resolve(eff.params)
+		if t.Empty() {
+			continue
+		}
+		if local.write(eff.ref, t) {
+			localChanged = true
+		}
+		if a.mem.write(eff.ref, Taint{Sources: t.Sources}) {
+			a.changed = true
+		}
+		if len(t.Params) > 0 {
+			sum.effects = append(sum.effects, effect{ref: eff.ref, params: cloneParams(t.Params)})
+		}
+	}
+	for _, ob := range s.asserts {
+		t := resolve(ob.params)
+		if t.HasSources() {
+			a.recordError(ob.pos, ob.fnName, ob.vbl, t.Sources)
+		}
+		if len(t.Params) > 0 {
+			sum.asserts = append(sum.asserts, obligation{
+				pos: ob.pos, fnName: ob.fnName, vbl: ob.vbl, params: cloneParams(t.Params),
+			})
+		}
+	}
+	return localChanged
+}
+
+// bufferAssumedCore reports whether the buffer argument names a local the
+// function assumed core (monitored receive).
+func (a *analysis) bufferAssumedCore(u *unit, buf ir.Value) bool {
+	if len(u.coreLocals) == 0 {
+		return false
+	}
+	for _, ref := range a.cfg.PTS.PointsTo(buf) {
+		if al, ok := ref.Obj.Site.(*ir.Alloca); ok && u.coreLocals[al.VarName] {
+			return true
+		}
+	}
+	if p, ok := buf.(*ir.Param); ok {
+		return u.coreLocals[p.Name]
+	}
+	return false
+}
+
+func cloneParams(m map[int]Kind) map[int]Kind {
+	out := make(map[int]Kind, len(m))
+	for i, k := range m {
+		out[i] = k
+	}
+	return out
+}
+
+func (a *analysis) recordError(pos ctoken.Pos, fnName, vbl string, sources map[*Source]Kind) {
+	key := pos.String() + "|" + vbl
+	e, ok := a.errors[key]
+	if !ok {
+		e = &ErrorDep{Pos: pos, FnName: fnName, Var: vbl, Sources: make(map[*Source]Kind)}
+		a.errors[key] = e
+	}
+	for s, k := range sources {
+		if e.Sources[s] < k {
+			e.Sources[s] = k
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Summary comparison
+
+func summaryEqual(a, b summary) bool {
+	if !equalTaint(a.ret, b.ret) {
+		return false
+	}
+	if len(a.effects) != len(b.effects) || len(a.asserts) != len(b.asserts) {
+		return false
+	}
+	effKey := func(e effect) string {
+		return fmt.Sprintf("%v|%v", e.ref, paramsKey(e.params))
+	}
+	ae, be := make(map[string]bool), make(map[string]bool)
+	for _, e := range a.effects {
+		ae[effKey(e)] = true
+	}
+	for _, e := range b.effects {
+		be[effKey(e)] = true
+	}
+	if len(ae) != len(be) {
+		return false
+	}
+	for k := range ae {
+		if !be[k] {
+			return false
+		}
+	}
+	obKey := func(o obligation) string {
+		return o.pos.String() + "|" + o.vbl + "|" + paramsKey(o.params)
+	}
+	ao, bo := make(map[string]bool), make(map[string]bool)
+	for _, o := range a.asserts {
+		ao[obKey(o)] = true
+	}
+	for _, o := range b.asserts {
+		bo[obKey(o)] = true
+	}
+	if len(ao) != len(bo) {
+		return false
+	}
+	for k := range ao {
+		if !bo[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func paramsKey(m map[int]Kind) string {
+	idxs := make([]int, 0, len(m))
+	for i := range m {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	var sb strings.Builder
+	for _, i := range idxs {
+		fmt.Fprintf(&sb, "%d:%d,", i, m[i])
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Memory taint store
+
+type memStore struct {
+	cells map[pointsto.Ref]Taint
+	byObj map[*pointsto.Object]map[int64]bool
+}
+
+func newMemStore() *memStore {
+	return &memStore{
+		cells: make(map[pointsto.Ref]Taint),
+		byObj: make(map[*pointsto.Object]map[int64]bool),
+	}
+}
+
+// write joins t into the cell at ref; shared-memory objects are excluded
+// (their contents are modeled by the region/monitor logic, not cells).
+func (m *memStore) write(ref pointsto.Ref, t Taint) bool {
+	if t.Empty() || ref.Obj.Kind == pointsto.ObjShm {
+		return false
+	}
+	old, had := m.cells[ref]
+	merged := joinTaint(old, t)
+	if had && equalTaint(old, merged) {
+		return false
+	}
+	m.cells[ref] = merged
+	offs := m.byObj[ref.Obj]
+	if offs == nil {
+		offs = make(map[int64]bool)
+		m.byObj[ref.Obj] = offs
+	}
+	offs[ref.Off] = true
+	return true
+}
+
+// read returns the taint visible to a load at ref: the exact cell plus the
+// object's summary cell, or every cell when the offset is unknown.
+func (m *memStore) read(ref pointsto.Ref) Taint {
+	if ref.Obj.Kind == pointsto.ObjShm {
+		return Taint{}
+	}
+	if ref.Off != pointsto.UnknownOffset {
+		t := m.cells[ref]
+		return joinTaint(t, m.cells[pointsto.Ref{Obj: ref.Obj, Off: pointsto.UnknownOffset}])
+	}
+	t := Taint{}
+	for off := range m.byObj[ref.Obj] {
+		t = joinTaint(t, m.cells[pointsto.Ref{Obj: ref.Obj, Off: off}])
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Result assembly
+
+func (a *analysis) finish() *Result {
+	res := &Result{UnitsAnalyzed: a.solves}
+	for _, s := range a.sources {
+		res.Warnings = append(res.Warnings, s)
+	}
+	sort.Slice(res.Warnings, func(i, j int) bool { return posLess(res.Warnings[i].Pos, res.Warnings[j].Pos) })
+	for _, e := range a.errors {
+		e.ControlOnly = Taint{Sources: e.Sources}.MaxSourceKind() == KindCtrl
+		res.Errors = append(res.Errors, e)
+	}
+	sort.Slice(res.Errors, func(i, j int) bool { return posLess(res.Errors[i].Pos, res.Errors[j].Pos) })
+	return res
+}
+
+func posLess(a, b ctoken.Pos) bool {
+	if a.File != b.File {
+		return a.File < b.File
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Col < b.Col
+}

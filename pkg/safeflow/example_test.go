@@ -1,0 +1,95 @@
+package safeflow_test
+
+import (
+	"fmt"
+
+	"safeflow/pkg/safeflow"
+)
+
+// ExampleAnalyzeString analyzes a small core component with an unmonitored
+// non-core read and prints the classification counts.
+func ExampleAnalyzeString() {
+	src := `
+typedef struct { double v; int flag; int pad; } R;
+R *region;
+
+void initComm()
+/***SafeFlow Annotation shminit /***/
+{
+	region = (R *) shmat(shmget(7, sizeof(R), 0), 0, 0);
+	InitCheck(region, sizeof(R));
+	/***SafeFlow Annotation assume(shmvar(region, sizeof(R))) /***/
+	/***SafeFlow Annotation assume(noncore(region)) /***/
+}
+
+int main()
+{
+	double u;
+	initComm();
+	u = region->v;
+	/***SafeFlow Annotation assert(safe(u)) /***/
+	writeDA(0, u);
+	return 0;
+}
+`
+	rep, err := safeflow.AnalyzeString("demo", src, safeflow.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("regions=%d warnings=%d errors=%d control=%d clean=%v\n",
+		len(rep.Regions), len(rep.Warnings), len(rep.ErrorsData),
+		len(rep.ErrorsControlOnly), rep.Clean())
+	for _, e := range rep.ErrorsData {
+		fmt.Printf("critical %q depends on %d unsafe source(s)\n", e.Var, len(e.Sources))
+	}
+	// Output:
+	// regions=1 warnings=1 errors=1 control=0 clean=false
+	// critical "u" depends on 1 unsafe source(s)
+}
+
+// ExampleAnalyzeString_monitored shows the same system with the read
+// routed through a monitoring function, verifying clean.
+func ExampleAnalyzeString_monitored() {
+	src := `
+typedef struct { double v; int flag; int pad; } R;
+R *region;
+
+void initComm()
+/***SafeFlow Annotation shminit /***/
+{
+	region = (R *) shmat(shmget(7, sizeof(R), 0), 0, 0);
+	InitCheck(region, sizeof(R));
+	/***SafeFlow Annotation assume(shmvar(region, sizeof(R))) /***/
+	/***SafeFlow Annotation assume(noncore(region)) /***/
+}
+
+double monitor()
+/***SafeFlow Annotation assume(core(region, 0, sizeof(R))) /***/
+{
+	double v;
+	v = region->v;
+	if (v > 1.0) { return 0.0; }
+	if (v < -1.0) { return 0.0; }
+	return v;
+}
+
+int main()
+{
+	double u;
+	initComm();
+	u = monitor();
+	/***SafeFlow Annotation assert(safe(u)) /***/
+	writeDA(0, u);
+	return 0;
+}
+`
+	rep, err := safeflow.AnalyzeString("demo", src, safeflow.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("clean:", rep.Clean())
+	// Output:
+	// clean: true
+}

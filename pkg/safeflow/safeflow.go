@@ -1,0 +1,161 @@
+// Package safeflow is the public API of the SafeFlow static analyzer: an
+// annotation-driven analysis that verifies the safe value flow property in
+// embedded control systems written in C — all non-core values flowing into
+// a core component through shared memory must be run-time monitored before
+// use in critical computation (Kowshik, Roşu, Sha; DSN 2006).
+//
+// Typical use:
+//
+//	rep, err := safeflow.AnalyzeDir("IP controller", "./core", safeflow.Options{})
+//	if err != nil { ... }
+//	safeflow.WriteReport(os.Stdout, rep)
+//	if !rep.Clean() { os.Exit(1) }
+//
+// The analyzer accepts a C subset with SafeFlow annotations embedded in
+// comments (/***SafeFlow Annotation ... /***/):
+//
+//	shminit                          — marks a shared-memory initializing function
+//	assume(shmvar(ptr, size))        — declares a shared-memory variable (post-condition)
+//	assume(noncore(ptr))             — the variable is writable by non-core components
+//	assume(core(ptr, offset, size))  — inside a monitoring function: the range is safe
+//	assert(safe(x))                  — x is critical data; must not depend on
+//	                                   unmonitored non-core values
+//
+// Reports distinguish warnings (every unmonitored non-core access — exact,
+// by construction), error dependencies (critical data reachable from an
+// unmonitored value through data flow), and control-dependence-only
+// reports (the class the paper's evaluation found to be false positives,
+// flagged for manual inspection with their value-flow witnesses).
+package safeflow
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"safeflow/internal/core"
+	"safeflow/internal/cpp"
+	"safeflow/internal/pointsto"
+	"safeflow/internal/report"
+	"safeflow/internal/restrict"
+	"safeflow/internal/shmflow"
+	"safeflow/internal/vfg"
+)
+
+// Report is the complete analysis output for one system. See the fields
+// of the underlying type for the per-phase results; Clean() reports
+// whether nothing was flagged.
+type Report = core.Report
+
+// Options tune the analysis.
+type Options = core.Options
+
+// Region is one declared shared-memory variable.
+type Region = shmflow.Region
+
+// Warning is one unmonitored non-core access.
+type Warning = vfg.Source
+
+// ErrorDependency is one critical-data dependency on unmonitored values.
+type ErrorDependency = vfg.ErrorDep
+
+// Violation is one language-restriction violation (P1–P3, A1–A2).
+type Violation = restrict.Violation
+
+// Alias-analysis modes for Options.PointsTo.
+const (
+	// ModeSubset is the field-sensitive inclusion-based solver (default).
+	ModeSubset = pointsto.ModeSubset
+	// ModeUnify is the DSA-style unification-based solver.
+	ModeUnify = pointsto.ModeUnify
+)
+
+// Analyze runs the full SafeFlow pipeline over an in-memory source tree.
+// sources maps file names (as used by #include "...") to contents; cFiles
+// lists the translation units to compile.
+func Analyze(name string, sources map[string]string, cFiles []string, opts Options) (*Report, error) {
+	return core.AnalyzeSources(name, cpp.MapSource(sources), cFiles, opts)
+}
+
+// AnalyzeString analyzes a single self-contained program.
+func AnalyzeString(name, src string, opts Options) (*Report, error) {
+	return core.AnalyzeString(name, src, opts)
+}
+
+// AnalyzeDir analyzes all .c files in a directory (headers resolve
+// relative to the same directory).
+func AnalyzeDir(name, dir string, opts Options) (*Report, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("safeflow: %w", err)
+	}
+	sources := map[string]string{}
+	var cFiles []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		ext := filepath.Ext(e.Name())
+		if ext != ".c" && ext != ".h" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("safeflow: %w", err)
+		}
+		sources[e.Name()] = string(data)
+		if ext == ".c" {
+			cFiles = append(cFiles, e.Name())
+		}
+	}
+	if len(cFiles) == 0 {
+		return nil, fmt.Errorf("safeflow: no .c files in %s", dir)
+	}
+	sort.Strings(cFiles)
+	return Analyze(name, sources, cFiles, opts)
+}
+
+// AnalyzeFiles analyzes the named .c files; includes resolve relative to
+// each file's directory.
+func AnalyzeFiles(name string, paths []string, opts Options) (*Report, error) {
+	sources := map[string]string{}
+	var cFiles []string
+	for _, p := range paths {
+		dir := filepath.Dir(p)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("safeflow: %w", err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".h") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				return nil, fmt.Errorf("safeflow: %w", err)
+			}
+			sources[e.Name()] = string(data)
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("safeflow: %w", err)
+		}
+		base := filepath.Base(p)
+		sources[base] = string(data)
+		cFiles = append(cFiles, base)
+	}
+	return Analyze(name, sources, cFiles, opts)
+}
+
+// WriteReport renders the report in the tool's standard text format,
+// including the value-flow witnesses for every error dependency.
+func WriteReport(w io.Writer, rep *Report) { report.Write(w, rep) }
+
+// WriteTable1 renders the Table 1 summary for a set of analyzed systems.
+func WriteTable1(w io.Writer, reps []*Report) { report.WriteTable1(w, reps) }
+
+// WriteReportJSON renders the report as indented JSON for tooling.
+func WriteReportJSON(w io.Writer, rep *Report) error { return report.WriteJSON(w, rep) }

@@ -1,0 +1,207 @@
+package safeflow
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const cleanProgram = `
+typedef struct { double v; int flag; int pad; } R;
+R *region;
+
+void initComm()
+/***SafeFlow Annotation shminit /***/
+{
+	region = (R *) shmat(shmget(7, sizeof(R), 0), 0, 0);
+	InitCheck(region, sizeof(R));
+	/***SafeFlow Annotation assume(shmvar(region, sizeof(R))) /***/
+	/***SafeFlow Annotation assume(noncore(region)) /***/
+}
+
+double monitor()
+/***SafeFlow Annotation assume(core(region, 0, sizeof(R))) /***/
+{
+	double v;
+	v = region->v;
+	if (v > 1.0) { return 0.0; }
+	if (v < -1.0) { return 0.0; }
+	return v;
+}
+
+int main()
+{
+	double u;
+	initComm();
+	u = monitor();
+	/***SafeFlow Annotation assert(safe(u)) /***/
+	writeDA(0, u);
+	return 0;
+}
+`
+
+func TestAnalyzeStringClean(t *testing.T) {
+	rep, err := AnalyzeString("clean", cleanProgram, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		var sb strings.Builder
+		WriteReport(&sb, rep)
+		t.Errorf("expected clean report:\n%s", sb.String())
+	}
+	if len(rep.Regions) != 1 || rep.Regions[0].Name != "region" {
+		t.Errorf("regions = %v", rep.Regions)
+	}
+}
+
+func TestAnalyzeDefective(t *testing.T) {
+	defective := strings.Replace(cleanProgram, "u = monitor();", "u = region->v;", 1)
+	rep, err := AnalyzeString("defective", defective, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("defect not found")
+	}
+	if len(rep.ErrorsData) != 1 || len(rep.Warnings) != 1 {
+		t.Errorf("E=%d W=%d, want 1/1", len(rep.ErrorsData), len(rep.Warnings))
+	}
+}
+
+func TestMissingInitCheckFlagged(t *testing.T) {
+	noCheck := strings.Replace(cleanProgram, "InitCheck(region, sizeof(R));\n", "", 1)
+	rep, err := AnalyzeString("nocheck", noCheck, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range rep.AnnotationErrors {
+		if strings.Contains(e.Error(), "InitCheck") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing InitCheck not flagged: %v", rep.AnnotationErrors)
+	}
+}
+
+func TestAnalyzeDir(t *testing.T) {
+	dir := t.TempDir()
+	header := `
+#ifndef R_H
+#define R_H
+typedef struct { double v; int flag; int pad; } R;
+extern R *region;
+double monitor();
+void initComm();
+#endif
+`
+	initSrc := `
+#include "r.h"
+R *region;
+void initComm()
+/***SafeFlow Annotation shminit /***/
+{
+	region = (R *) shmat(shmget(7, sizeof(R), 0), 0, 0);
+	InitCheck(region, sizeof(R));
+	/***SafeFlow Annotation assume(shmvar(region, sizeof(R))) /***/
+	/***SafeFlow Annotation assume(noncore(region)) /***/
+}
+double monitor()
+/***SafeFlow Annotation assume(core(region, 0, sizeof(R))) /***/
+{
+	double v;
+	v = region->v;
+	if (v > 1.0) { return 0.0; }
+	return v;
+}
+`
+	mainSrc := `
+#include "r.h"
+int main()
+{
+	double u;
+	initComm();
+	u = monitor();
+	/***SafeFlow Annotation assert(safe(u)) /***/
+	writeDA(0, u);
+	return 0;
+}
+`
+	for name, content := range map[string]string{"r.h": header, "init.c": initSrc, "main.c": mainSrc} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := AnalyzeDir("dir-system", dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		var sb strings.Builder
+		WriteReport(&sb, rep)
+		t.Errorf("expected clean:\n%s", sb.String())
+	}
+	if rep.LinesOfCode < 20 {
+		t.Errorf("LoC = %d, counting failed", rep.LinesOfCode)
+	}
+
+	// AnalyzeFiles on the same tree.
+	rep2, err := AnalyzeFiles("files-system",
+		[]string{filepath.Join(dir, "init.c"), filepath.Join(dir, "main.c")}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Clean() {
+		t.Error("AnalyzeFiles differs from AnalyzeDir")
+	}
+}
+
+func TestAnalyzeDirErrors(t *testing.T) {
+	if _, err := AnalyzeDir("missing", filepath.Join(t.TempDir(), "nope"), Options{}); err == nil {
+		t.Error("missing directory accepted")
+	}
+	empty := t.TempDir()
+	if _, err := AnalyzeDir("empty", empty, Options{}); err == nil || !strings.Contains(err.Error(), "no .c files") {
+		t.Errorf("empty dir error = %v", err)
+	}
+}
+
+func TestBothAliasModesExported(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		opts Options
+	}{
+		{"subset", Options{PointsTo: ModeSubset}},
+		{"unify", Options{PointsTo: ModeUnify}},
+	} {
+		rep, err := AnalyzeString(mode.name, cleanProgram, mode.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", mode.name, err)
+		}
+		if !rep.Clean() {
+			t.Errorf("%s: not clean", mode.name)
+		}
+	}
+}
+
+func TestWriteTable1(t *testing.T) {
+	rep, err := AnalyzeString("sys", cleanProgram, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	WriteTable1(&sb, []*Report{rep})
+	if !strings.Contains(sb.String(), "sys") {
+		t.Errorf("table output:\n%s", sb.String())
+	}
+}
+
+func TestCompileErrorSurfaced(t *testing.T) {
+	_, err := AnalyzeString("bad", "int main( { return 0; }", Options{})
+	if err == nil {
+		t.Error("syntax error not surfaced")
+	}
+}

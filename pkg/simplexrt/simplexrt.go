@@ -1,0 +1,78 @@
+// Package simplexrt is the public API of the Simplex-architecture runtime
+// substrate (Figure 1 of the paper): plant models, controller synthesis,
+// the Lyapunov-envelope recoverability monitor, and the closed-loop
+// harness in which a core and a non-core controller communicate through
+// emulated shared memory.
+//
+// It exists so example programs and downstream users can run the
+// architecture SafeFlow verifies statically — including injecting the
+// non-core faults that demonstrate why unmonitored value flow is fatal.
+package simplexrt
+
+import (
+	"safeflow/internal/plant"
+	"safeflow/internal/shm"
+	"safeflow/internal/simplex"
+)
+
+// Config describes one closed-loop experiment.
+type Config = simplex.Config
+
+// Trace is the result of a closed-loop run.
+type Trace = simplex.Trace
+
+// StepRecord is one control period's outcome.
+type StepRecord = simplex.StepRecord
+
+// FaultMode selects the non-core controller's failure.
+type FaultMode = simplex.FaultMode
+
+// Fault modes.
+const (
+	FaultNone     = simplex.FaultNone
+	FaultSignFlip = simplex.FaultSignFlip
+	FaultSaturate = simplex.FaultSaturate
+	FaultNaN      = simplex.FaultNaN
+	FaultFreeze   = simplex.FaultFreeze
+)
+
+// DecisionModule is the run-time recoverability monitor.
+type DecisionModule = simplex.DecisionModule
+
+// Plant models.
+type (
+	// Pendulum is the nonlinear inverted pendulum on a cart.
+	Pendulum = plant.Pendulum
+	// DoublePendulum is the double inverted pendulum on a cart.
+	DoublePendulum = plant.DoublePendulum
+	// LTI is a configurable linear plant.
+	LTI = plant.LTI
+	// Mat is a dense matrix (for LTI configuration).
+	Mat = plant.Mat
+)
+
+// DefaultPendulum returns lab-scale inverted-pendulum parameters.
+func DefaultPendulum() *Pendulum { return plant.DefaultPendulum() }
+
+// DefaultDoublePendulum returns lab-scale double-pendulum parameters.
+func DefaultDoublePendulum() *DoublePendulum { return plant.DefaultDoublePendulum() }
+
+// MatFrom builds a matrix from rows.
+func MatFrom(rows [][]float64) Mat { return plant.MatFrom(rows) }
+
+// Run executes a closed-loop experiment with the core and non-core
+// components stepped synchronously (deterministic traces).
+func Run(cfg Config) (*Trace, error) { return simplex.Run(cfg) }
+
+// ConcurrentTrace summarizes a concurrent closed-loop run.
+type ConcurrentTrace = simplex.ConcurrentTrace
+
+// RunConcurrent executes the experiment with the non-core controller in
+// its own goroutine sharing the emulated segment under its lock — the
+// real process structure of the paper's lab systems. Traces are
+// interleaving-dependent; the monitored safety property is not.
+func RunConcurrent(cfg Config) (*ConcurrentTrace, error) { return simplex.RunConcurrent(cfg) }
+
+// ResetSharedMemory clears all emulated shared-memory segments (between
+// independent experiments).
+func ResetSharedMemory() { shm.Reset() }

@@ -1,0 +1,90 @@
+package simplexrt
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPublicRunPendulum(t *testing.T) {
+	ResetSharedMemory()
+	tr, err := Run(Config{Steps: 1500, ShmKey: 0x6001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Diverged {
+		t.Fatalf("diverged at %d", tr.DivergedAt)
+	}
+	if len(tr.Steps) != 1500 {
+		t.Errorf("steps = %d", len(tr.Steps))
+	}
+}
+
+func TestPublicFaultContainment(t *testing.T) {
+	ResetSharedMemory()
+	tr, err := Run(Config{
+		Steps: 2000, Fault: FaultFreeze, FaultStep: 1000, ShmKey: 0x6002,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Diverged {
+		t.Fatal("freeze fault not contained")
+	}
+	// A frozen (stale but plausible) output is only rejected when it drives
+	// the state toward the envelope boundary, so the plant settles into a
+	// bounded limit cycle rather than converging: recoverability, not
+	// convergence, is the guarantee.
+	if tr.MaxAbsState[2] > 0.3 {
+		t.Errorf("max angle %g left the recoverable envelope", tr.MaxAbsState[2])
+	}
+	if math.IsNaN(tr.Steps[len(tr.Steps)-1].State[2]) {
+		t.Error("state corrupted")
+	}
+}
+
+func TestPublicLTIPlant(t *testing.T) {
+	ResetSharedMemory()
+	plant := &LTI{
+		A: MatFrom([][]float64{{0, 1}, {4.0, 0}}),
+		B: MatFrom([][]float64{{0}, {1}}),
+	}
+	if err := plant.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Run(Config{
+		Plant: plant, InitState: []float64{0.05, 0}, Steps: 2000, ShmKey: 0x6003,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Diverged {
+		t.Fatal("configured LTI plant diverged under the monitor")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	ResetSharedMemory()
+	if _, err := Run(Config{
+		InitState: []float64{1, 2, 3}, // dimension mismatch with the pendulum (4)
+		ShmKey:    0x6004,
+	}); err == nil {
+		t.Error("mismatched init state accepted")
+	}
+}
+
+func TestPlantConstructors(t *testing.T) {
+	if DefaultPendulum().Dim() != 4 {
+		t.Error("pendulum dim")
+	}
+	if DefaultDoublePendulum().Dim() != 6 {
+		t.Error("double pendulum dim")
+	}
+	modes := []FaultMode{FaultNone, FaultSignFlip, FaultSaturate, FaultNaN, FaultFreeze}
+	seen := map[string]bool{}
+	for _, m := range modes {
+		if seen[m.String()] {
+			t.Errorf("duplicate fault name %q", m)
+		}
+		seen[m.String()] = true
+	}
+}

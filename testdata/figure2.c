@@ -1,0 +1,108 @@
+/*
+ * figure2.c — the paper's running example (Figures 2 and 3): the core
+ * controller of the inverted-pendulum Simplex system. Shared-memory
+ * initialization follows Figure 3 (an shminit-annotated initComm with
+ * shmvar/noncore post-conditions); the control loop follows Figure 2.
+ *
+ * As in the paper, the program contains the defect SafeFlow is meant to
+ * find: the core controller dereferences the non-core-writable feedback
+ * region without monitoring it, and the critical control output depends
+ * on those values.
+ */
+
+typedef struct {
+    double angle;
+    double track;
+    double control;
+    int    ready;
+} SHMData;
+
+SHMData *feedback;
+SHMData *noncoreCtrl;
+int shmLock;
+
+void initComm()
+/***SafeFlow Annotation shminit /***/
+{
+    int shmid;
+    void *shmStart;
+    shmid = shmget(1234, 2 * sizeof(SHMData), 0666);
+    shmStart = shmat(shmid, 0, 0);
+    feedback = (SHMData *) shmStart;
+    noncoreCtrl = feedback + 1;
+    InitCheck(shmStart, 2 * sizeof(SHMData));
+    /***SafeFlow Annotation assume(shmvar(feedback, sizeof(SHMData))) /***/
+    /***SafeFlow Annotation assume(shmvar(noncoreCtrl, sizeof(SHMData))) /***/
+    /***SafeFlow Annotation assume(noncore(feedback)) /***/
+    /***SafeFlow Annotation assume(noncore(noncoreCtrl)) /***/
+}
+
+void getFeedback(SHMData *fb)
+{
+    fb->angle = readSensor(0);
+    fb->track = readSensor(1);
+}
+
+/* computeSafety derives the fall-back control output from the sensor
+ * feedback — reading it back from shared memory, unmonitored (the defect
+ * the paper's analysis reports). */
+void computeSafety(SHMData *fb, double *safeOut)
+{
+    double a;
+    double t;
+    a = fb->angle;
+    t = fb->track;
+    *safeOut = -(12.0 * a + 3.0 * t);
+}
+
+int checkSafety(SHMData *f, SHMData *nc)
+/***SafeFlow Annotation assume(core(nc, 0, sizeof(SHMData))) /***/
+{
+    double u;
+    u = nc->control;
+    if (u > 4.9) {
+        return 0;
+    }
+    if (u < -4.9) {
+        return 0;
+    }
+    if (f->angle > 0.5) {
+        return 0;
+    }
+    return 1;
+}
+
+double decision(SHMData *f, double safeControl, SHMData *nc)
+/***SafeFlow Annotation assume(core(nc, 0, sizeof(SHMData))) /***/
+{
+    if (checkSafety(f, nc)) {
+        return nc->control;
+    }
+    return safeControl;
+}
+
+void sendControl(double u)
+{
+    writeDA(0, u);
+}
+
+int main()
+{
+    int k;
+    double safeControl;
+    double output;
+    initComm();
+    for (k = 0; k < 2000; k++) {
+        Lock(shmLock);
+        getFeedback(feedback);
+        computeSafety(feedback, &safeControl);
+        Unlock(shmLock);
+        wait(0.01);
+        Lock(shmLock);
+        output = decision(feedback, safeControl, noncoreCtrl);
+        /***SafeFlow Annotation assert(safe(output)) /***/
+        sendControl(output);
+        Unlock(shmLock);
+    }
+    return 0;
+}
