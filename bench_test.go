@@ -60,6 +60,131 @@ func BenchmarkTable1_DoubleIP(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// Parallel pipeline: worker counts, batch fan-out, and the summary cache.
+// The Workers1/WorkersMax pairs record the intra-pipeline speedup; the
+// AnalyzeAll pair records the batch fan-out speedup; the SummaryCache pair
+// records the warm-run speedup from the cross-run summary cache. All
+// variants disable the cache except the cache benchmark itself, so they
+// measure the work they name.
+
+func BenchmarkParallel_IP_Workers1(b *testing.B) {
+	benchmarkSystem(b, corpus.IP(), core.Options{Workers: 1, DisableCache: true})
+}
+
+func BenchmarkParallel_IP_WorkersMax(b *testing.B) {
+	benchmarkSystem(b, corpus.IP(), core.Options{Workers: 0, DisableCache: true})
+}
+
+func BenchmarkParallel_GenericSimplex_Workers1(b *testing.B) {
+	benchmarkSystem(b, corpus.GenericSimplex(), core.Options{Workers: 1, DisableCache: true})
+}
+
+func BenchmarkParallel_GenericSimplex_WorkersMax(b *testing.B) {
+	benchmarkSystem(b, corpus.GenericSimplex(), core.Options{Workers: 0, DisableCache: true})
+}
+
+func BenchmarkParallel_DoubleIP_Workers1(b *testing.B) {
+	benchmarkSystem(b, corpus.DoubleIP(), core.Options{Workers: 1, DisableCache: true})
+}
+
+func BenchmarkParallel_DoubleIP_WorkersMax(b *testing.B) {
+	benchmarkSystem(b, corpus.DoubleIP(), core.Options{Workers: 0, DisableCache: true})
+}
+
+func table1Jobs(b *testing.B) []safeflow.Job {
+	b.Helper()
+	systems := corpus.All()
+	jobs := make([]safeflow.Job, len(systems))
+	for i, sys := range systems {
+		src, err := sys.SourceMap()
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs[i] = safeflow.Job{
+			Name: sys.Name, Sources: src, CFiles: sys.CFiles,
+			Options: core.Options{DisableCache: true},
+		}
+	}
+	return jobs
+}
+
+func checkBatch(b *testing.B, results []safeflow.Result) {
+	b.Helper()
+	for i, sys := range corpus.All() {
+		if results[i].Err != nil {
+			b.Fatalf("%s: %v", sys.Name, results[i].Err)
+		}
+		rep := results[i].Report
+		if len(rep.ErrorsData) != sys.Expected.Errors ||
+			len(rep.Warnings) != sys.Expected.Warnings ||
+			len(rep.ErrorsControlOnly) != sys.Expected.FalsePositives {
+			b.Fatalf("%s: counts diverged from Table 1", sys.Name)
+		}
+	}
+}
+
+func BenchmarkParallel_AnalyzeAll(b *testing.B) {
+	jobs := table1Jobs(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		checkBatch(b, safeflow.AnalyzeAll(jobs))
+	}
+}
+
+func BenchmarkParallel_AnalyzeAll_Serial(b *testing.B) {
+	jobs := table1Jobs(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := make([]safeflow.Result, len(jobs))
+		for j, job := range jobs {
+			rep, err := safeflow.Analyze(job.Name, job.Sources, job.CFiles, job.Options)
+			results[j] = safeflow.Result{Name: job.Name, Report: rep, Err: err}
+		}
+		checkBatch(b, results)
+	}
+}
+
+func BenchmarkParallel_SummaryCache(b *testing.B) {
+	sys := corpus.GenericSimplex()
+	b.Run("cold", func(b *testing.B) {
+		benchmarkSystem(b, sys, core.Options{DisableCache: true})
+	})
+	// Every iteration after the first hits the cache entry written by its
+	// predecessor (same content fingerprint).
+	b.Run("warm", func(b *testing.B) {
+		benchmarkSystem(b, sys, core.Options{})
+	})
+}
+
+// BenchmarkParallel_PhaseThreeCache isolates the cached work: the module
+// is compiled once, and each iteration re-runs phases 1–3 on it (the
+// watch-mode shape — reanalysis without recompilation).
+func BenchmarkParallel_PhaseThreeCache(b *testing.B) {
+	sys := corpus.GenericSimplex()
+	src, err := sys.Sources()
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := frontend.Compile(sys.Name, src, sys.CFiles, frontend.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, opts core.Options) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rep := core.AnalyzeModule(sys.Name, res, opts)
+			if len(rep.ErrorsData) != sys.Expected.Errors {
+				b.Fatalf("counts diverged")
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) { run(b, core.Options{}) })
+	b.Run("warm", func(b *testing.B) { run(b, core.Options{CacheKey: "bench-gsx-module"}) })
+}
+
+// ---------------------------------------------------------------------------
 // Figure 1
 
 func BenchmarkFigure1_ControlLoop(b *testing.B) {
@@ -223,7 +348,9 @@ func BenchmarkAblation_StaticVsDynamicTaint(b *testing.B) {
 func BenchmarkAblation_SummaryVsExponential(b *testing.B) {
 	sys := corpus.DoubleIP()
 	b.Run("summaries", func(b *testing.B) {
-		benchmarkSystem(b, sys, core.Options{})
+		// Cache off: the ablation measures the summary algorithm itself,
+		// not warm-start seeding from a previous iteration.
+		benchmarkSystem(b, sys, core.Options{DisableCache: true})
 	})
 	b.Run("per_call_path", func(b *testing.B) {
 		benchmarkSystem(b, sys, core.Options{Exponential: true})

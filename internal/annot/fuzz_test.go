@@ -1,0 +1,57 @@
+package annot_test
+
+import (
+	"strings"
+	"testing"
+
+	"safeflow/internal/annot"
+)
+
+// fuzzSizer resolves a couple of plausible type names and rejects the
+// rest, so both TypeSizer outcomes are reachable from fuzz inputs.
+var fuzzSizer = annot.TypeSizerFunc(func(name string) (int64, bool) {
+	switch name {
+	case "SHMData", "double":
+		return 40, true
+	}
+	return 0, false
+})
+
+// FuzzAnnotationParse feeds arbitrary annotation bodies to the parser.
+// Malformed input must come back as an error, never a panic, and
+// accepted input must yield at least one fact.
+func FuzzAnnotationParse(f *testing.F) {
+	for _, seed := range []string{
+		"shminit",
+		"assume(shmvar(feedback, sizeof(SHMData)))",
+		"assume(noncore(feedback))",
+		"assume(core(nc, 0, sizeof(SHMData)))",
+		"assume(core(buf, 8, 16 + 4 * 2))",
+		"assert(safe(output))",
+		"assume(shmvar(a, 1)); assume(noncore(a))",
+		"assume(shmvar(a, 1))\nassume(noncore(a))",
+		"assume(core(x, sizeof(Unknown), 4))",
+		"assume(",
+		"assert(safe())",
+		"core(x, 0, 4)",
+		";;;",
+		"",
+		"assume(shmvar(p, sizeof(SHMData) * 2 + 1))",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		facts, err := annot.Parse(body, fuzzSizer)
+		if err != nil {
+			return
+		}
+		for _, fact := range facts {
+			if fact == nil {
+				t.Fatalf("nil fact for %q", body)
+			}
+			if strings.TrimSpace(fact.String()) == "" {
+				t.Fatalf("empty rendering for %q", body)
+			}
+		}
+	})
+}

@@ -13,7 +13,9 @@
 package core
 
 import (
+	"crypto/sha256"
 	"fmt"
+	"sort"
 	"strings"
 
 	"safeflow/internal/callgraph"
@@ -36,10 +38,24 @@ type Options struct {
 	// analysis (ablation A-2).
 	Exponential bool
 	// Roots names entry functions for phase 3 (default: functions without
-	// callers).
+	// callers). Names that do not resolve to a defined function are
+	// reported as AnnotationErrors.
 	Roots []string
 	// Defines predefines preprocessor macros.
 	Defines map[string]string
+	// Workers bounds the concurrency of the frontend (translation units)
+	// and of phase 3 (callgraph SCCs). 0 means runtime.GOMAXPROCS(0);
+	// 1 runs sequentially. Reports are byte-identical at every setting.
+	Workers int
+	// CacheKey enables the phase-3 summary cache across repeated analyses
+	// of identical input. AnalyzeSources derives it from the source
+	// contents and options when empty; direct AnalyzeModule callers must
+	// set it themselves (it must fingerprint the module contents) or leave
+	// it empty to disable caching.
+	CacheKey string
+	// DisableCache turns the summary cache off entirely (cold-run
+	// benchmarks, memory-constrained batch runs).
+	DisableCache bool
 }
 
 // Report is the complete analysis output for one system.
@@ -84,9 +100,15 @@ func (r *Report) Clean() bool {
 // AnalyzeSources compiles and analyzes the translation units named by
 // cFiles against the given source tree.
 func AnalyzeSources(name string, sources cpp.Source, cFiles []string, opts Options) (*Report, error) {
-	res, err := frontend.Compile(name, sources, cFiles, frontend.Options{Defines: opts.Defines})
+	res, err := frontend.Compile(name, sources, cFiles, frontend.Options{
+		Defines: opts.Defines,
+		Workers: opts.Workers,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("safeflow: %w", err)
+	}
+	if opts.CacheKey == "" && !opts.DisableCache {
+		opts.CacheKey = fingerprintSources(name, sources, cFiles, opts)
 	}
 	rep := AnalyzeModule(name, res, opts)
 	rep.LinesOfCode, rep.AnnotationLines = countSourceStats(sources, cFiles)
@@ -115,9 +137,21 @@ func AnalyzeModule(name string, res *irgen.Result, opts Options) *Report {
 
 	// Phase 3.
 	pts := pointsto.Analyze(m, mode)
+	if opts.DisableCache {
+		opts.CacheKey = ""
+	}
 	var roots []*ir.Function
+	var rootErrs []error
 	for _, r := range opts.Roots {
-		if f := m.FuncByName(r); f != nil {
+		f := m.FuncByName(r)
+		switch {
+		case f == nil:
+			rootErrs = append(rootErrs, fmt.Errorf(
+				"root function %q not found in %s (analysis entry ignored)", r, name))
+		case f.IsDecl:
+			rootErrs = append(rootErrs, fmt.Errorf(
+				"root function %q is declared but not defined in %s (analysis entry ignored)", r, name))
+		default:
 			roots = append(roots, f)
 		}
 	}
@@ -129,6 +163,8 @@ func AnalyzeModule(name string, res *irgen.Result, opts Options) *Report {
 		AssertVars:  res.AssertVars,
 		Roots:       roots,
 		Exponential: opts.Exponential,
+		Workers:     opts.Workers,
+		CacheKey:    opts.CacheKey,
 	})
 
 	rep := &Report{
@@ -140,11 +176,17 @@ func AnalyzeModule(name string, res *irgen.Result, opts Options) *Report {
 		Warnings:         v.Warnings,
 		UnitsAnalyzed:    v.UnitsAnalyzed,
 	}
+	rep.AnnotationErrors = append(rep.AnnotationErrors, rootErrs...)
 
 	// The paper inserts the InitCheck run-time verification into every
 	// initializing function; since we analyze rather than rewrite, verify
 	// it is present wherever shared-memory variables are declared.
-	for initFn := range sf.InitFuncs {
+	// Iterate in module function order (not map order) so the error list
+	// is deterministic.
+	for _, initFn := range m.Funcs {
+		if !sf.InitFuncs[initFn] {
+			continue
+		}
 		if len(sf.Regions) == 0 {
 			break
 		}
@@ -183,6 +225,60 @@ func callsInitCheck(f *ir.Function) bool {
 		}
 	}
 	return false
+}
+
+// fingerprintSources derives a summary-cache key covering every analysis
+// input: the source files reachable through quoted includes (same
+// traversal as countSourceStats), the macro defines, and the options that
+// change phase-3 results. Two analyses with equal fingerprints see
+// identical modules, which is what the vfg cache's soundness relies on.
+func fingerprintSources(name string, sources cpp.Source, cFiles []string, opts Options) string {
+	h := sha256.New()
+	put := func(parts ...string) {
+		for _, p := range parts {
+			fmt.Fprintf(h, "%d:%s;", len(p), p)
+		}
+	}
+	put("v1", name)
+	put(fmt.Sprintf("mode=%d exp=%v", opts.PointsTo, opts.Exponential))
+	put(opts.Roots...)
+	defs := make([]string, 0, len(opts.Defines))
+	for k, v := range opts.Defines {
+		defs = append(defs, k+"="+v)
+	}
+	sort.Strings(defs)
+	put(defs...)
+
+	seen := make(map[string]bool)
+	var visit func(file string)
+	visit = func(file string) {
+		if seen[file] {
+			return
+		}
+		seen[file] = true
+		text, err := sources.ReadFile(file)
+		if err != nil {
+			put(file, "<unreadable>")
+			return
+		}
+		put(file, text)
+		for _, line := range strings.Split(text, "\n") {
+			trimmed := strings.TrimSpace(line)
+			if !strings.HasPrefix(trimmed, "#include") {
+				continue
+			}
+			if i := strings.IndexByte(trimmed, '"'); i >= 0 {
+				rest := trimmed[i+1:]
+				if j := strings.IndexByte(rest, '"'); j > 0 {
+					visit(rest[:j])
+				}
+			}
+		}
+	}
+	for _, f := range cFiles {
+		visit(f)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
 }
 
 // countSourceStats counts non-blank lines and annotation comments across

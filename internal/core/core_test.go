@@ -2,6 +2,7 @@ package core
 
 import (
 	"os"
+	"strings"
 	"testing"
 
 	"safeflow/internal/cpp"
@@ -155,6 +156,37 @@ func TestFigure2Exponential(t *testing.T) {
 }
 
 // TestSourceStats sanity-checks the Table 1 bookkeeping columns.
+// TestUnknownRootReported checks that Options.Roots entries that do not
+// resolve to a defined function surface as annotation errors instead of
+// being silently skipped, and that valid roots still drive the analysis.
+func TestUnknownRootReported(t *testing.T) {
+	rep := analyzeFile(t, "../../testdata/figure2.c", Options{Roots: []string{"main", "noSuchFn"}})
+
+	found := false
+	for _, e := range rep.AnnotationErrors {
+		if strings.Contains(e.Error(), `root function "noSuchFn" not found`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unknown root not reported; annotation errors: %v", rep.AnnotationErrors)
+	}
+	if len(rep.Warnings) != 3 {
+		t.Errorf("valid root should still be analyzed: warnings = %d, want 3", len(rep.Warnings))
+	}
+
+	rep = analyzeFile(t, "../../testdata/figure2.c", Options{Roots: []string{"shmat"}})
+	found = false
+	for _, e := range rep.AnnotationErrors {
+		if strings.Contains(e.Error(), `root function "shmat" is declared but not defined`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("declared-only root not reported; annotation errors: %v", rep.AnnotationErrors)
+	}
+}
+
 func TestSourceStats(t *testing.T) {
 	rep := analyzeFile(t, "../../testdata/figure2.c", Options{})
 	if rep.LinesOfCode < 80 {

@@ -112,6 +112,16 @@ func (s System) Sources() (cpp.Source, error) {
 	return m, nil
 }
 
+// SourceMap returns the system's file tree as a plain map — the form the
+// public batch API (safeflow.AnalyzeAll) takes.
+func (s System) SourceMap() (map[string]string, error) {
+	src, err := s.Sources()
+	if err != nil {
+		return nil, err
+	}
+	return src.(cpp.MapSource), nil
+}
+
 // Analyze runs the full SafeFlow pipeline on the system.
 func (s System) Analyze(opts core.Options) (*core.Report, error) {
 	src, err := s.Sources()

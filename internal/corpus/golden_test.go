@@ -7,25 +7,37 @@ import (
 	"strings"
 	"testing"
 
-	"safeflow/internal/core"
 	"safeflow/internal/report"
+	"safeflow/pkg/safeflow"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden report files")
 
 // TestGoldenReports locks the complete rendered report of each corpus
 // system against a golden file — any change to diagnostics, ordering,
-// positions, or wording shows up as a diff. Regenerate intentionally with
-// `go test ./internal/corpus -run TestGoldenReports -update`.
+// positions, or wording shows up as a diff. The systems are analyzed
+// through the public batch API, so this also locks AnalyzeAll's
+// concurrent fan-out to the sequential reports. Regenerate intentionally
+// with `go test ./internal/corpus -run TestGoldenReports -update`.
 func TestGoldenReports(t *testing.T) {
-	for _, sys := range All() {
+	systems := All()
+	jobs := make([]safeflow.Job, len(systems))
+	for i, sys := range systems {
+		src, err := sys.SourceMap()
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = safeflow.Job{Name: sys.Name, Sources: src, CFiles: sys.CFiles}
+	}
+	results := safeflow.AnalyzeAll(jobs)
+	for i, sys := range systems {
+		res := results[i]
 		t.Run(sys.Name, func(t *testing.T) {
-			rep, err := sys.Analyze(core.Options{})
-			if err != nil {
-				t.Fatal(err)
+			if res.Err != nil {
+				t.Fatal(res.Err)
 			}
 			var sb strings.Builder
-			report.Write(&sb, rep)
+			report.Write(&sb, res.Report)
 			got := sb.String()
 
 			name := strings.ToLower(strings.ReplaceAll(sys.Name, " ", "_"))

@@ -1,11 +1,20 @@
 // Package frontend chains SafeFlow's C front end: preprocess, lex, parse,
 // type-check, lower to IR, and promote to SSA. It is the single entry
 // point used by the analysis pipeline, the CLI, and tests.
+//
+// Translation units are independent until the type checker merges them, so
+// Compile preprocesses, lexes and parses them concurrently on a bounded
+// worker pool (Options.Workers, default GOMAXPROCS). Results are merged in
+// the caller's file order and the first error — in that same stable order,
+// not in completion order — is the one reported, so compilation output is
+// identical at every worker count.
 package frontend
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"safeflow/internal/cast"
 	"safeflow/internal/clex"
@@ -22,37 +31,88 @@ type Options struct {
 	// SkipPromote leaves the IR in pre-mem2reg form (used by tests that
 	// inspect the unpromoted program).
 	SkipPromote bool
+	// Workers bounds the number of translation units compiled concurrently.
+	// 0 means runtime.GOMAXPROCS(0); 1 compiles sequentially.
+	Workers int
+}
+
+// workerCount resolves the effective pool size for n independent tasks.
+func workerCount(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// compileUnit runs the per-TU front half: preprocess, lex, parse.
+func compileUnit(sources cpp.Source, cf string, opts Options) (*cast.File, error) {
+	pp := cpp.New(sources)
+	keys := make([]string, 0, len(opts.Defines))
+	for k := range opts.Defines {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		pp.Define(k, opts.Defines[k])
+	}
+	text, err := pp.Expand(cf)
+	if err != nil {
+		return nil, fmt.Errorf("preprocess %s: %w", cf, err)
+	}
+	lx := clex.New(cf, text)
+	toks := lx.All()
+	if errs := lx.Errors(); len(errs) > 0 {
+		return nil, fmt.Errorf("lex %s: %w", cf, errs[0])
+	}
+	p := cparse.New(cf, toks)
+	f, err := p.ParseFile()
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", cf, err)
+	}
+	return f, nil
 }
 
 // Compile builds the translation units named by cFiles (each preprocessed
 // independently against sources) into one typed, SSA-promoted module.
 func Compile(name string, sources cpp.Source, cFiles []string, opts Options) (*irgen.Result, error) {
-	var files []*cast.File
-	for _, cf := range cFiles {
-		pp := cpp.New(sources)
-		keys := make([]string, 0, len(opts.Defines))
-		for k := range opts.Defines {
-			keys = append(keys, k)
+	files := make([]*cast.File, len(cFiles))
+	errs := make([]error, len(cFiles))
+
+	workers := workerCount(opts.Workers, len(cFiles))
+	if workers <= 1 {
+		for i, cf := range cFiles {
+			files[i], errs[i] = compileUnit(sources, cf, opts)
 		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			pp.Define(k, opts.Defines[k])
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					files[i], errs[i] = compileUnit(sources, cFiles[i], opts)
+				}
+			}()
 		}
-		text, err := pp.Expand(cf)
+		for i := range cFiles {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	// First error in stable file order, regardless of completion order.
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("preprocess %s: %w", cf, err)
+			return nil, err
 		}
-		lx := clex.New(cf, text)
-		toks := lx.All()
-		if errs := lx.Errors(); len(errs) > 0 {
-			return nil, fmt.Errorf("lex %s: %w", cf, errs[0])
-		}
-		p := cparse.New(cf, toks)
-		f, err := p.ParseFile()
-		if err != nil {
-			return nil, fmt.Errorf("parse %s: %w", cf, err)
-		}
-		files = append(files, f)
 	}
 
 	prog, err := csema.Analyze(files)

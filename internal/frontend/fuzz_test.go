@@ -1,0 +1,51 @@
+package frontend_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"safeflow/internal/core"
+	"safeflow/internal/corpus"
+	"safeflow/internal/frontend"
+)
+
+// FuzzCompile feeds arbitrary C-subset sources through the whole
+// pipeline: compilation and then full analysis. Both must reject bad
+// input with an error — panics are the only failure mode. Seeded with
+// every real program in the repository.
+func FuzzCompile(f *testing.F) {
+	if data, err := os.ReadFile(filepath.Join("..", "..", "testdata", "figure2.c")); err == nil {
+		f.Add(string(data))
+	}
+	for _, sys := range corpus.All() {
+		src, err := sys.SourceMap()
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, text := range src {
+			f.Add(text)
+		}
+	}
+	for _, seed := range []string{
+		"int main() { return 0; }",
+		"double *p; int main() { return *p > 0.0; }",
+		"/***SafeFlow Annotation shminit /***/ void f() {}",
+		"int main() { /***SafeFlow Annotation assert(safe(x)) /***/ return 0; }",
+		"struct S { int a; };",
+		"#define X 1\nint main() { return X; }",
+		"int f(", "}{", "", "\x00", "int a[;",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		res, err := frontend.CompileString("fuzz", src, frontend.Options{})
+		if err == nil && res == nil {
+			t.Fatal("nil result without error")
+		}
+		rep, err := core.AnalyzeString("fuzz", src, core.Options{})
+		if err == nil && rep == nil {
+			t.Fatal("nil report without error")
+		}
+	})
+}

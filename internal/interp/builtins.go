@@ -42,6 +42,7 @@ func (m *Machine) builtin(f *ir.Function, args []value) (value, error) {
 				name: fmt.Sprintf("shm:%d", key),
 				data: make([]byte, size),
 				ptrs: map[int64]pointer{},
+				seg:  true,
 			}
 			m.segments[key] = seg
 		}

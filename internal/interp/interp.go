@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"safeflow/internal/ctypes"
+	"safeflow/internal/dyntaint"
 	"safeflow/internal/ir"
 )
 
@@ -68,6 +69,8 @@ type memObj struct {
 	name string
 	data []byte
 	ptrs map[int64]pointer
+	tnt  []dyntaint.Label // per-byte labels, allocated lazily (taint mode)
+	seg  bool             // shared-memory segment (region-modeled, no byte labels)
 }
 
 type pointer struct {
@@ -77,13 +80,16 @@ type pointer struct {
 
 func (p pointer) isNull() bool { return p.obj == nil }
 
-// value is one dynamic value.
+// value is one dynamic value. lbl rides along in taint mode (zero
+// otherwise); it lives here rather than in pointer so pointer equality
+// in cmp stays label-blind.
 type value struct {
 	f   float64
 	i   int64
 	p   pointer
 	str string
 	k   valKind
+	lbl dyntaint.Label
 }
 
 type valKind uint8
@@ -136,6 +142,7 @@ type Machine struct {
 	Kills    []KillRecord
 	MaxSteps int64
 	steps    int64
+	taint    *Tracker // nil unless EnableTaint was called
 }
 
 // New prepares a machine for the module with the given world.
@@ -194,6 +201,10 @@ func (m *Machine) call(f *ir.Function, args []value) (value, error) {
 		if i < len(args) {
 			env[p] = args[i]
 		}
+	}
+	if m.taint != nil {
+		n := m.taint.pushCore(f, env)
+		defer m.taint.popCore(n)
 	}
 	block := f.Entry()
 	var prev *ir.Block
@@ -255,11 +266,20 @@ func (m *Machine) call(f *ir.Function, args []value) (value, error) {
 				}
 				env[x] = v
 			case *ir.BinOp:
-				env[x] = m.binop(x, m.eval(env, x.X), m.eval(env, x.Y))
+				a, b := m.eval(env, x.X), m.eval(env, x.Y)
+				r := m.binop(x, a, b)
+				r.lbl = a.lbl | b.lbl
+				env[x] = r
 			case *ir.Cmp:
-				env[x] = m.cmp(x, m.eval(env, x.X), m.eval(env, x.Y))
+				a, b := m.eval(env, x.X), m.eval(env, x.Y)
+				r := m.cmp(x, a, b)
+				r.lbl = a.lbl | b.lbl
+				env[x] = r
 			case *ir.Cast:
-				env[x] = m.castVal(x, m.eval(env, x.X))
+				v := m.eval(env, x.X)
+				r := m.castVal(x, v)
+				r.lbl |= v.lbl
+				env[x] = r
 			case *ir.Call:
 				callArgs := make([]value, len(x.Args))
 				for i, a := range x.Args {
@@ -268,6 +288,16 @@ func (m *Machine) call(f *ir.Function, args []value) (value, error) {
 				v, err := m.call(x.Callee, callArgs)
 				if err != nil {
 					return value{}, err
+				}
+				if m.taint != nil {
+					if x.Callee.IsDecl {
+						// External calls: result provenance is the join of
+						// the arguments, mirroring vfg's decl-call transfer.
+						for _, a := range callArgs {
+							v.lbl |= a.lbl
+						}
+					}
+					m.taint.observeCall(x, callArgs)
 				}
 				env[x] = v
 			case *ir.Ret:
@@ -320,6 +350,14 @@ func (m *Machine) eval(env map[ir.Value]value, v ir.Value) value {
 // Memory access
 
 func (m *Machine) load(addr value, t ctypes.Type) (value, error) {
+	v, err := m.loadRaw(addr, t)
+	if err == nil && m.taint != nil {
+		v.lbl |= addr.lbl | m.taint.loadLabel(addr.p.obj, addr.p.off, t.Size())
+	}
+	return v, err
+}
+
+func (m *Machine) loadRaw(addr value, t ctypes.Type) (value, error) {
 	if addr.k != vPtr || addr.p.isNull() {
 		return value{}, trapError{msg: "load through null or non-pointer"}
 	}
@@ -356,6 +394,9 @@ func (m *Machine) store(addr, v value, t ctypes.Type) error {
 	size := t.Size()
 	if off < 0 || off+size > int64(len(obj.data)) {
 		return trapError{msg: fmt.Sprintf("store [%d,%d) outside %s (%d bytes)", off, off+size, obj.name, len(obj.data))}
+	}
+	if m.taint != nil {
+		m.taint.storeHook(obj, off, size, v)
 	}
 	switch tt := t.(type) {
 	case *ctypes.Pointer:
@@ -404,6 +445,7 @@ func (m *Machine) gep(env map[ir.Value]value, g *ir.GEP) (value, error) {
 	}
 	cur := g.Base.Type()
 	p := base.p
+	lbl := base.lbl
 	for _, ix := range g.Indices {
 		pt, ok := cur.(*ctypes.Pointer)
 		if !ok {
@@ -418,7 +460,9 @@ func (m *Machine) gep(env map[ir.Value]value, g *ir.GEP) (value, error) {
 			cur = &ctypes.Pointer{Elem: st.Fields[ix.Field].Type}
 			continue
 		}
-		idx := m.eval(env, ix.Index).asInt()
+		iv := m.eval(env, ix.Index)
+		lbl |= iv.lbl
+		idx := iv.asInt()
 		if arr, isArr := pt.Elem.(*ctypes.Array); isArr {
 			p.off += idx * arr.Elem.Size()
 			cur = &ctypes.Pointer{Elem: arr.Elem}
@@ -426,7 +470,9 @@ func (m *Machine) gep(env map[ir.Value]value, g *ir.GEP) (value, error) {
 		}
 		p.off += idx * pt.Elem.Size()
 	}
-	return ptrVal(p), nil
+	v := ptrVal(p)
+	v.lbl = lbl
+	return v, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,248 @@
+// Dynamic taint tracking: an optional execution mode in which the machine
+// labels every value with its unmonitored-non-core provenance (the
+// dyntaint label vocabulary) and records the label seen at each critical
+// sink — assert(safe(x)) sites and kill() pids. This is the run-time half
+// of the differential soundness check: anything tainted dynamically must
+// be flagged by the static vfg analysis.
+//
+// The dynamic semantics deliberately mirror the static model rather than
+// maximizing precision:
+//
+//   - reads of a non-core shared-memory region are a taint source unless
+//     an active assume(core(...)) span on the call stack covers the exact
+//     bytes read (the dynamic analogue of vfg's contexts — exact, since
+//     pointers are concrete here);
+//   - shared-memory bytes carry no stored taint (regions are modeled by
+//     the read rule, as in vfg's memStore, which excludes shm objects);
+//   - only data flow propagates — control dependencies are not tracked,
+//     matching the static ErrorsData class.
+//
+// Both deviations make the dynamic taint smaller, which is the safe
+// direction for a subset check against the static report.
+
+package interp
+
+import (
+	"strings"
+
+	"safeflow/internal/annot"
+	"safeflow/internal/ctoken"
+	"safeflow/internal/dyntaint"
+	"safeflow/internal/ir"
+	"safeflow/internal/shmflow"
+)
+
+// SinkObs is one observed critical-sink evaluation.
+type SinkObs struct {
+	Pos   ctoken.Pos
+	Label dyntaint.Label
+}
+
+// Tracker accumulates dynamic taint state for one execution.
+type Tracker struct {
+	sf        *shmflow.Result
+	bindings  []regionBinding
+	coreSpans []coreSpan
+	// Asserts records every executed assert(safe(x)); Kills every kill()
+	// pid argument. Labels are the observed provenance at that moment.
+	Asserts []SinkObs
+	Kills   []SinkObs
+}
+
+// regionBinding maps a declared shared-memory region to the segment bytes
+// it names at run time (established when the shmat result is stored into
+// the region's global pointer).
+type regionBinding struct {
+	reg  *shmflow.Region
+	obj  *memObj
+	base int64
+}
+
+// coreSpan is one active assume(core(...)) byte range.
+type coreSpan struct {
+	obj    *memObj
+	lo, hi int64
+}
+
+// EnableTaint switches the machine into taint-tracking mode. sf supplies
+// the region table (names, sizes, non-core marks) from phase 1.
+func (m *Machine) EnableTaint(sf *shmflow.Result) *Tracker {
+	m.taint = &Tracker{sf: sf}
+	return m.taint
+}
+
+// TaintedAsserts aggregates the assert observations: position → whether
+// any executed evaluation there carried unmonitored non-core provenance.
+func (tr *Tracker) TaintedAsserts() map[ctoken.Pos]bool {
+	return aggregate(tr.Asserts)
+}
+
+// TaintedKills aggregates the kill observations the same way.
+func (tr *Tracker) TaintedKills() map[ctoken.Pos]bool {
+	return aggregate(tr.Kills)
+}
+
+func aggregate(obs []SinkObs) map[ctoken.Pos]bool {
+	out := make(map[ctoken.Pos]bool, len(obs))
+	for _, o := range obs {
+		out[o.Pos] = out[o.Pos] || o.Label.Tainted()
+	}
+	return out
+}
+
+// bind associates a region's global pointer with the segment it points at.
+func (tr *Tracker) bind(globalName string, p pointer) {
+	reg, ok := tr.sf.RegionByName[strings.TrimPrefix(globalName, "@")]
+	if !ok || p.obj == nil {
+		return
+	}
+	for i := range tr.bindings {
+		if tr.bindings[i].reg == reg {
+			tr.bindings[i] = regionBinding{reg: reg, obj: p.obj, base: p.off}
+			return
+		}
+	}
+	tr.bindings = append(tr.bindings, regionBinding{reg: reg, obj: p.obj, base: p.off})
+}
+
+// regionAt returns the region whose bound span contains offset off of obj.
+func (tr *Tracker) regionAt(obj *memObj, off int64) *shmflow.Region {
+	for _, b := range tr.bindings {
+		if b.obj == obj && off >= b.base && off < b.base+b.reg.Size {
+			return b.reg
+		}
+	}
+	return nil
+}
+
+// covered reports whether an active core span covers [lo, hi) of obj.
+func (tr *Tracker) covered(obj *memObj, lo, hi int64) bool {
+	for _, s := range tr.coreSpans {
+		if s.obj == obj && s.lo <= lo && hi <= s.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// pushCore activates the function's assume(core(...)) facts for the
+// duration of the call, resolving each fact against concrete pointers:
+// parameter facts through the argument value, region facts through the
+// region binding. Returns how many spans were pushed.
+func (tr *Tracker) pushCore(f *ir.Function, env map[ir.Value]value) int {
+	ff, _ := f.Facts.(*annot.FuncFacts)
+	if ff == nil {
+		return 0
+	}
+	n := 0
+	for _, cf := range ff.Core {
+		if p := paramPointer(f, env, cf.Ptr); p != nil {
+			tr.coreSpans = append(tr.coreSpans, coreSpan{
+				obj: p.obj, lo: p.off + cf.Offset, hi: p.off + cf.Offset + cf.Size,
+			})
+			n++
+			continue
+		}
+		if reg, ok := tr.sf.RegionByName[cf.Ptr]; ok {
+			for _, b := range tr.bindings {
+				if b.reg == reg {
+					tr.coreSpans = append(tr.coreSpans, coreSpan{
+						obj: b.obj, lo: b.base + cf.Offset, hi: b.base + cf.Offset + cf.Size,
+					})
+					n++
+				}
+			}
+		}
+		// Local receive buffers (§3.4.3) have no shared-memory span.
+	}
+	return n
+}
+
+func (tr *Tracker) popCore(n int) {
+	tr.coreSpans = tr.coreSpans[:len(tr.coreSpans)-n]
+}
+
+func paramPointer(f *ir.Function, env map[ir.Value]value, name string) *pointer {
+	for _, p := range f.Params {
+		if p.Name == name {
+			if v, ok := env[p]; ok && v.k == vPtr && !v.p.isNull() {
+				return &v.p
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// loadLabel computes the provenance a load at obj[off, off+size) picks up
+// from memory: a fresh unmonitored-non-core label for uncovered reads of
+// non-core regions, stored byte labels for ordinary memory, nothing for
+// shared-memory bytes outside any region (region-modeled, as in vfg).
+func (tr *Tracker) loadLabel(obj *memObj, off, size int64) dyntaint.Label {
+	if reg := tr.regionAt(obj, off); reg != nil {
+		if reg.NonCore && !tr.covered(obj, off, off+size) {
+			return dyntaint.LabelNonCore | dyntaint.LabelUnmonitored
+		}
+		return 0
+	}
+	if obj.seg {
+		return 0
+	}
+	return obj.taintRange(off, size)
+}
+
+// storeHook records a store's taint consequences: region binding when a
+// pointer lands in a region's global, byte labels for ordinary memory.
+func (tr *Tracker) storeHook(obj *memObj, off, size int64, v value) {
+	if v.k == vPtr && strings.HasPrefix(obj.name, "@") {
+		tr.bind(obj.name, v.p)
+	}
+	if obj.seg {
+		return
+	}
+	obj.setTaint(off, size, v.lbl)
+}
+
+// observeCall records critical-sink evaluations.
+func (tr *Tracker) observeCall(call *ir.Call, args []value) {
+	switch call.Callee.Name {
+	case "__safeflow_assert_safe":
+		if len(args) > 0 {
+			tr.Asserts = append(tr.Asserts, SinkObs{Pos: call.Pos(), Label: args[0].lbl})
+		}
+	case "kill":
+		if len(args) > 0 {
+			tr.Kills = append(tr.Kills, SinkObs{Pos: call.Pos(), Label: args[0].lbl})
+		}
+	}
+}
+
+// setTaint overwrites the byte labels of [off, off+size) — a strong
+// update: dynamic stores are exact.
+func (o *memObj) setTaint(off, size int64, l dyntaint.Label) {
+	if o.tnt == nil {
+		if l == 0 {
+			return
+		}
+		o.tnt = make([]dyntaint.Label, len(o.data))
+	}
+	for i := off; i < off+size && i < int64(len(o.tnt)); i++ {
+		if i >= 0 {
+			o.tnt[i] = l
+		}
+	}
+}
+
+// taintRange joins the byte labels of [off, off+size).
+func (o *memObj) taintRange(off, size int64) dyntaint.Label {
+	var l dyntaint.Label
+	if o.tnt == nil {
+		return l
+	}
+	for i := off; i < off+size && i < int64(len(o.tnt)); i++ {
+		if i >= 0 {
+			l |= o.tnt[i]
+		}
+	}
+	return l
+}

@@ -1,0 +1,300 @@
+// Cross-run summary cache. Repeated analyses of the same module (sfbench
+// iterations, watch-mode workloads) re-derive identical (function, context)
+// summaries and memory-store taints; caching them under a module content
+// fingerprint lets a warm run converge in a single wave.
+//
+// Summaries reference run-local pointers (*Source, *pointsto.Object), so
+// entries are stored in a portable form — positions, names and byte
+// offsets — and rebound against the new run's points-to objects and
+// regions on load. Any descriptor that does not rebind unambiguously is a
+// miss for that entry; seeding is purely an acceleration, never a source
+// of truth: every unit is still solved and the fixpoint re-verifies (and
+// would repair) everything seeded. Correctness of the *seed values*
+// relies on CacheKey fingerprinting the module contents, because memory
+// taints only ever grow under join.
+
+package vfg
+
+import (
+	"sync"
+
+	"safeflow/internal/ctoken"
+	"safeflow/internal/pointsto"
+	"safeflow/internal/shmflow"
+)
+
+// Portable (pointer-free) forms of the summary domain.
+
+type pSrc struct {
+	key srcKey // position, kind, region name, detail
+	fn  string
+}
+
+type pSrcTaint struct {
+	src pSrc
+	k   Kind
+}
+
+type pTaint struct {
+	srcs   []pSrcTaint
+	params map[int]Kind
+}
+
+// objDesc names a points-to object by stable content: kind, diagnostic
+// name, owning function and allocation-site position.
+type objDesc struct {
+	kind pointsto.ObjKind
+	name string
+	fn   string
+	pos  ctoken.Pos
+}
+
+type pRef struct {
+	obj objDesc
+	off int64
+}
+
+type pEffect struct {
+	ref    pRef
+	params map[int]Kind
+}
+
+type pObligation struct {
+	pos         ctoken.Pos
+	fnName, vbl string
+	params      map[int]Kind
+}
+
+type pSummary struct {
+	ret     pTaint
+	effects []pEffect
+	asserts []pObligation
+}
+
+type pCell struct {
+	ref   pRef
+	taint pTaint
+}
+
+type cachedModule struct {
+	units map[string]pSummary // unit key (fn|ctx) → converged summary
+	cells []pCell             // converged global memory-store taints
+}
+
+// maxCachedModules bounds the process-global cache; eviction is arbitrary
+// (the cache is an accelerator, not a store of record).
+const maxCachedModules = 64
+
+var summaryCache = struct {
+	sync.Mutex
+	mods map[string]*cachedModule
+}{mods: make(map[string]*cachedModule)}
+
+// ---------------------------------------------------------------------------
+// Export (current run → portable)
+
+func descOf(o *pointsto.Object) objDesc {
+	d := objDesc{kind: o.Kind, name: o.Name}
+	if o.Fn != nil {
+		d.fn = o.Fn.Name
+	}
+	if o.Site != nil {
+		d.pos = o.Site.Pos()
+	}
+	return d
+}
+
+func exportTaint(t Taint) pTaint {
+	out := pTaint{}
+	for s, k := range t.Sources {
+		regionName := ""
+		if s.Region != nil {
+			regionName = s.Region.Name
+		}
+		out.srcs = append(out.srcs, pSrcTaint{
+			src: pSrc{key: srcKey{pos: s.Pos, kind: s.Kind, region: regionName, detail: s.Detail}, fn: s.FnName},
+			k:   k,
+		})
+	}
+	if len(t.Params) > 0 {
+		out.params = cloneParams(t.Params)
+	}
+	return out
+}
+
+func exportSummary(s summary) pSummary {
+	out := pSummary{ret: exportTaint(s.ret)}
+	for _, e := range s.effects {
+		out.effects = append(out.effects, pEffect{
+			ref:    pRef{obj: descOf(e.ref.Obj), off: e.ref.Off},
+			params: cloneParams(e.params),
+		})
+	}
+	for _, o := range s.asserts {
+		out.asserts = append(out.asserts, pObligation{
+			pos: o.pos, fnName: o.fnName, vbl: o.vbl, params: cloneParams(o.params),
+		})
+	}
+	return out
+}
+
+// storeSummaryCache publishes this run's converged summaries and memory
+// taints under cfg.CacheKey.
+func (a *analysis) storeSummaryCache() {
+	if a.cfg.CacheKey == "" {
+		return
+	}
+	mod := &cachedModule{units: make(map[string]pSummary, len(a.unitList))}
+	for _, u := range a.unitList {
+		mod.units[u.key] = exportSummary(u.sum)
+	}
+	a.mem.mu.RLock()
+	for ref, t := range a.mem.cells {
+		mod.cells = append(mod.cells, pCell{
+			ref:   pRef{obj: descOf(ref.Obj), off: ref.Off},
+			taint: exportTaint(t),
+		})
+	}
+	a.mem.mu.RUnlock()
+
+	summaryCache.Lock()
+	defer summaryCache.Unlock()
+	if _, have := summaryCache.mods[a.cfg.CacheKey]; !have && len(summaryCache.mods) >= maxCachedModules {
+		for k := range summaryCache.mods {
+			delete(summaryCache.mods, k)
+			break
+		}
+	}
+	summaryCache.mods[a.cfg.CacheKey] = mod
+}
+
+// ---------------------------------------------------------------------------
+// Seeding (portable → current run)
+
+// binder rebinds portable descriptors against the current run's points-to
+// objects and regions.
+type binder struct {
+	a    *analysis
+	objs map[objDesc]*pointsto.Object // nil value marks an ambiguous descriptor
+}
+
+func (a *analysis) newBinder() *binder {
+	b := &binder{a: a, objs: make(map[objDesc]*pointsto.Object)}
+	for _, o := range a.cfg.PTS.Objects() {
+		d := descOf(o)
+		if _, seen := b.objs[d]; seen {
+			b.objs[d] = nil // ambiguous: force a miss
+			continue
+		}
+		b.objs[d] = o
+	}
+	return b
+}
+
+func (b *binder) bindRef(r pRef) (pointsto.Ref, bool) {
+	o, ok := b.objs[r.obj]
+	if !ok || o == nil {
+		return pointsto.Ref{}, false
+	}
+	return pointsto.Ref{Obj: o, Off: r.off}, true
+}
+
+func (b *binder) bindTaint(p pTaint) (Taint, bool) {
+	t := Taint{}
+	for _, st := range p.srcs {
+		s, ok := b.a.sourceFromKey(st.src)
+		if !ok {
+			return Taint{}, false
+		}
+		t.addSource(s, st.k)
+	}
+	if len(p.params) > 0 {
+		t.Params = cloneParams(p.params)
+	}
+	return t, true
+}
+
+// sourceFromKey interns a source from its portable key, resolving the
+// region name against the current run's shmflow result.
+func (a *analysis) sourceFromKey(p pSrc) (*Source, bool) {
+	var region *shmflow.Region
+	if p.key.region != "" {
+		r, ok := a.cfg.SF.RegionByName[p.key.region]
+		if !ok {
+			return nil, false
+		}
+		region = r
+	}
+	a.srcMu.Lock()
+	defer a.srcMu.Unlock()
+	s, ok := a.sources[p.key]
+	if !ok {
+		s = &Source{
+			Kind:     p.key.kind,
+			Pos:      p.key.pos,
+			FnName:   p.fn,
+			Region:   region,
+			Detail:   p.key.detail,
+			Contexts: make(map[string]bool),
+		}
+		a.sources[p.key] = s
+	}
+	return s, true
+}
+
+func (b *binder) bindSummary(p pSummary) (summary, bool) {
+	s := summary{}
+	ret, ok := b.bindTaint(p.ret)
+	if !ok {
+		return summary{}, false
+	}
+	s.ret = ret
+	for _, e := range p.effects {
+		ref, ok := b.bindRef(e.ref)
+		if !ok {
+			return summary{}, false
+		}
+		s.effects = append(s.effects, effect{ref: ref, params: cloneParams(e.params)})
+	}
+	for _, o := range p.asserts {
+		s.asserts = append(s.asserts, obligation{
+			pos: o.pos, fnName: o.fnName, vbl: o.vbl, params: cloneParams(o.params),
+		})
+	}
+	return s, true
+}
+
+// seedSummaryCache seeds unit summaries and the global memory store from a
+// prior run with the same CacheKey. Runs after the unit closure is built
+// and before the first wave; on a full hit the first wave re-derives
+// exactly the seeded state and the driver converges in one round.
+func (a *analysis) seedSummaryCache() {
+	if a.cfg.CacheKey == "" {
+		return
+	}
+	summaryCache.Lock()
+	mod := summaryCache.mods[a.cfg.CacheKey]
+	summaryCache.Unlock()
+	if mod == nil {
+		return
+	}
+	b := a.newBinder()
+	for _, u := range a.unitList {
+		if ps, ok := mod.units[u.key]; ok {
+			if sum, bound := b.bindSummary(ps); bound {
+				u.sum = sum
+			}
+		}
+	}
+	for _, c := range mod.cells {
+		ref, ok := b.bindRef(c.ref)
+		if !ok {
+			continue
+		}
+		t, ok := b.bindTaint(c.taint)
+		if !ok {
+			continue
+		}
+		a.mem.write(ref, t)
+	}
+}

@@ -117,16 +117,7 @@ func (t Taint) SortedSources() []*Source {
 	for s := range t.Sources {
 		out = append(out, s)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		pi, pj := out[i].Pos, out[j].Pos
-		if pi.File != pj.File {
-			return pi.File < pj.File
-		}
-		if pi.Line != pj.Line {
-			return pi.Line < pj.Line
-		}
-		return pi.Col < pj.Col
-	})
+	sort.Slice(out, func(i, j int) bool { return sourceLess(out[i], out[j]) })
 	return out
 }
 

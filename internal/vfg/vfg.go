@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"safeflow/internal/annot"
 	"safeflow/internal/callgraph"
@@ -44,7 +46,17 @@ type Config struct {
 	Roots []*ir.Function
 	// Exponential disables summary sharing: every call path gets its own
 	// analysis unit (the paper's unoptimized algorithm; ablation A-2).
+	// Exponential mode always uses the sequential driver.
 	Exponential bool
+	// Workers bounds the number of callgraph SCCs solved concurrently.
+	// 0 means runtime.GOMAXPROCS(0); 1 solves sequentially.
+	Workers int
+	// CacheKey, when non-empty, enables the cross-run summary cache: units
+	// whose (function, context) summaries were computed by an earlier run
+	// with the same key are seeded from the cache, and this run's converged
+	// summaries are stored back. The key must fingerprint the module
+	// contents (see core.AnalyzeModule).
+	CacheKey string
 }
 
 // ErrorDep is one reported error: critical data depends on unmonitored
@@ -98,17 +110,28 @@ func Run(cfg Config) *Result {
 		mem:      newMemStore(),
 		ctrlDeps: make(map[*ir.Function]map[*ir.Block][]cfgraph.ControlDep),
 	}
-	a.seedRoots()
-	a.fixpoint()
+	if cfg.Exponential {
+		// Exponential units are keyed by call path, so the closure is only
+		// discoverable while solving: use the legacy sequential driver.
+		a.seedRoots()
+		a.fixpoint()
+	} else {
+		a.runScheduled(workerCount(cfg.Workers))
+	}
 	return a.finish()
 }
 
 // ---------------------------------------------------------------------------
 // Analysis state
 
+// srcKey identifies a source by value rather than by instruction pointer,
+// so sources unify across analysis passes (and across cache rebinding):
+// the same (position, kind, region, detail) is the same warning.
 type srcKey struct {
-	instr  ir.Instr
-	region *shmflow.Region
+	pos    ctoken.Pos
+	kind   SourceKind
+	region string
+	detail string
 }
 
 type obligation struct {
@@ -143,15 +166,25 @@ type unit struct {
 }
 
 type analysis struct {
-	cfg      Config
+	cfg Config
+
+	mu       sync.Mutex // guards units and unitList
 	units    map[string]*unit
 	unitList []*unit
-	sources  map[srcKey]*Source
-	errors   map[string]*ErrorDep
-	mem      *memStore
+
+	srcMu   sync.Mutex // guards sources (and each Source's Contexts)
+	sources map[srcKey]*Source
+
+	errMu  sync.Mutex // guards errors
+	errors map[string]*ErrorDep
+
+	mem *memStore
+
+	ctrlMu   sync.Mutex // guards ctrlDeps
 	ctrlDeps map[*ir.Function]map[*ir.Block][]cfgraph.ControlDep
-	solves   int
-	changed  bool
+
+	solves  atomic.Int64
+	changed atomic.Bool
 }
 
 // maxRounds caps the driver fixpoint as a safety net; the lattices are
@@ -179,11 +212,11 @@ func (a *analysis) seedRoots() {
 
 func (a *analysis) fixpoint() {
 	for round := 0; round < maxRounds; round++ {
-		a.changed = false
+		a.changed.Store(false)
 		for i := 0; i < len(a.unitList); i++ {
 			a.solveUnit(a.unitList[i])
 		}
-		if !a.changed {
+		if !a.changed.Load() {
 			return
 		}
 	}
@@ -201,7 +234,9 @@ func (a *analysis) getUnit(fn *ir.Function, ctx Context, callPath string) *unit 
 	if a.cfg.Exponential && strings.Count(callPath, "@") < maxCallPathDepth {
 		key += "|@" + callPath
 	}
+	a.mu.Lock()
 	if u, ok := a.units[key]; ok {
+		a.mu.Unlock()
 		return u
 	}
 	u := &unit{
@@ -214,7 +249,8 @@ func (a *analysis) getUnit(fn *ir.Function, ctx Context, callPath string) *unit 
 	u.active = ctx.with(a.resolveCoreFacts(fn, u))
 	a.units[key] = u
 	a.unitList = append(a.unitList, u)
-	a.changed = true
+	a.mu.Unlock()
+	a.changed.Store(true)
 	return u
 }
 
@@ -265,6 +301,8 @@ func paramByName(fn *ir.Function, name string) *ir.Param {
 }
 
 func (a *analysis) controlDepsOf(fn *ir.Function) map[*ir.Block][]cfgraph.ControlDep {
+	a.ctrlMu.Lock()
+	defer a.ctrlMu.Unlock()
 	if d, ok := a.ctrlDeps[fn]; ok {
 		return d
 	}
@@ -273,20 +311,27 @@ func (a *analysis) controlDepsOf(fn *ir.Function) map[*ir.Block][]cfgraph.Contro
 	return d
 }
 
-func (a *analysis) sourceFor(in ir.Instr, region *shmflow.Region, fn *ir.Function, kind SourceKind, detail string) *Source {
-	k := srcKey{instr: in, region: region}
-	if s, ok := a.sources[k]; ok {
-		return s
+func (a *analysis) sourceFor(in ir.Instr, region *shmflow.Region, fn *ir.Function, kind SourceKind, detail, ctxKey string) *Source {
+	regionName := ""
+	if region != nil {
+		regionName = region.Name
 	}
-	s := &Source{
-		Kind:     kind,
-		Pos:      in.Pos(),
-		FnName:   fn.Name,
-		Region:   region,
-		Detail:   detail,
-		Contexts: make(map[string]bool),
+	k := srcKey{pos: in.Pos(), kind: kind, region: regionName, detail: detail}
+	a.srcMu.Lock()
+	defer a.srcMu.Unlock()
+	s, ok := a.sources[k]
+	if !ok {
+		s = &Source{
+			Kind:     kind,
+			Pos:      in.Pos(),
+			FnName:   fn.Name,
+			Region:   region,
+			Detail:   detail,
+			Contexts: make(map[string]bool),
+		}
+		a.sources[k] = s
 	}
-	a.sources[k] = s
+	s.Contexts[ctxKey] = true
 	return s
 }
 
@@ -296,8 +341,10 @@ func (a *analysis) sourceFor(in ir.Instr, region *shmflow.Region, fn *ir.Functio
 // maxInnerRounds caps the load/store iteration within one unit.
 const maxInnerRounds = 20
 
-func (a *analysis) solveUnit(u *unit) {
-	a.solves++
+// solveUnit analyzes u to a local fixpoint and reports whether its
+// summary changed (the per-SCC convergence signal for the scheduler).
+func (a *analysis) solveUnit(u *unit) bool {
+	a.solves.Add(1)
 	fn := u.fn
 	deps := a.controlDepsOf(fn)
 
@@ -357,8 +404,10 @@ func (a *analysis) solveUnit(u *unit) {
 
 	if !summaryEqual(u.sum, newSum) {
 		u.sum = newSum
-		a.changed = true
+		a.changed.Store(true)
+		return true
 	}
+	return false
 }
 
 // transfer computes the taint of one instruction's result.
@@ -371,8 +420,7 @@ func (a *analysis) transfer(u *unit, in ir.Instr, get func(ir.Value) Taint, loca
 		if !fact.Empty() {
 			for region, iv := range fact {
 				if region.NonCore && !u.active.covers(region, iv, x.Type().Size()) {
-					src := a.sourceFor(x, region, fn, SrcUnmonitoredRead, iv.String())
-					src.Contexts[u.active.Key()] = true
+					src := a.sourceFor(x, region, fn, SrcUnmonitoredRead, iv.String(), u.active.Key())
 					t.addSource(src, KindData)
 				}
 			}
@@ -428,8 +476,7 @@ func (a *analysis) transferCall(u *unit, call *ir.Call, get func(ir.Value) Taint
 			if len(call.Args) > 1 && a.bufferAssumedCore(u, call.Args[1]) {
 				return Taint{}, true
 			}
-			src := a.sourceFor(call, nil, u.fn, SrcNonCoreRecv, callee.Name+" on noncore descriptor")
-			src.Contexts[u.active.Key()] = true
+			src := a.sourceFor(call, nil, u.fn, SrcNonCoreRecv, callee.Name+" on noncore descriptor", u.active.Key())
 			t := Taint{}
 			t.addSource(src, KindData)
 			return t, true
@@ -518,7 +565,7 @@ func (a *analysis) applyEffectsPass(u *unit, facts map[ir.Value]Taint, local *me
 						localChanged = true
 					}
 					if a.mem.write(ref, Taint{Sources: t.Sources}) {
-						a.changed = true
+						a.changed.Store(true)
 					}
 					if len(t.Params) > 0 {
 						sum.effects = append(sum.effects, effect{ref: ref, params: cloneParams(t.Params)})
@@ -579,8 +626,7 @@ func (a *analysis) applyCallEffects(u *unit, call *ir.Call, get func(ir.Value) T
 		if a.bufferAssumedCore(u, call.Args[1]) {
 			return false
 		}
-		src := a.sourceFor(call, nil, u.fn, SrcNonCoreRecv, callee.Name+" buffer")
-		src.Contexts[u.active.Key()] = true
+		src := a.sourceFor(call, nil, u.fn, SrcNonCoreRecv, callee.Name+" buffer", u.active.Key())
 		t := Taint{}
 		t.addSource(src, KindData)
 		for _, ref := range a.cfg.PTS.PointsTo(call.Args[1]) {
@@ -588,7 +634,7 @@ func (a *analysis) applyCallEffects(u *unit, call *ir.Call, get func(ir.Value) T
 				localChanged = true
 			}
 			if a.mem.write(ref, t) {
-				a.changed = true
+				a.changed.Store(true)
 			}
 		}
 		return localChanged
@@ -616,7 +662,7 @@ func (a *analysis) applyCallEffects(u *unit, call *ir.Call, get func(ir.Value) T
 			localChanged = true
 		}
 		if a.mem.write(eff.ref, Taint{Sources: t.Sources}) {
-			a.changed = true
+			a.changed.Store(true)
 		}
 		if len(t.Params) > 0 {
 			sum.effects = append(sum.effects, effect{ref: eff.ref, params: cloneParams(t.Params)})
@@ -663,6 +709,8 @@ func cloneParams(m map[int]Kind) map[int]Kind {
 
 func (a *analysis) recordError(pos ctoken.Pos, fnName, vbl string, sources map[*Source]Kind) {
 	key := pos.String() + "|" + vbl
+	a.errMu.Lock()
+	defer a.errMu.Unlock()
 	e, ok := a.errors[key]
 	if !ok {
 		e = &ErrorDep{Pos: pos, FnName: fnName, Var: vbl, Sources: make(map[*Source]Kind)}
@@ -741,6 +789,7 @@ func paramsKey(m map[int]Kind) string {
 // Memory taint store
 
 type memStore struct {
+	mu    sync.RWMutex
 	cells map[pointsto.Ref]Taint
 	byObj map[*pointsto.Object]map[int64]bool
 }
@@ -758,6 +807,8 @@ func (m *memStore) write(ref pointsto.Ref, t Taint) bool {
 	if t.Empty() || ref.Obj.Kind == pointsto.ObjShm {
 		return false
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	old, had := m.cells[ref]
 	merged := joinTaint(old, t)
 	if had && equalTaint(old, merged) {
@@ -779,6 +830,8 @@ func (m *memStore) read(ref pointsto.Ref) Taint {
 	if ref.Obj.Kind == pointsto.ObjShm {
 		return Taint{}
 	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if ref.Off != pointsto.UnknownOffset {
 		t := m.cells[ref]
 		return joinTaint(t, m.cells[pointsto.Ref{Obj: ref.Obj, Off: pointsto.UnknownOffset}])
@@ -794,16 +847,24 @@ func (m *memStore) read(ref pointsto.Ref) Taint {
 // Result assembly
 
 func (a *analysis) finish() *Result {
-	res := &Result{UnitsAnalyzed: a.solves}
+	res := &Result{UnitsAnalyzed: int(a.solves.Load())}
 	for _, s := range a.sources {
 		res.Warnings = append(res.Warnings, s)
 	}
-	sort.Slice(res.Warnings, func(i, j int) bool { return posLess(res.Warnings[i].Pos, res.Warnings[j].Pos) })
+	sort.Slice(res.Warnings, func(i, j int) bool { return sourceLess(res.Warnings[i], res.Warnings[j]) })
 	for _, e := range a.errors {
 		e.ControlOnly = Taint{Sources: e.Sources}.MaxSourceKind() == KindCtrl
 		res.Errors = append(res.Errors, e)
 	}
-	sort.Slice(res.Errors, func(i, j int) bool { return posLess(res.Errors[i].Pos, res.Errors[j].Pos) })
+	// (file, line, col, name): a total order, so parallel and sequential
+	// schedules render byte-identical reports.
+	sort.Slice(res.Errors, func(i, j int) bool {
+		ei, ej := res.Errors[i], res.Errors[j]
+		if ei.Pos != ej.Pos {
+			return posLess(ei.Pos, ej.Pos)
+		}
+		return ei.Var < ej.Var
+	})
 	return res
 }
 
@@ -815,4 +876,26 @@ func posLess(a, b ctoken.Pos) bool {
 		return a.Line < b.Line
 	}
 	return a.Col < b.Col
+}
+
+// sourceLess is the total order on sources: position, then kind, region
+// and detail as tiebreakers so no two distinct sources ever compare equal.
+func sourceLess(a, b *Source) bool {
+	if a.Pos != b.Pos {
+		return posLess(a.Pos, b.Pos)
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	an, bn := "", ""
+	if a.Region != nil {
+		an = a.Region.Name
+	}
+	if b.Region != nil {
+		bn = b.Region.Name
+	}
+	if an != bn {
+		return an < bn
+	}
+	return a.Detail < b.Detail
 }

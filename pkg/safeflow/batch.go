@@ -1,0 +1,64 @@
+// Batch analysis: fan whole-system analyses out over a bounded worker
+// pool. Each job is an independent pipeline run (its own module, points-to
+// and value-flow state), so systems analyze concurrently without sharing
+// anything but the process-global summary cache; per-job Options.Workers
+// additionally parallelizes inside each pipeline.
+
+package safeflow
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Job names one system for AnalyzeAll: the same inputs Analyze takes.
+type Job struct {
+	Name    string
+	Sources map[string]string
+	CFiles  []string
+	Options Options
+}
+
+// Result is one job's outcome. Results are returned in job order, so
+// batch output is as deterministic as the individual reports.
+type Result struct {
+	Name   string
+	Report *Report
+	Err    error
+}
+
+// AnalyzeAll analyzes the jobs concurrently, at most runtime.GOMAXPROCS
+// at a time, and returns one Result per job in input order.
+func AnalyzeAll(jobs []Job) []Result {
+	out := make([]Result, len(jobs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i, j := range jobs {
+			rep, err := Analyze(j.Name, j.Sources, j.CFiles, j.Options)
+			out[i] = Result{Name: j.Name, Report: rep, Err: err}
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				j := jobs[i]
+				rep, err := Analyze(j.Name, j.Sources, j.CFiles, j.Options)
+				out[i] = Result{Name: j.Name, Report: rep, Err: err}
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
