@@ -14,19 +14,29 @@
 //	-exponential   use the unoptimized per-call-path phase 3
 //	-root fn       analysis entry function (repeatable; default: callerless functions)
 //	-quiet         print only the summary line
+//	-stats         collect run metrics; printed after text reports,
+//	               embedded under "metrics" in JSON reports
+//	-timeout d     abort the analysis after d (e.g. 30s); exit status 2
+//	-workers n     pipeline worker goroutines (0 = GOMAXPROCS)
+//	-cpuprofile f  write a pprof CPU profile of the run to f
+//	-trace f       write a runtime execution trace of the run to f
 //
 // Exit status: 0 when the system is clean, 1 when any warning, error
 // dependency, or restriction violation is reported, 2 on usage or
-// compilation errors.
+// compilation errors (including a -timeout expiry).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
+	"runtime/trace"
 
 	"safeflow/internal/corpus"
+	"safeflow/internal/report"
 	"safeflow/pkg/safeflow"
 )
 
@@ -53,6 +63,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		quiet       = fs.Bool("quiet", false, "print only the summary line")
 		format      = fs.String("format", "text", "output format: text or json")
 		corpusName  = fs.String("corpus", "", "analyze an embedded evaluation system: IP, \"Generic Simplex\", or \"Double IP\"")
+		stats       = fs.Bool("stats", false, "collect and print run metrics")
+		timeout     = fs.Duration("timeout", 0, "abort the analysis after this duration (0 = no limit)")
+		workers     = fs.Int("workers", 0, "pipeline worker goroutines (0 = GOMAXPROCS)")
+		cpuprofile  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		tracefile   = fs.String("trace", "", "write a runtime execution trace to this file")
 		roots       stringList
 	)
 	fs.Var(&roots, "root", "analysis entry function (repeatable)")
@@ -70,7 +85,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "safeflow: unknown format %q\n", *format)
 		return 2
 	}
-	opts := safeflow.Options{Exponential: *exponential, Roots: roots}
+	opts := safeflow.Options{Exponential: *exponential, Roots: roots, Stats: *stats, Workers: *workers}
 	switch *aliasMode {
 	case "subset":
 		opts.PointsTo = safeflow.ModeSubset
@@ -81,10 +96,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "safeflow: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "safeflow: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *tracefile != "" {
+		f, err := os.Create(*tracefile)
+		if err != nil {
+			fmt.Fprintf(stderr, "safeflow: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintf(stderr, "safeflow: %v\n", err)
+			return 2
+		}
+		defer trace.Stop()
+	}
+
 	var rep *safeflow.Report
 	var err error
 	if *corpusName != "" {
-		rep, err = analyzeCorpus(*corpusName, opts)
+		rep, err = analyzeCorpus(ctx, *corpusName, opts)
 	} else {
 		target := fs.Arg(0)
 		sysName := *name
@@ -92,12 +141,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			sysName = target
 		}
 		if info, statErr := os.Stat(target); statErr == nil && info.IsDir() {
-			rep, err = safeflow.AnalyzeDir(sysName, target, opts)
+			rep, err = safeflow.AnalyzeDirContext(ctx, sysName, target, opts)
 		} else {
-			rep, err = safeflow.AnalyzeFiles(sysName, fs.Args(), opts)
+			rep, err = safeflow.AnalyzeFilesContext(ctx, sysName, fs.Args(), opts)
 		}
 	}
 	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintf(stderr, "safeflow: analysis aborted after %v: %v\n", *timeout, err)
+			return 2
+		}
 		fmt.Fprintf(stderr, "safeflow: %v\n", err)
 		return 2
 	}
@@ -111,8 +164,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case *quiet:
 		fmt.Fprintf(stdout, "%s: %d warnings, %d error dependencies, %d control-dependence reports, %d violations\n",
 			rep.Name, len(rep.Warnings), len(rep.ErrorsData), len(rep.ErrorsControlOnly), len(rep.Violations))
+		report.WriteStats(stdout, rep.Metrics)
 	default:
 		safeflow.WriteReport(stdout, rep)
+		report.WriteStats(stdout, rep.Metrics)
 	}
 	if rep.Clean() {
 		return 0
@@ -121,10 +176,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // analyzeCorpus resolves one of the embedded Table 1 evaluation systems.
-func analyzeCorpus(name string, opts safeflow.Options) (*safeflow.Report, error) {
+func analyzeCorpus(ctx context.Context, name string, opts safeflow.Options) (*safeflow.Report, error) {
 	for _, sys := range corpus.All() {
 		if sys.Name == name {
-			return sys.Analyze(opts)
+			return sys.AnalyzeContext(ctx, opts)
 		}
 	}
 	return nil, fmt.Errorf("unknown corpus system %q (have: IP, Generic Simplex, Double IP)", name)

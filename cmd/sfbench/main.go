@@ -5,6 +5,11 @@
 //	sfbench -ablation   phase-3 summary vs per-call-path cost comparison
 //	sfbench -all        everything (default)
 //
+// Instrumentation flags: -stats collects run metrics during -table1 and
+// prints each system's snapshot after the table; -cpuprofile f and
+// -trace f capture a pprof CPU profile / runtime execution trace of the
+// whole benchmark run.
+//
 // Measured values are printed next to the paper's, so divergence in the
 // environment-dependent columns (LoC of our reimplemented corpus) is
 // visible while the behavioral columns (errors / warnings / false
@@ -16,11 +21,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"time"
 
 	"safeflow/internal/core"
 	"safeflow/internal/corpus"
+	"safeflow/internal/report"
 	"safeflow/pkg/safeflow"
 	"safeflow/pkg/simplexrt"
 )
@@ -36,6 +44,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	figure1 := fs.Bool("figure1", false, "regenerate the Figure 1 behavior summary")
 	ablation := fs.Bool("ablation", false, "run the phase-3 cost ablation")
 	all := fs.Bool("all", false, "run everything")
+	stats := fs.Bool("stats", false, "collect and print per-system run metrics with Table 1")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	tracefile := fs.String("trace", "", "write a runtime execution trace to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -43,9 +54,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		*all = true
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "sfbench: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "sfbench: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *tracefile != "" {
+		f, err := os.Create(*tracefile)
+		if err != nil {
+			fmt.Fprintf(stderr, "sfbench: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintf(stderr, "sfbench: %v\n", err)
+			return 2
+		}
+		defer trace.Stop()
+	}
+
 	ok := true
 	if *all || *table1 {
-		ok = runTable1(stdout) && ok
+		ok = runTable1(stdout, *stats) && ok
 	}
 	if *all || *figure1 {
 		ok = runFigure1(stdout) && ok
@@ -59,7 +97,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func runTable1(w io.Writer) bool {
+func runTable1(w io.Writer, stats bool) bool {
 	fmt.Fprintln(w, "Table 1: Applying SafeFlow to Control Systems")
 	fmt.Fprintln(w, strings.Repeat("=", 100))
 	fmt.Fprintf(w, "%-17s | %-22s | %-13s | %-13s | %-13s | %-10s\n",
@@ -76,7 +114,10 @@ func runTable1(w io.Writer) bool {
 			fmt.Fprintf(w, "%-17s | load failed: %v\n", sys.Name, err)
 			return false
 		}
-		jobs = append(jobs, safeflow.Job{Name: sys.Name, Sources: src, CFiles: sys.CFiles})
+		jobs = append(jobs, safeflow.Job{
+			Name: sys.Name, Sources: src, CFiles: sys.CFiles,
+			Options: safeflow.Options{Stats: stats},
+		})
 	}
 	start := time.Now()
 	results := safeflow.AnalyzeAll(jobs)
@@ -110,6 +151,15 @@ func runTable1(w io.Writer) bool {
 	}
 	fmt.Fprintf(w, "(%d systems analyzed concurrently in %.0fms)\n",
 		len(systems), float64(elapsed.Microseconds())/1000)
+	if stats {
+		for i, sys := range systems {
+			if results[i].Err != nil || results[i].Report == nil {
+				continue
+			}
+			fmt.Fprintf(w, "\n%s:", sys.Name)
+			report.WriteStats(w, results[i].Report.Metrics)
+		}
+	}
 	fmt.Fprintln(w)
 	return allMatch
 }

@@ -13,21 +13,56 @@
 package core
 
 import (
+	"context"
 	"crypto/sha256"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"safeflow/internal/callgraph"
 	"safeflow/internal/cpp"
 	"safeflow/internal/frontend"
+	"safeflow/internal/guard"
 	"safeflow/internal/ir"
 	"safeflow/internal/irgen"
+	"safeflow/internal/metrics"
 	"safeflow/internal/pointsto"
 	"safeflow/internal/restrict"
 	"safeflow/internal/shmflow"
 	"safeflow/internal/vfg"
 )
+
+// phaseHook, when non-nil, runs at the start of every pipeline phase
+// with the phase and system names. It exists for fault-injection and
+// cancellation tests (a hook that panics exercises the phase isolation;
+// one that cancels a context exercises mid-run cancellation) and must
+// stay nil in production use.
+var (
+	phaseHookMu sync.RWMutex
+	phaseHook   func(phase, system string)
+)
+
+// SetPhaseHook installs (or, with nil, removes) the test-only phase
+// hook. Tests that install a hook must remove it before finishing and
+// must not run in parallel with other analyses.
+func SetPhaseHook(f func(phase, system string)) {
+	phaseHookMu.Lock()
+	phaseHook = f
+	phaseHookMu.Unlock()
+}
+
+// firePhaseHook invokes the hook inside the phase's panic-isolation
+// scope, so an injected panic is indistinguishable from a real one.
+func firePhaseHook(phase, system string) {
+	phaseHookMu.RLock()
+	f := phaseHook
+	phaseHookMu.RUnlock()
+	if f != nil {
+		f(phase, system)
+	}
+}
 
 // Options tune the analysis.
 type Options struct {
@@ -56,6 +91,10 @@ type Options struct {
 	// DisableCache turns the summary cache off entirely (cold-run
 	// benchmarks, memory-constrained batch runs).
 	DisableCache bool
+	// Stats collects run metrics (per-phase wall times, pipeline shape
+	// counters, cache hit rates, peak goroutines) into Report.Metrics,
+	// which the JSON report embeds under its versioned "metrics" key.
+	Stats bool
 }
 
 // Report is the complete analysis output for one system.
@@ -78,6 +117,14 @@ type Report struct {
 	// flow — the paper's false-positive class, flagged for manual
 	// inspection with their value-flow traces.
 	ErrorsControlOnly []*vfg.ErrorDep
+	// Internal are panics recovered by the pipeline's isolation layer
+	// (*guard.InternalError values carrying phase, unit, and stack). A
+	// report with internal errors is never Clean: the crashed phase's
+	// results may be partial, everything else is complete.
+	Internal []error
+	// Metrics is the run's instrumentation snapshot (Options.Stats);
+	// nil when stats collection was off.
+	Metrics *metrics.RunMetrics
 
 	// LinesOfCode counts non-blank source lines across the analyzed files.
 	LinesOfCode int
@@ -94,24 +141,64 @@ func (r *Report) TotalErrors() int { return len(r.ErrorsData) + len(r.ErrorsCont
 // Clean reports whether the analysis found nothing to flag.
 func (r *Report) Clean() bool {
 	return len(r.AnnotationErrors) == 0 && len(r.Violations) == 0 &&
-		len(r.Warnings) == 0 && r.TotalErrors() == 0
+		len(r.Warnings) == 0 && r.TotalErrors() == 0 && len(r.Internal) == 0
 }
 
 // AnalyzeSources compiles and analyzes the translation units named by
 // cFiles against the given source tree.
 func AnalyzeSources(name string, sources cpp.Source, cFiles []string, opts Options) (*Report, error) {
-	res, err := frontend.Compile(name, sources, cFiles, frontend.Options{
-		Defines: opts.Defines,
-		Workers: opts.Workers,
+	return AnalyzeSourcesContext(context.Background(), name, sources, cFiles, opts)
+}
+
+// AnalyzeSourcesContext is AnalyzeSources with cancellation: a cancelled
+// context stops the pipeline between translation units (frontend) and
+// between analysis units (phase-3 SCC waves) and returns ctx.Err().
+// Every phase runs panic-isolated — a crash is converted into a
+// *guard.InternalError in Report.Internal instead of unwinding the
+// caller, so one bad system in a batch fails alone.
+func AnalyzeSourcesContext(ctx context.Context, name string, sources cpp.Source, cFiles []string, opts Options) (*Report, error) {
+	var col *metrics.Collector
+	if opts.Stats {
+		col = metrics.NewCollector()
+		col.SetTranslationUnits(len(cFiles))
+	}
+
+	var res *irgen.Result
+	done := col.Phase("frontend")
+	err := guard.Run("frontend", name, func() error {
+		firePhaseHook("frontend", name)
+		var cerr error
+		res, cerr = frontend.CompileContext(ctx, name, sources, cFiles, frontend.Options{
+			Defines: opts.Defines,
+			Workers: opts.Workers,
+			Metrics: col,
+		})
+		return cerr
 	})
+	done()
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		var ie *guard.InternalError
+		if errors.As(err, &ie) {
+			// A frontend crash leaves no module to analyze: report the
+			// isolated failure for this system and let the batch go on.
+			rep := &Report{Name: name, Internal: []error{err}}
+			rep.Metrics = col.Finish()
+			return rep, nil
+		}
 		return nil, fmt.Errorf("safeflow: %w", err)
 	}
 	if opts.CacheKey == "" && !opts.DisableCache {
 		opts.CacheKey = fingerprintSources(name, sources, cFiles, opts)
 	}
-	rep := AnalyzeModule(name, res, opts)
+	rep, err := analyzeModule(ctx, name, res, opts, col)
+	if err != nil {
+		return nil, err
+	}
 	rep.LinesOfCode, rep.AnnotationLines = countSourceStats(sources, cFiles)
+	rep.Metrics = col.Finish()
 	return rep, nil
 }
 
@@ -122,21 +209,84 @@ func AnalyzeString(name, src string, opts Options) (*Report, error) {
 
 // AnalyzeModule runs phases 1–3 on an already-compiled module.
 func AnalyzeModule(name string, res *irgen.Result, opts Options) *Report {
+	rep, _ := analyzeModule(context.Background(), name, res, opts, nil)
+	return rep
+}
+
+// AnalyzeModuleContext is AnalyzeModule with cancellation; it returns
+// ctx.Err() when the run was cancelled between phases or analysis units.
+func AnalyzeModuleContext(ctx context.Context, name string, res *irgen.Result, opts Options) (*Report, error) {
+	return analyzeModule(ctx, name, res, opts, nil)
+}
+
+// analyzeModule drives phases 1–3, each wrapped in panic isolation and
+// separated by cancellation checks; col (may be nil) collects metrics.
+func analyzeModule(ctx context.Context, name string, res *irgen.Result, opts Options, col *metrics.Collector) (*Report, error) {
 	mode := opts.PointsTo
 	if mode == 0 {
 		mode = pointsto.ModeSubset
 	}
 	m := res.Module
-	cg := callgraph.New(m)
+	rep := &Report{Name: name, Module: m}
 
-	// Phase 1.
-	sf := shmflow.Analyze(m, cg)
+	// Phase 1: shared-memory regions (and the callgraph it needs).
+	var cg *callgraph.Graph
+	var sf *shmflow.Result
+	done := col.Phase("shmflow")
+	err := guard.Run("shmflow", name, func() error {
+		firePhaseHook("shmflow", name)
+		cg = callgraph.New(m)
+		sf = shmflow.Analyze(m, cg)
+		return nil
+	})
+	done()
+	if err != nil {
+		// Without region facts neither restriction checking nor the
+		// value-flow analysis is meaningful: fail this system alone.
+		rep.Internal = append(rep.Internal, err)
+		rep.Metrics = col.Finish()
+		return rep, nil
+	}
+	rep.Regions = sf.Regions
+	rep.AnnotationErrors = sf.Errors
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
 
 	// Phase 2.
-	violations := restrict.Check(m, sf)
+	done = col.Phase("restrict")
+	err = guard.Run("restrict", name, func() error {
+		firePhaseHook("restrict", name)
+		rep.Violations = restrict.Check(m, sf)
+		return nil
+	})
+	done()
+	if err != nil {
+		// Phase 3 does not consume phase-2 results: record and continue.
+		rep.Internal = append(rep.Internal, err)
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
 
-	// Phase 3.
-	pts := pointsto.Analyze(m, mode)
+	// Phase 3: alias analysis, then the value-flow fixpoint.
+	var pts *pointsto.Result
+	done = col.Phase("pointsto")
+	err = guard.Run("pointsto", name, func() error {
+		firePhaseHook("pointsto", name)
+		pts = pointsto.Analyze(m, mode)
+		return nil
+	})
+	done()
+	if err != nil {
+		rep.Internal = append(rep.Internal, err)
+		rep.Metrics = col.Finish()
+		return rep, nil
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+
 	if opts.DisableCache {
 		opts.CacheKey = ""
 	}
@@ -155,27 +305,39 @@ func AnalyzeModule(name string, res *irgen.Result, opts Options) *Report {
 			roots = append(roots, f)
 		}
 	}
-	v := vfg.Run(vfg.Config{
-		Module:      m,
-		CG:          cg,
-		SF:          sf,
-		PTS:         pts,
-		AssertVars:  res.AssertVars,
-		Roots:       roots,
-		Exponential: opts.Exponential,
-		Workers:     opts.Workers,
-		CacheKey:    opts.CacheKey,
+	var v *vfg.Result
+	done = col.Phase("vfg")
+	err = guard.Run("vfg", name, func() error {
+		firePhaseHook("vfg", name)
+		v = vfg.Run(vfg.Config{
+			Module:      m,
+			CG:          cg,
+			SF:          sf,
+			PTS:         pts,
+			AssertVars:  res.AssertVars,
+			Roots:       roots,
+			Exponential: opts.Exponential,
+			Workers:     opts.Workers,
+			CacheKey:    opts.CacheKey,
+			Ctx:         ctx,
+			Metrics:     col,
+		})
+		return nil
 	})
-
-	rep := &Report{
-		Name:             name,
-		Module:           m,
-		Regions:          sf.Regions,
-		AnnotationErrors: sf.Errors,
-		Violations:       violations,
-		Warnings:         v.Warnings,
-		UnitsAnalyzed:    v.UnitsAnalyzed,
+	done()
+	if err != nil {
+		rep.Internal = append(rep.Internal, err)
+		rep.Metrics = col.Finish()
+		return rep, nil
 	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	rep.Internal = append(rep.Internal, v.Internal...)
+	col.SetPhase3(v.SCCs, v.Rounds, v.UnitsAnalyzed, v.CacheHits, v.CacheMisses)
+
+	rep.Warnings = v.Warnings
+	rep.UnitsAnalyzed = v.UnitsAnalyzed
 	rep.AnnotationErrors = append(rep.AnnotationErrors, rootErrs...)
 
 	// The paper inserts the InitCheck run-time verification into every
@@ -212,7 +374,7 @@ func AnalyzeModule(name string, res *irgen.Result, opts Options) *Report {
 			rep.ErrorsData = append(rep.ErrorsData, e)
 		}
 	}
-	return rep
+	return rep, nil
 }
 
 // callsInitCheck reports whether the function (directly) calls InitCheck.

@@ -17,6 +17,7 @@
 package corpus
 
 import (
+	"context"
 	"embed"
 	"fmt"
 	"io/fs"
@@ -124,9 +125,14 @@ func (s System) SourceMap() (map[string]string, error) {
 
 // Analyze runs the full SafeFlow pipeline on the system.
 func (s System) Analyze(opts core.Options) (*core.Report, error) {
+	return s.AnalyzeContext(context.Background(), opts)
+}
+
+// AnalyzeContext is Analyze with deadline/cancellation support.
+func (s System) AnalyzeContext(ctx context.Context, opts core.Options) (*core.Report, error) {
 	src, err := s.Sources()
 	if err != nil {
 		return nil, err
 	}
-	return core.AnalyzeSources(s.Name, src, s.CFiles, opts)
+	return core.AnalyzeSourcesContext(ctx, s.Name, src, s.CFiles, opts)
 }

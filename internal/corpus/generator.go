@@ -1,0 +1,270 @@
+// Seeded pseudo-random system generator for stress and cancellation
+// tests: Generate emits a complete multi-file control system in
+// SafeFlow's C subset — N shared-memory regions laid out back to back in
+// one segment (the corpus init.c idiom), a set of monitoring functions
+// with assume(core(...)) facts, a chain of helper stages wired through
+// random statement bodies, and a main loop with an assert(safe(...))
+// sink and a seeded kill() defect. The same (seed, config) always yields
+// byte-identical sources, so stress runs are reproducible.
+//
+// Every generated program is valid by construction: the statement
+// grammar is the one the robustness fuzz tests established for the
+// subset, and call chains are acyclic (a stage only calls lower stages
+// and monitors).
+
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GenConfig bounds the generated system's shape. Zero fields take the
+// defaults noted on each.
+type GenConfig struct {
+	Regions  int // shared-memory regions (default 2, min 1)
+	Monitors int // monitored accessor functions (default 2, min 1)
+	Stages   int // chained helper stages (default 3, min 1)
+	Depth    int // statement nesting depth (default 2)
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Regions <= 0 {
+		c.Regions = 2
+	}
+	if c.Monitors <= 0 {
+		c.Monitors = 2
+	}
+	if c.Stages <= 0 {
+		c.Stages = 3
+	}
+	if c.Depth <= 0 {
+		c.Depth = 2
+	}
+	return c
+}
+
+// Generated is one generator output, in the form the batch API takes.
+type Generated struct {
+	Name    string
+	Sources map[string]string
+	CFiles  []string
+}
+
+// sysGen carries the rng and shape of one generated system.
+type sysGen struct {
+	r   *rand.Rand
+	cfg GenConfig
+}
+
+// Generate emits the system for one seed. Identical (seed, cfg) inputs
+// produce identical sources.
+func Generate(seed int64, cfg GenConfig) Generated {
+	g := &sysGen{r: rand.New(rand.NewSource(seed)), cfg: cfg.withDefaults()}
+	return Generated{
+		Name: fmt.Sprintf("gen-%d", seed),
+		Sources: map[string]string{
+			"gen.h":      g.header(),
+			"init.c":     g.initFile(),
+			"monitors.c": g.monitorsFile(),
+			"stages.c":   g.stagesFile(),
+			"main.c":     g.mainFile(),
+		},
+		CFiles: []string{"init.c", "monitors.c", "stages.c", "main.c"},
+	}
+}
+
+func (g *sysGen) header() string {
+	var sb strings.Builder
+	sb.WriteString("#ifndef GEN_H\n#define GEN_H\n\n")
+	sb.WriteString("typedef struct { double a; double b; int flag; int pad; } GenRegion;\n\n")
+	for k := 0; k < g.cfg.Regions; k++ {
+		fmt.Fprintf(&sb, "extern GenRegion *reg%d;\n", k)
+	}
+	sb.WriteString("\nvoid initComm();\n")
+	for j := 0; j < g.cfg.Monitors; j++ {
+		fmt.Fprintf(&sb, "double monitor%d(double x);\n", j)
+	}
+	for j := 0; j < g.cfg.Stages; j++ {
+		fmt.Fprintf(&sb, "double stage%d(double x);\n", j)
+	}
+	sb.WriteString("\n#endif\n")
+	return sb.String()
+}
+
+func (g *sysGen) initFile() string {
+	var sb strings.Builder
+	sb.WriteString("#include \"gen.h\"\n\n")
+	for k := 0; k < g.cfg.Regions; k++ {
+		fmt.Fprintf(&sb, "GenRegion *reg%d;\n", k)
+	}
+	sb.WriteString("\nvoid initComm()\n/***SafeFlow Annotation shminit /***/\n{\n")
+	sb.WriteString("    long total;\n    void *base;\n\n")
+	fmt.Fprintf(&sb, "    total = %d * sizeof(GenRegion);\n", g.cfg.Regions)
+	sb.WriteString("    base = shmat(shmget(9, total, 0), 0, 0);\n")
+	sb.WriteString("    reg0 = (GenRegion *) base;\n")
+	for k := 1; k < g.cfg.Regions; k++ {
+		fmt.Fprintf(&sb, "    reg%d = (GenRegion *) (reg%d + 1);\n", k, k-1)
+	}
+	sb.WriteString("    InitCheck(base, total);\n")
+	for k := 0; k < g.cfg.Regions; k++ {
+		fmt.Fprintf(&sb, "    /***SafeFlow Annotation assume(shmvar(reg%d, sizeof(GenRegion))) /***/\n", k)
+	}
+	for k := 0; k < g.cfg.Regions; k++ {
+		fmt.Fprintf(&sb, "    /***SafeFlow Annotation assume(noncore(reg%d)) /***/\n", k)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// monitorsFile emits the monitored accessors: monitor j covers region
+// j mod Regions with a core assumption and clamps the value it reads.
+func (g *sysGen) monitorsFile() string {
+	var sb strings.Builder
+	sb.WriteString("#include \"gen.h\"\n")
+	for j := 0; j < g.cfg.Monitors; j++ {
+		k := j % g.cfg.Regions
+		field := g.pick("a", "b")
+		bound := fmt.Sprintf("%d.%d", 1+g.r.Intn(8), g.r.Intn(10))
+		fmt.Fprintf(&sb, `
+double monitor%d(double x)
+/***SafeFlow Annotation assume(core(reg%d, 0, sizeof(GenRegion))) /***/
+{
+    double t;
+
+    t = reg%d->%s;
+    if (t > %s) {
+        t = %s;
+    }
+    if (t < -%s) {
+        t = -%s;
+    }
+    return t + x;
+}
+`, j, k, k, field, bound, bound, bound, bound)
+	}
+	return sb.String()
+}
+
+// stagesFile emits the helper chain: stage j's random body may call
+// monitors and strictly lower stages, so the callgraph is a DAG with
+// chains up to Stages deep.
+func (g *sysGen) stagesFile() string {
+	var sb strings.Builder
+	sb.WriteString("#include \"gen.h\"\n")
+	for j := 0; j < g.cfg.Stages; j++ {
+		fmt.Fprintf(&sb, `
+double stage%d(double x)
+{
+    double t;
+    double s;
+
+    t = x;
+    s = 0.0;
+%s    return t + s;
+}
+`, j, indent(g.stmts(g.cfg.Depth, j, []string{"t", "s", "x"}), "    "))
+	}
+	return sb.String()
+}
+
+func (g *sysGen) mainFile() string {
+	var sb strings.Builder
+	sb.WriteString("#include \"gen.h\"\n\n")
+	sb.WriteString("int main()\n{\n")
+	sb.WriteString("    double u;\n    double v;\n    int iter;\n\n")
+	sb.WriteString("    initComm();\n    u = 0.0;\n    v = 1.0;\n")
+	fmt.Fprintf(&sb, "    for (iter = 0; iter < %d; iter++) {\n", 2+g.r.Intn(8))
+	fmt.Fprintf(&sb, "        u = stage%d(u);\n", g.cfg.Stages-1)
+	sb.WriteString(indent(g.stmts(g.cfg.Depth, g.cfg.Stages, []string{"u", "v"}), "        "))
+	sb.WriteString("    }\n")
+	// A control dependence on an unmonitored flag — the paper's
+	// false-positive class — on about half the systems.
+	if g.r.Intn(2) == 0 {
+		fmt.Fprintf(&sb, "    if (reg%d->flag != 0) {\n        v = monitor0(v);\n    }\n", g.r.Intn(g.cfg.Regions))
+	}
+	sb.WriteString("    /***SafeFlow Annotation assert(safe(u)) /***/\n")
+	sb.WriteString("    writeDA(0, u);\n")
+	// The seeded kill defect every corpus system carries: the pid comes
+	// from an unmonitored non-core read.
+	if g.r.Intn(2) == 0 {
+		fmt.Fprintf(&sb, "    kill(reg%d->flag, 15);\n", g.r.Intn(g.cfg.Regions))
+	}
+	sb.WriteString("    return 0;\n}\n")
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Statement / expression grammar (the robustness-fuzz subset)
+
+func (g *sysGen) pick(options ...string) string { return options[g.r.Intn(len(options))] }
+
+// expr builds a random double expression over vars, region reads, and
+// calls to monitors and to stages below maxStage.
+func (g *sysGen) expr(depth, maxStage int, vars []string) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(4) {
+		case 0:
+			return fmt.Sprintf("%d.%d", g.r.Intn(10), g.r.Intn(10))
+		case 1:
+			return vars[g.r.Intn(len(vars))]
+		case 2:
+			return fmt.Sprintf("reg%d->%s", g.r.Intn(g.cfg.Regions), g.pick("a", "b"))
+		default:
+			return fmt.Sprintf("monitor%d(%s)", g.r.Intn(g.cfg.Monitors), vars[g.r.Intn(len(vars))])
+		}
+	}
+	if maxStage > 0 && g.r.Intn(4) == 0 {
+		return fmt.Sprintf("stage%d(%s)", g.r.Intn(maxStage), g.expr(depth-1, maxStage, vars))
+	}
+	op := g.pick("+", "-", "*")
+	return fmt.Sprintf("(%s %s %s)", g.expr(depth-1, maxStage, vars), op, g.expr(depth-1, maxStage, vars))
+}
+
+func (g *sysGen) cond(maxStage int, vars []string) string {
+	return fmt.Sprintf("%s %s %s",
+		g.expr(1, maxStage, vars), g.pick("<", ">", "<=", ">=", "==", "!="), g.expr(1, maxStage, vars))
+}
+
+func (g *sysGen) stmts(depth, maxStage int, vars []string) string {
+	var sb strings.Builder
+	n := 1 + g.r.Intn(3)
+	for i := 0; i < n; i++ {
+		v := vars[g.r.Intn(len(vars))]
+		switch g.r.Intn(5) {
+		case 0:
+			fmt.Fprintf(&sb, "%s = %s;\n", v, g.expr(depth, maxStage, vars))
+		case 1:
+			if depth > 0 {
+				fmt.Fprintf(&sb, "if (%s) {\n%s} else {\n%s}\n",
+					g.cond(maxStage, vars),
+					indent(g.stmts(depth-1, maxStage, vars), "    "),
+					indent(g.stmts(depth-1, maxStage, vars), "    "))
+			}
+		case 2:
+			if depth > 0 {
+				fmt.Fprintf(&sb, "{ int qi; for (qi = 0; qi < %d; qi++) { %s = %s + 1.0; } }\n",
+					1+g.r.Intn(5), v, v)
+			}
+		case 3:
+			fmt.Fprintf(&sb, "printf(\"v=%%f\\n\", %s);\n", g.expr(1, maxStage, vars))
+		default:
+			fmt.Fprintf(&sb, "%s = monitor%d(%s);\n", v, g.r.Intn(g.cfg.Monitors), g.expr(1, maxStage, vars))
+		}
+	}
+	return sb.String()
+}
+
+func indent(s, prefix string) string {
+	if s == "" {
+		return s
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		if l != "" {
+			lines[i] = prefix + l
+		}
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -8,9 +8,15 @@
 // the caller's file order and the first error — in that same stable order,
 // not in completion order — is the one reported, so compilation output is
 // identical at every worker count.
+//
+// CompileContext additionally honors cancellation between translation
+// units, and every unit is panic-isolated: a crash while compiling one
+// file surfaces as a guard.InternalError for that file while the other
+// units finish normally.
 package frontend
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -21,7 +27,9 @@ import (
 	"safeflow/internal/cparse"
 	"safeflow/internal/cpp"
 	"safeflow/internal/csema"
+	"safeflow/internal/guard"
 	"safeflow/internal/irgen"
+	"safeflow/internal/metrics"
 )
 
 // Options configure compilation.
@@ -34,6 +42,9 @@ type Options struct {
 	// Workers bounds the number of translation units compiled concurrently.
 	// 0 means runtime.GOMAXPROCS(0); 1 compiles sequentially.
 	Workers int
+	// Metrics, when non-nil, receives goroutine observations from the
+	// worker pool (peak-concurrency instrumentation). Nil-safe.
+	Metrics *metrics.Collector
 }
 
 // workerCount resolves the effective pool size for n independent tasks.
@@ -79,16 +90,38 @@ func compileUnit(sources cpp.Source, cf string, opts Options) (*cast.File, error
 	return f, nil
 }
 
+// compileUnitSafe isolates one translation unit: a panic anywhere in its
+// preprocess/lex/parse chain becomes that unit's error, not a process
+// crash, so the other units of the batch still complete.
+func compileUnitSafe(sources cpp.Source, cf string, opts Options) (f *cast.File, err error) {
+	err = guard.Run("frontend", cf, func() error {
+		var uerr error
+		f, uerr = compileUnit(sources, cf, opts)
+		return uerr
+	})
+	return f, err
+}
+
 // Compile builds the translation units named by cFiles (each preprocessed
 // independently against sources) into one typed, SSA-promoted module.
 func Compile(name string, sources cpp.Source, cFiles []string, opts Options) (*irgen.Result, error) {
+	return CompileContext(context.Background(), name, sources, cFiles, opts)
+}
+
+// CompileContext is Compile with cancellation: a cancelled context stops
+// the worker pool between translation units (never mid-unit) and returns
+// ctx.Err() promptly with no goroutines left behind.
+func CompileContext(ctx context.Context, name string, sources cpp.Source, cFiles []string, opts Options) (*irgen.Result, error) {
 	files := make([]*cast.File, len(cFiles))
 	errs := make([]error, len(cFiles))
 
 	workers := workerCount(opts.Workers, len(cFiles))
 	if workers <= 1 {
 		for i, cf := range cFiles {
-			files[i], errs[i] = compileUnit(sources, cf, opts)
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			files[i], errs[i] = compileUnitSafe(sources, cf, opts)
 		}
 	} else {
 		jobs := make(chan int)
@@ -98,15 +131,28 @@ func Compile(name string, sources cpp.Source, cFiles []string, opts Options) (*i
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					files[i], errs[i] = compileUnit(sources, cFiles[i], opts)
+					if ctx.Err() != nil {
+						errs[i] = ctx.Err()
+						continue // drain so the feeder never blocks
+					}
+					opts.Metrics.ObserveGoroutines()
+					files[i], errs[i] = compileUnitSafe(sources, cFiles[i], opts)
 				}
 			}()
 		}
+	feed:
 		for i := range cFiles {
-			jobs <- i
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				break feed
+			}
 		}
 		close(jobs)
 		wg.Wait()
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
 	}
 	// First error in stable file order, regardless of completion order.
 	for _, err := range errs {
@@ -118,6 +164,9 @@ func Compile(name string, sources cpp.Source, cFiles []string, opts Options) (*i
 	prog, err := csema.Analyze(files)
 	if err != nil {
 		return nil, fmt.Errorf("typecheck: %w", err)
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
 	}
 
 	res := irgen.Build(name, prog)

@@ -1,0 +1,50 @@
+// Package guard isolates pipeline phases and worker goroutines from
+// panics: a crash inside one translation unit, one callgraph SCC, or one
+// batch job is converted into a structured InternalError instead of
+// killing the whole process, so sibling work completes and the failure
+// is reported like any other diagnostic.
+package guard
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// InternalError is a recovered panic converted into a structured
+// diagnostic. Error() is deterministic (phase, unit, panic value only);
+// the stack is carried separately because goroutine ids and addresses
+// vary run to run.
+type InternalError struct {
+	// Phase names the pipeline phase that crashed ("frontend", "shmflow",
+	// "restrict", "pointsto", "vfg", "batch").
+	Phase string
+	// Unit names the isolated work item: a translation unit, the first
+	// function of an SCC, a system name — empty when the whole phase is
+	// the unit.
+	Unit string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error implements error. The string is stable across runs so reports
+// that include internal errors stay byte-deterministic.
+func (e *InternalError) Error() string {
+	if e.Unit == "" {
+		return fmt.Sprintf("internal error in %s: %v", e.Phase, e.Value)
+	}
+	return fmt.Sprintf("internal error in %s (%s): %v", e.Phase, e.Unit, e.Value)
+}
+
+// Run executes f, converting a panic into a *InternalError carrying the
+// phase, the unit, the panic value, and the stack. Errors returned by f
+// pass through unchanged.
+func Run(phase, unit string, f func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &InternalError{Phase: phase, Unit: unit, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return f()
+}

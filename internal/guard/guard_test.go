@@ -1,0 +1,52 @@
+package guard
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRunPassesThroughResult(t *testing.T) {
+	if err := Run("vfg", "f", func() error { return nil }); err != nil {
+		t.Fatalf("nil result mangled: %v", err)
+	}
+	want := errors.New("ordinary failure")
+	if err := Run("vfg", "f", func() error { return want }); err != want {
+		t.Fatalf("error result mangled: %v", err)
+	}
+}
+
+func TestRunConvertsPanic(t *testing.T) {
+	err := Run("frontend", "main.c", func() error { panic("boom") })
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("panic not converted: %v", err)
+	}
+	if ie.Phase != "frontend" || ie.Unit != "main.c" || ie.Value != "boom" {
+		t.Errorf("fields = %q %q %v", ie.Phase, ie.Unit, ie.Value)
+	}
+	if len(ie.Stack) == 0 {
+		t.Error("stack not captured")
+	}
+	if got := ie.Error(); got != "internal error in frontend (main.c): boom" {
+		t.Errorf("Error() = %q", got)
+	}
+	if strings.Contains(ie.Error(), "goroutine") {
+		t.Error("Error() leaks the stack (nondeterministic)")
+	}
+}
+
+func TestRunConvertsRuntimePanic(t *testing.T) {
+	err := Run("vfg", "", func() error {
+		var m map[string]int
+		m["x"] = 1 // nil map write
+		return nil
+	})
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("runtime panic not converted: %v", err)
+	}
+	if ie.Unit != "" || !strings.HasPrefix(ie.Error(), "internal error in vfg: ") {
+		t.Errorf("Error() = %q", ie.Error())
+	}
+}

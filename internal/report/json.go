@@ -8,21 +8,26 @@ import (
 	"io"
 
 	"safeflow/internal/core"
+	"safeflow/internal/metrics"
 	"safeflow/internal/vfg"
 )
 
-// JSONReport is the stable machine-readable form of a Report.
+// JSONReport is the stable machine-readable form of a Report. The
+// "metrics" key is present only when the analysis ran with
+// Options.Stats; its shape is versioned by metrics.SchemaVersion.
 type JSONReport struct {
-	Name            string          `json:"name"`
-	LinesOfCode     int             `json:"lines_of_code"`
-	AnnotationLines int             `json:"annotation_lines"`
-	Regions         []JSONRegion    `json:"regions"`
-	AnnotationErrs  []string        `json:"annotation_errors,omitempty"`
-	Violations      []JSONViolation `json:"violations,omitempty"`
-	Warnings        []JSONWarning   `json:"warnings,omitempty"`
-	Errors          []JSONError     `json:"errors,omitempty"`
-	ControlReports  []JSONError     `json:"control_reports,omitempty"`
-	Clean           bool            `json:"clean"`
+	Name            string              `json:"name"`
+	LinesOfCode     int                 `json:"lines_of_code"`
+	AnnotationLines int                 `json:"annotation_lines"`
+	Regions         []JSONRegion        `json:"regions"`
+	InternalErrs    []string            `json:"internal_errors,omitempty"`
+	AnnotationErrs  []string            `json:"annotation_errors,omitempty"`
+	Violations      []JSONViolation     `json:"violations,omitempty"`
+	Warnings        []JSONWarning       `json:"warnings,omitempty"`
+	Errors          []JSONError         `json:"errors,omitempty"`
+	ControlReports  []JSONError         `json:"control_reports,omitempty"`
+	Clean           bool                `json:"clean"`
+	Metrics         *metrics.RunMetrics `json:"metrics,omitempty"`
 }
 
 // JSONRegion describes one shared-memory variable.
@@ -75,9 +80,13 @@ func ToJSON(rep *core.Report) *JSONReport {
 	for _, r := range rep.Regions {
 		out.Regions = append(out.Regions, JSONRegion{Name: r.Name, Size: r.Size, NonCore: r.NonCore})
 	}
+	for _, e := range rep.Internal {
+		out.InternalErrs = append(out.InternalErrs, e.Error())
+	}
 	for _, e := range rep.AnnotationErrors {
 		out.AnnotationErrs = append(out.AnnotationErrs, e.Error())
 	}
+	out.Metrics = rep.Metrics
 	for _, v := range rep.Violations {
 		out.Violations = append(out.Violations, JSONViolation{
 			Rule: string(v.Rule), Function: v.Fn.Name, Pos: v.Pos.String(), Message: v.Msg,

@@ -8,8 +8,10 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"safeflow/internal/core"
+	"safeflow/internal/metrics"
 	"safeflow/internal/vfg"
 )
 
@@ -22,6 +24,14 @@ func Write(w io.Writer, rep *core.Report) {
 	fmt.Fprintf(w, "\nShared-memory regions (%d):\n", len(rep.Regions))
 	for _, r := range rep.Regions {
 		fmt.Fprintf(w, "  %s\n", r)
+	}
+
+	if len(rep.Internal) > 0 {
+		fmt.Fprintf(w, "\nInternal errors — isolated analysis crashes, results may be partial (%d):\n",
+			len(rep.Internal))
+		for _, e := range rep.Internal {
+			fmt.Fprintf(w, "  %v\n", e)
+		}
 	}
 
 	if len(rep.AnnotationErrors) > 0 {
@@ -67,6 +77,23 @@ func writeError(w io.Writer, e *vfg.ErrorDep) {
 		kind := e.Sources[s]
 		fmt.Fprintf(w, "      via %s flow from %s\n", kind, s)
 	}
+}
+
+// WriteStats renders a run-metrics snapshot in the text format printed
+// by `safeflow -stats` and `sfbench -stats`.
+func WriteStats(w io.Writer, m *metrics.RunMetrics) {
+	if m == nil {
+		return
+	}
+	fmt.Fprintf(w, "\nRun metrics (schema v%d)\n", m.SchemaVersion)
+	fmt.Fprintf(w, "  wall time: %v\n", time.Duration(m.WallNS))
+	for _, p := range m.Phases {
+		fmt.Fprintf(w, "    %-10s %v\n", p.Name, time.Duration(p.WallNS))
+	}
+	fmt.Fprintf(w, "  translation units: %d   callgraph SCCs: %d   fixpoint rounds: %d\n",
+		m.TranslationUnits, m.SCCs, m.FixpointRounds)
+	fmt.Fprintf(w, "  summaries solved: %d   cache hits/misses: %d/%d   peak goroutines: %d\n",
+		m.UnitsSolved, m.CacheHits, m.CacheMisses, m.PeakGoroutines)
 }
 
 // Table1Header returns the header lines of the paper's Table 1.

@@ -276,6 +276,7 @@ func (a *analysis) seedSummaryCache() {
 	mod := summaryCache.mods[a.cfg.CacheKey]
 	summaryCache.Unlock()
 	if mod == nil {
+		a.cacheMisses = len(a.unitList)
 		return
 	}
 	b := a.newBinder()
@@ -283,8 +284,11 @@ func (a *analysis) seedSummaryCache() {
 		if ps, ok := mod.units[u.key]; ok {
 			if sum, bound := b.bindSummary(ps); bound {
 				u.sum = sum
+				a.cacheHits++
+				continue
 			}
 		}
+		a.cacheMisses++
 	}
 	for _, c := range mod.cells {
 		ref, ok := b.bindRef(c.ref)

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"safeflow/internal/callgraph"
+	"safeflow/internal/guard"
 )
 
 // workerCount resolves the effective worker-pool size.
@@ -32,6 +33,10 @@ func (a *analysis) runScheduled(workers int) {
 	a.expandUnits(0)
 	a.seedSummaryCache()
 	for round := 0; round < maxRounds; round++ {
+		if a.ctxDone() {
+			return
+		}
+		a.rounds++
 		a.changed.Store(false)
 		n := len(a.unitList)
 		a.solveWaves(workers)
@@ -44,7 +49,31 @@ func (a *analysis) runScheduled(workers int) {
 			break
 		}
 	}
+	// A cancelled or crashed run holds partial state: never publish it.
+	// Seeded taints only grow under join, so a non-converged snapshot in
+	// the cache could inflate a later warm run's results.
+	if a.ctxDone() || len(a.internal) > 0 {
+		return
+	}
 	a.storeSummaryCache()
+}
+
+// solveSCCSafe isolates one SCC solve: a panic inside the component's
+// transfer functions is recorded as an internal error for the report
+// while every other component still completes.
+func (a *analysis) solveSCCSafe(t *sccUnits) {
+	unitName := ""
+	if len(t.scc.Funcs) > 0 {
+		unitName = t.scc.Funcs[0].Name
+	}
+	if err := guard.Run("vfg", unitName, func() error {
+		a.solveSCC(t)
+		return nil
+	}); err != nil {
+		a.intMu.Lock()
+		a.internal = append(a.internal, err)
+		a.intMu.Unlock()
+	}
 }
 
 // expandUnits computes the unit closure starting at unitList[from]: a unit
@@ -95,7 +124,10 @@ func (a *analysis) solveWaves(workers int) {
 
 	if workers <= 1 || len(tasks) <= 1 {
 		for _, t := range tasks {
-			a.solveSCC(t)
+			if a.ctxDone() {
+				return
+			}
+			a.solveSCCSafe(t)
 		}
 		return
 	}
@@ -134,7 +166,12 @@ func (a *analysis) solveWaves(workers int) {
 	launch = func(t *sccUnits) {
 		defer wg.Done()
 		sem <- struct{}{}
-		a.solveSCC(t)
+		// On cancellation the task is skipped, but its dependents are
+		// still released below so the wave drains instead of deadlocking.
+		if !a.ctxDone() {
+			a.cfg.Metrics.ObserveGoroutines()
+			a.solveSCCSafe(t)
+		}
 		<-sem
 		mu.Lock()
 		for _, d := range dependents[t] {

@@ -16,6 +16,7 @@
 package vfg
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -29,6 +30,7 @@ import (
 	"safeflow/internal/dataflow"
 	"safeflow/internal/ir"
 	"safeflow/internal/irgen"
+	"safeflow/internal/metrics"
 	"safeflow/internal/pointsto"
 	"safeflow/internal/shmflow"
 )
@@ -57,6 +59,15 @@ type Config struct {
 	// summaries are stored back. The key must fingerprint the module
 	// contents (see core.AnalyzeModule).
 	CacheKey string
+	// Ctx, when non-nil, cancels the analysis between units: the drivers
+	// check it between fixpoint rounds and before each SCC solve, so a
+	// cancelled run stops promptly with a partial (discarded) result and
+	// never publishes to the summary cache. Callers detect cancellation
+	// through Ctx.Err(), not through the Result.
+	Ctx context.Context
+	// Metrics, when non-nil, receives goroutine observations from worker
+	// goroutines (peak-concurrency instrumentation). Nil-safe.
+	Metrics *metrics.Collector
 }
 
 // ErrorDep is one reported error: critical data depends on unmonitored
@@ -98,6 +109,19 @@ type Result struct {
 	// UnitsAnalyzed counts (function, context) analysis units solved
 	// (solves, not distinct units) — the ablation metric.
 	UnitsAnalyzed int
+	// SCCs is the number of strongly connected components in the call
+	// graph (a structural, schedule-independent count).
+	SCCs int
+	// Rounds is the number of driver fixpoint rounds executed.
+	Rounds int
+	// CacheHits / CacheMisses count units seeded (or not) from the
+	// cross-run summary cache; both are zero when caching is off.
+	CacheHits, CacheMisses int
+	// Internal lists panics recovered inside SCC workers (as
+	// *guard.InternalError), sorted for deterministic reporting. The
+	// affected component's results may be partial; everything else is
+	// complete.
+	Internal []error
 }
 
 // Run executes the analysis.
@@ -183,8 +207,19 @@ type analysis struct {
 	ctrlMu   sync.Mutex // guards ctrlDeps
 	ctrlDeps map[*ir.Function]map[*ir.Block][]cfgraph.ControlDep
 
+	intMu    sync.Mutex // guards internal
+	internal []error
+
 	solves  atomic.Int64
 	changed atomic.Bool
+
+	rounds                 int
+	cacheHits, cacheMisses int
+}
+
+// ctxDone reports whether the run's context (if any) has been cancelled.
+func (a *analysis) ctxDone() bool {
+	return a.cfg.Ctx != nil && a.cfg.Ctx.Err() != nil
 }
 
 // maxRounds caps the driver fixpoint as a safety net; the lattices are
@@ -212,8 +247,15 @@ func (a *analysis) seedRoots() {
 
 func (a *analysis) fixpoint() {
 	for round := 0; round < maxRounds; round++ {
+		if a.ctxDone() {
+			return
+		}
+		a.rounds++
 		a.changed.Store(false)
 		for i := 0; i < len(a.unitList); i++ {
+			if a.ctxDone() {
+				return
+			}
 			a.solveUnit(a.unitList[i])
 		}
 		if !a.changed.Load() {
@@ -847,7 +889,21 @@ func (m *memStore) read(ref pointsto.Ref) Taint {
 // Result assembly
 
 func (a *analysis) finish() *Result {
-	res := &Result{UnitsAnalyzed: int(a.solves.Load())}
+	res := &Result{
+		UnitsAnalyzed: int(a.solves.Load()),
+		SCCs:          len(a.cfg.CG.BottomUp()),
+		Rounds:        a.rounds,
+		CacheHits:     a.cacheHits,
+		CacheMisses:   a.cacheMisses,
+	}
+	a.intMu.Lock()
+	res.Internal = append(res.Internal, a.internal...)
+	a.intMu.Unlock()
+	// Worker completion order is nondeterministic; the rendered report
+	// must not be.
+	sort.Slice(res.Internal, func(i, j int) bool {
+		return res.Internal[i].Error() < res.Internal[j].Error()
+	})
 	for _, s := range a.sources {
 		res.Warnings = append(res.Warnings, s)
 	}

@@ -29,6 +29,7 @@
 package safeflow
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -38,6 +39,8 @@ import (
 
 	"safeflow/internal/core"
 	"safeflow/internal/cpp"
+	"safeflow/internal/guard"
+	"safeflow/internal/metrics"
 	"safeflow/internal/pointsto"
 	"safeflow/internal/report"
 	"safeflow/internal/restrict"
@@ -65,6 +68,16 @@ type ErrorDependency = vfg.ErrorDep
 // Violation is one language-restriction violation (P1–P3, A1–A2).
 type Violation = restrict.Violation
 
+// InternalError is a recovered pipeline panic: the isolation layer
+// converts a crash in any phase or worker into this structured
+// diagnostic (phase, failing unit, panic value, stack) carried in
+// Report.Internal, so one bad system never kills a batch.
+type InternalError = guard.InternalError
+
+// RunMetrics is one run's instrumentation snapshot (Options.Stats),
+// embedded in the JSON report under the versioned "metrics" key.
+type RunMetrics = metrics.RunMetrics
+
 // Alias-analysis modes for Options.PointsTo.
 const (
 	// ModeSubset is the field-sensitive inclusion-based solver (default).
@@ -77,7 +90,15 @@ const (
 // sources maps file names (as used by #include "...") to contents; cFiles
 // lists the translation units to compile.
 func Analyze(name string, sources map[string]string, cFiles []string, opts Options) (*Report, error) {
-	return core.AnalyzeSources(name, cpp.MapSource(sources), cFiles, opts)
+	return AnalyzeContext(context.Background(), name, sources, cFiles, opts)
+}
+
+// AnalyzeContext is Analyze with deadline/cancellation support: when ctx
+// is cancelled the pipeline stops between analysis units — translation
+// units in the frontend, SCC waves in phase 3 — and returns ctx.Err()
+// promptly with no goroutines left behind.
+func AnalyzeContext(ctx context.Context, name string, sources map[string]string, cFiles []string, opts Options) (*Report, error) {
+	return core.AnalyzeSourcesContext(ctx, name, cpp.MapSource(sources), cFiles, opts)
 }
 
 // AnalyzeString analyzes a single self-contained program.
@@ -88,6 +109,11 @@ func AnalyzeString(name, src string, opts Options) (*Report, error) {
 // AnalyzeDir analyzes all .c files in a directory (headers resolve
 // relative to the same directory).
 func AnalyzeDir(name, dir string, opts Options) (*Report, error) {
+	return AnalyzeDirContext(context.Background(), name, dir, opts)
+}
+
+// AnalyzeDirContext is AnalyzeDir with deadline/cancellation support.
+func AnalyzeDirContext(ctx context.Context, name, dir string, opts Options) (*Report, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("safeflow: %w", err)
@@ -115,12 +141,17 @@ func AnalyzeDir(name, dir string, opts Options) (*Report, error) {
 		return nil, fmt.Errorf("safeflow: no .c files in %s", dir)
 	}
 	sort.Strings(cFiles)
-	return Analyze(name, sources, cFiles, opts)
+	return AnalyzeContext(ctx, name, sources, cFiles, opts)
 }
 
 // AnalyzeFiles analyzes the named .c files; includes resolve relative to
 // each file's directory.
 func AnalyzeFiles(name string, paths []string, opts Options) (*Report, error) {
+	return AnalyzeFilesContext(context.Background(), name, paths, opts)
+}
+
+// AnalyzeFilesContext is AnalyzeFiles with deadline/cancellation support.
+func AnalyzeFilesContext(ctx context.Context, name string, paths []string, opts Options) (*Report, error) {
 	sources := map[string]string{}
 	var cFiles []string
 	for _, p := range paths {
@@ -147,7 +178,7 @@ func AnalyzeFiles(name string, paths []string, opts Options) (*Report, error) {
 		sources[base] = string(data)
 		cFiles = append(cFiles, base)
 	}
-	return Analyze(name, sources, cFiles, opts)
+	return AnalyzeContext(ctx, name, sources, cFiles, opts)
 }
 
 // WriteReport renders the report in the tool's standard text format,
