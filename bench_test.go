@@ -399,3 +399,31 @@ type benchWorld struct{}
 func (benchWorld) ReadSensor(int) float64 { return 0.001 }
 func (benchWorld) WriteDA(int, float64)   {}
 func (benchWorld) Wait(float64)           {}
+
+// BenchmarkParallel_Phases13 isolates phases 1-3 (no frontend) per corpus
+// system: the module is compiled once outside the timer and every
+// iteration re-analyzes it cold (summary cache off). This is the
+// allocation-profile baseline the alloc-regression tests pin against.
+func BenchmarkParallel_Phases13(b *testing.B) {
+	for _, sys := range corpus.All() {
+		sys := sys
+		b.Run(sys.Name, func(b *testing.B) {
+			src, err := sys.Sources()
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := frontend.Compile(sys.Name, src, sys.CFiles, frontend.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep := core.AnalyzeModule(sys.Name, res, core.Options{DisableCache: true})
+				if len(rep.ErrorsData) != sys.Expected.Errors {
+					b.Fatalf("counts diverged")
+				}
+			}
+		})
+	}
+}

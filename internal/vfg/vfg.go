@@ -742,6 +742,9 @@ func (a *analysis) bufferAssumedCore(u *unit, buf ir.Value) bool {
 }
 
 func cloneParams(m map[int]Kind) map[int]Kind {
+	if len(m) == 0 {
+		return nil
+	}
 	out := make(map[int]Kind, len(m))
 	for i, k := range m {
 		out[i] = k
