@@ -91,6 +91,10 @@ type Options struct {
 	// DisableCache turns the summary cache off entirely (cold-run
 	// benchmarks, memory-constrained batch runs).
 	DisableCache bool
+	// DisableParseCache turns the frontend's content-keyed parse cache
+	// off, forcing every translation unit through lex + parse even when
+	// its preprocessed contents are unchanged from a prior run.
+	DisableParseCache bool
 	// Stats collects run metrics (per-phase wall times, pipeline shape
 	// counters, cache hit rates, peak goroutines) into Report.Metrics,
 	// which the JSON report embeds under its versioned "metrics" key.
@@ -169,9 +173,10 @@ func AnalyzeSourcesContext(ctx context.Context, name string, sources cpp.Source,
 		firePhaseHook("frontend", name)
 		var cerr error
 		res, cerr = frontend.CompileContext(ctx, name, sources, cFiles, frontend.Options{
-			Defines: opts.Defines,
-			Workers: opts.Workers,
-			Metrics: col,
+			Defines:           opts.Defines,
+			Workers:           opts.Workers,
+			DisableParseCache: opts.DisableParseCache,
+			Metrics:           col,
 		})
 		return cerr
 	})

@@ -5,35 +5,72 @@
 // flow-sensitive results the paper's phase 1 (shared-memory pointer
 // discovery) and phase 3 (unsafe-value flow) require, with merges at phis
 // implementing the paper's "shm/unsafe if so on some path" join.
+//
+// Storage is dense: facts, worklist membership and def-use chains are
+// slices indexed by the per-function value/instruction numbering of
+// ir.NumberValues, so the solver allocates nothing on its hot path and a
+// ValueSolver's buffers are reused across repeated Solve calls.
 package dataflow
 
 import (
 	"safeflow/internal/ir"
 )
 
-// Users indexes, for every SSA value in a function, the instructions that
-// use it as an operand.
-type Users struct {
-	m map[ir.Value][]ir.Instr
+// FnInfo is the per-function dense solver index: the instruction list in
+// block order and the def-use chains mapping each numbered value to the
+// indices of the instructions that use it as an operand. Built once per
+// function and shared by every solve over it.
+type FnInfo struct {
+	Fn        *ir.Function
+	Instrs    []ir.Instr // index = ir.InstrIndex
+	NumValues int
+	users     [][]int32 // value number → instruction indices
 }
 
-// NewUsers builds the def-use index for one function.
-func NewUsers(f *ir.Function) *Users {
-	u := &Users{m: make(map[ir.Value][]ir.Instr)}
+// NewInfo builds the dense index for one function, numbering the function
+// first if it has never been numbered (hand-built test functions; the
+// production pipeline numbers at lowering time).
+func NewInfo(f *ir.Function) *FnInfo {
+	if f.NumInstrs() == 0 {
+		f.NumberValues()
+	}
+	fi := &FnInfo{
+		Fn:        f,
+		Instrs:    make([]ir.Instr, 0, f.NumInstrs()),
+		NumValues: f.NumValues(),
+		users:     make([][]int32, f.NumValues()),
+	}
 	for _, b := range f.Blocks {
 		for _, in := range b.Instrs {
+			idx := int32(len(fi.Instrs))
+			fi.Instrs = append(fi.Instrs, in)
 			for _, op := range in.Operands() {
-				u.m[op] = append(u.m[op], in)
+				if n := ir.ValueNum(op); n >= 0 && n < fi.NumValues {
+					fi.users[n] = append(fi.users[n], idx)
+				}
 			}
 		}
 	}
-	return u
+	return fi
 }
 
-// Of returns the instructions using v.
-func (u *Users) Of(v ir.Value) []ir.Instr { return u.m[v] }
+// UsersOf returns the instructions using v as an operand (test/debug
+// helper; the solver walks the index directly).
+func (fi *FnInfo) UsersOf(v ir.Value) []ir.Instr {
+	n := ir.ValueNum(v)
+	if n < 0 || n >= len(fi.users) {
+		return nil
+	}
+	out := make([]ir.Instr, len(fi.users[n]))
+	for i, idx := range fi.users[n] {
+		out[i] = fi.Instrs[idx]
+	}
+	return out
+}
 
-// Lattice describes the fact domain for the value solver.
+// Lattice describes the fact domain for the value solver. Join(Bottom, x)
+// must equal x, and the zero value of T must be Bottom (the solver's
+// dense tables rely on both).
 type Lattice[T any] interface {
 	// Join combines two facts (least upper bound).
 	Join(a, b T) T
@@ -43,69 +80,124 @@ type Lattice[T any] interface {
 	Bottom() T
 }
 
+// Seed is one initial fact for a numbered value.
+type Seed[T any] struct {
+	Val  ir.Value
+	Fact T
+}
+
+// Facts is the dense fact table produced by one solve, viewed through the
+// function's value numbering. The zero Facts is valid and empty.
+type Facts[T any] struct {
+	info  *FnInfo
+	facts []T
+}
+
+// Get returns the fact of v (the zero value of T — Bottom — for values
+// outside the numbering or never reached).
+func (f Facts[T]) Get(v ir.Value) T {
+	if n := ir.ValueNum(v); n >= 0 && n < len(f.facts) {
+		return f.facts[n]
+	}
+	var zero T
+	return zero
+}
+
 // ValueSolver propagates facts over a function's SSA values to a fixpoint.
+// Its internal buffers are reused across Solve calls, so a solver may be
+// used for repeated solves of the same function; each Solve invalidates
+// the Facts view returned by the previous one.
 type ValueSolver[T any] struct {
-	Fn      *ir.Function
+	Info    *FnInfo
 	Lattice Lattice[T]
 	// Transfer computes the fact of an instruction's result from the facts
 	// of its operands; get resolves the current fact of any value. The
 	// second result is false when the instruction produces no fact (e.g.
 	// stores, branches).
 	Transfer func(in ir.Instr, get func(ir.Value) T) (T, bool)
-	// ExtraUses declares non-operand dependencies: when the fact of a key
-	// value changes, the listed instructions are re-evaluated too. Used
-	// for control-dependence edges (a phi depends on the conditions of the
-	// branches that select its incoming edge, which are not operands).
-	ExtraUses map[ir.Value][]ir.Instr
+	// ExtraUses declares non-operand dependencies, indexed by value number:
+	// when the fact of value n changes, the instructions at the indices in
+	// ExtraUses[n] are re-evaluated too. Used for control-dependence edges
+	// (a phi depends on the conditions of the branches that select its
+	// incoming edge, which are not operands).
+	ExtraUses [][]int32
 
-	facts map[ir.Value]T
-	users *Users
+	facts  []T
+	inWork []bool
+	work   []int32
+	getf   func(ir.Value) T // created once; escapes into Transfer calls
 }
 
 // Solve runs the propagation to a fixpoint, starting from the given seed
-// facts, and returns the final fact map.
-func (s *ValueSolver[T]) Solve(seeds map[ir.Value]T) map[ir.Value]T {
-	s.facts = make(map[ir.Value]T, len(seeds))
-	s.users = NewUsers(s.Fn)
+// facts, and returns the final fact table.
+func (s *ValueSolver[T]) Solve(seeds []Seed[T]) Facts[T] {
+	fi := s.Info
+	bottom := s.Lattice.Bottom()
 
-	get := func(v ir.Value) T {
-		if f, ok := s.facts[v]; ok {
-			return f
+	if cap(s.facts) >= fi.NumValues {
+		s.facts = s.facts[:fi.NumValues]
+	} else {
+		s.facts = make([]T, fi.NumValues)
+	}
+	for i := range s.facts {
+		s.facts[i] = bottom
+	}
+	if cap(s.inWork) >= len(fi.Instrs) {
+		s.inWork = s.inWork[:len(fi.Instrs)]
+		for i := range s.inWork {
+			s.inWork[i] = false
 		}
-		return s.Lattice.Bottom()
+	} else {
+		s.inWork = make([]bool, len(fi.Instrs))
+	}
+	if s.work == nil {
+		s.work = make([]int32, 0, len(fi.Instrs))
+	}
+	s.work = s.work[:0]
+
+	if s.getf == nil {
+		s.getf = func(v ir.Value) T {
+			if n := ir.ValueNum(v); n >= 0 && n < len(s.facts) {
+				return s.facts[n]
+			}
+			return s.Lattice.Bottom()
+		}
+	}
+	get := s.getf
+	push := func(idx int32) {
+		if !s.inWork[idx] {
+			s.inWork[idx] = true
+			s.work = append(s.work, idx)
+		}
 	}
 
-	var work []ir.Instr
-	inWork := make(map[ir.Instr]bool)
-	push := func(in ir.Instr) {
-		if !inWork[in] {
-			inWork[in] = true
-			work = append(work, in)
+	for _, sd := range seeds {
+		n := ir.ValueNum(sd.Val)
+		if n < 0 || n >= len(s.facts) {
+			continue
 		}
-	}
-
-	for v, f := range seeds {
-		s.facts[v] = f
-		for _, use := range s.users.Of(v) {
+		s.facts[n] = s.Lattice.Join(s.facts[n], sd.Fact)
+		for _, use := range fi.users[n] {
 			push(use)
 		}
 		// Seeded instructions also re-derive their own fact.
-		if in, ok := v.(ir.Instr); ok {
-			push(in)
+		if in, ok := sd.Val.(ir.Instr); ok {
+			if ii := ir.InstrIndex(in); ii >= 0 && ii < len(s.inWork) {
+				push(int32(ii))
+			}
 		}
 	}
 	// Evaluate every instruction once so constant/derived facts appear even
 	// without seeds.
-	for _, b := range s.Fn.Blocks {
-		for _, in := range b.Instrs {
-			push(in)
-		}
+	for i := range fi.Instrs {
+		push(int32(i))
 	}
 
-	for len(work) > 0 {
-		in := work[len(work)-1]
-		work = work[:len(work)-1]
-		inWork[in] = false
+	for len(s.work) > 0 {
+		idx := s.work[len(s.work)-1]
+		s.work = s.work[:len(s.work)-1]
+		s.inWork[idx] = false
+		in := fi.Instrs[idx]
 
 		newFact, produces := s.Transfer(in, get)
 		if !produces {
@@ -115,23 +207,26 @@ func (s *ValueSolver[T]) Solve(seeds map[ir.Value]T) map[ir.Value]T {
 		if !isVal {
 			continue
 		}
-		old, had := s.facts[v]
-		merged := newFact
-		if had {
-			merged = s.Lattice.Join(old, newFact)
-		}
-		if had && s.Lattice.Equal(old, merged) {
+		n := ir.ValueNum(v)
+		if n < 0 || n >= len(s.facts) {
 			continue
 		}
-		s.facts[v] = merged
-		for _, use := range s.users.Of(v) {
+		old := s.facts[n]
+		merged := s.Lattice.Join(old, newFact)
+		if s.Lattice.Equal(old, merged) {
+			continue
+		}
+		s.facts[n] = merged
+		for _, use := range fi.users[n] {
 			push(use)
 		}
-		for _, use := range s.ExtraUses[v] {
-			push(use)
+		if n < len(s.ExtraUses) {
+			for _, use := range s.ExtraUses[n] {
+				push(use)
+			}
 		}
 	}
-	return s.facts
+	return Facts[T]{info: fi, facts: s.facts}
 }
 
 // BoolLattice is the two-point lattice false ⊑ true used for may-facts

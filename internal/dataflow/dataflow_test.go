@@ -25,22 +25,22 @@ func buildChain(n int) (*ir.Function, []*ir.BinOp) {
 
 func TestUsersIndex(t *testing.T) {
 	fn, ops := buildChain(3)
-	u := NewUsers(fn)
+	fi := NewInfo(fn)
 	// ops[0] is used by ops[1].
-	users := u.Of(ops[0])
+	users := fi.UsersOf(ops[0])
 	if len(users) != 1 || users[0] != ir.Instr(ops[1]) {
 		t.Errorf("users of op0 = %v", users)
 	}
 	// The last op is used by the return.
-	if len(u.Of(ops[2])) != 1 {
-		t.Errorf("users of last op = %v", u.Of(ops[2]))
+	if len(fi.UsersOf(ops[2])) != 1 {
+		t.Errorf("users of last op = %v", fi.UsersOf(ops[2]))
 	}
 }
 
 func TestBoolPropagationChain(t *testing.T) {
 	fn, ops := buildChain(5)
 	solver := &ValueSolver[bool]{
-		Fn:      fn,
+		Info:    NewInfo(fn),
 		Lattice: BoolLattice{},
 		Transfer: func(in ir.Instr, get func(ir.Value) bool) (bool, bool) {
 			op, ok := in.(*ir.BinOp)
@@ -50,10 +50,9 @@ func TestBoolPropagationChain(t *testing.T) {
 			return get(op.X) || get(op.Y), true
 		},
 	}
-	seeds := map[ir.Value]bool{ops[0]: true}
-	facts := solver.Solve(seeds)
+	facts := solver.Solve([]Seed[bool]{{Val: ops[0], Fact: true}})
 	for i, op := range ops {
-		if !facts[op] {
+		if !facts.Get(op) {
 			t.Errorf("op %d not reached by propagation", i)
 		}
 	}
@@ -84,7 +83,7 @@ func TestPropagationThroughPhi(t *testing.T) {
 	ir.Terminate(merge, &ir.Ret{X: phi})
 
 	solver := &ValueSolver[bool]{
-		Fn:      fn,
+		Info:    NewInfo(fn),
 		Lattice: BoolLattice{},
 		Transfer: func(in ir.Instr, get func(ir.Value) bool) (bool, bool) {
 			switch x := in.(type) {
@@ -101,11 +100,11 @@ func TestPropagationThroughPhi(t *testing.T) {
 			}
 		},
 	}
-	facts := solver.Solve(map[ir.Value]bool{seeded: true})
-	if !facts[phi] {
+	facts := solver.Solve([]Seed[bool]{{Val: seeded, Fact: true}})
+	if !facts.Get(phi) {
 		t.Error("phi did not join the seeded fact ('unsafe on some path')")
 	}
-	if facts[clean] {
+	if facts.Get(clean) {
 		t.Error("clean op spuriously tainted")
 	}
 }
@@ -121,13 +120,15 @@ func TestExtraUses(t *testing.T) {
 	b.Append(dep)
 	ir.Terminate(b, &ir.Ret{X: dep})
 
-	evaluations := 0
+	info := NewInfo(fn)
+	extra := make([][]int32, info.NumValues)
+	extra[ir.ValueNum(src)] = []int32{int32(ir.InstrIndex(dep))}
+
 	solver := &ValueSolver[bool]{
-		Fn:      fn,
+		Info:    info,
 		Lattice: BoolLattice{},
 		Transfer: func(in ir.Instr, get func(ir.Value) bool) (bool, bool) {
 			if in == ir.Instr(dep) {
-				evaluations++
 				return get(src), true // non-operand dependency
 			}
 			if in == ir.Instr(src) {
@@ -135,10 +136,10 @@ func TestExtraUses(t *testing.T) {
 			}
 			return false, false
 		},
-		ExtraUses: map[ir.Value][]ir.Instr{src: {dep}},
+		ExtraUses: extra,
 	}
 	facts := solver.Solve(nil)
-	if !facts[dep] {
+	if !facts.Get(dep) {
 		t.Error("extra-use dependency not propagated")
 	}
 }
@@ -166,7 +167,7 @@ func TestMonotoneTermination(t *testing.T) {
 	ir.Terminate(exit, &ir.Ret{X: inc})
 
 	solver := &ValueSolver[bool]{
-		Fn:      fn,
+		Info:    NewInfo(fn),
 		Lattice: BoolLattice{},
 		Transfer: func(in ir.Instr, get func(ir.Value) bool) (bool, bool) {
 			switch x := in.(type) {
@@ -183,8 +184,63 @@ func TestMonotoneTermination(t *testing.T) {
 			}
 		},
 	}
-	facts := solver.Solve(map[ir.Value]bool{phi: true})
-	if !facts[inc] {
+	facts := solver.Solve([]Seed[bool]{{Val: phi, Fact: true}})
+	if !facts.Get(inc) {
 		t.Error("loop-carried fact lost")
+	}
+}
+
+// TestSolverReuse checks that a solver's buffers reset cleanly between
+// solves: a second solve with different seeds must not see facts from the
+// first.
+func TestSolverReuse(t *testing.T) {
+	fn, ops := buildChain(4)
+	solver := &ValueSolver[bool]{
+		Info:    NewInfo(fn),
+		Lattice: BoolLattice{},
+		Transfer: func(in ir.Instr, get func(ir.Value) bool) (bool, bool) {
+			op, ok := in.(*ir.BinOp)
+			if !ok {
+				return false, false
+			}
+			return get(op.X) || get(op.Y), true
+		},
+	}
+	first := solver.Solve([]Seed[bool]{{Val: ops[0], Fact: true}})
+	if !first.Get(ops[3]) {
+		t.Fatal("first solve did not propagate")
+	}
+	second := solver.Solve([]Seed[bool]{{Val: ops[2], Fact: true}})
+	if second.Get(ops[1]) {
+		t.Error("second solve leaked facts from the first (ops[1] should be clean)")
+	}
+	if !second.Get(ops[3]) {
+		t.Error("second solve did not propagate its own seed")
+	}
+}
+
+// TestSolverAllocFree pins the steady-state allocation behavior: after the
+// first solve warms the buffers, repeat solves of the same function
+// allocate nothing.
+func TestSolverAllocFree(t *testing.T) {
+	fn, ops := buildChain(8)
+	solver := &ValueSolver[bool]{
+		Info:    NewInfo(fn),
+		Lattice: BoolLattice{},
+		Transfer: func(in ir.Instr, get func(ir.Value) bool) (bool, bool) {
+			op, ok := in.(*ir.BinOp)
+			if !ok {
+				return false, false
+			}
+			return get(op.X) || get(op.Y), true
+		},
+	}
+	seeds := []Seed[bool]{{Val: ops[0], Fact: true}}
+	solver.Solve(seeds) // warm the buffers
+	allocs := testing.AllocsPerRun(50, func() {
+		solver.Solve(seeds)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state solve allocates %v times per run, want 0", allocs)
 	}
 }

@@ -42,8 +42,13 @@ type Options struct {
 	// Workers bounds the number of translation units compiled concurrently.
 	// 0 means runtime.GOMAXPROCS(0); 1 compiles sequentially.
 	Workers int
+	// DisableParseCache turns off the content-keyed parse cache, forcing
+	// every translation unit through lex + parse (cold-run benchmarks,
+	// memory-constrained batch runs).
+	DisableParseCache bool
 	// Metrics, when non-nil, receives goroutine observations from the
-	// worker pool (peak-concurrency instrumentation). Nil-safe.
+	// worker pool (peak-concurrency instrumentation) and parse-cache
+	// hit/miss counts. Nil-safe.
 	Metrics *metrics.Collector
 }
 
@@ -77,6 +82,14 @@ func compileUnit(sources cpp.Source, cf string, opts Options) (*cast.File, error
 	if err != nil {
 		return nil, fmt.Errorf("preprocess %s: %w", cf, err)
 	}
+	var key [32]byte
+	if !opts.DisableParseCache {
+		key = parseCacheKey(cf, text)
+		if f := parseCacheGet(key); f != nil {
+			opts.Metrics.AddFrontendCache(1, 0)
+			return f, nil
+		}
+	}
 	lx := clex.New(cf, text)
 	toks := lx.All()
 	if errs := lx.Errors(); len(errs) > 0 {
@@ -86,6 +99,12 @@ func compileUnit(sources cpp.Source, cf string, opts Options) (*cast.File, error
 	f, err := p.ParseFile()
 	if err != nil {
 		return nil, fmt.Errorf("parse %s: %w", cf, err)
+	}
+	if !opts.DisableParseCache {
+		// Only fully parsed units are stored, so a failed, cancelled or
+		// panicking compilation never publishes a partial entry.
+		parseCachePut(key, f)
+		opts.Metrics.AddFrontendCache(0, 1)
 	}
 	return f, nil
 }

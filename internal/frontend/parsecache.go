@@ -1,0 +1,68 @@
+// Content-keyed parse cache. Lex + parse dominate warm end-to-end runs
+// (the analysis phases are cached separately by the vfg summary cache), so
+// repeated compilations of unchanged translation units — sfbench
+// iterations, watch-mode workloads, AnalyzeAll batches sharing headers —
+// reuse the parsed AST instead of re-deriving it.
+//
+// The key is the SHA-256 of the file name and its fully preprocessed text,
+// so any edit to the unit or to a header it includes changes the key (the
+// preprocessor has already expanded includes and macros by the time the
+// key is computed). Sharing parsed files is safe because nothing
+// downstream mutates the AST: the type checker records its results in
+// side tables and the IR lowering builds separate ir nodes. Entries are
+// stored only after a fully successful parse, so a cancelled or crashed
+// compilation can never poison the cache.
+
+package frontend
+
+import (
+	"crypto/sha256"
+	"sync"
+
+	"safeflow/internal/cast"
+)
+
+// maxParseEntries bounds the process-global cache; eviction is arbitrary
+// (the cache is an accelerator, not a store of record).
+const maxParseEntries = 256
+
+var parseCache = struct {
+	sync.Mutex
+	files map[[sha256.Size]byte]*cast.File
+}{files: make(map[[sha256.Size]byte]*cast.File)}
+
+func parseCacheKey(filename, expanded string) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte(filename))
+	h.Write([]byte{0})
+	h.Write([]byte(expanded))
+	var key [sha256.Size]byte
+	h.Sum(key[:0])
+	return key
+}
+
+func parseCacheGet(key [sha256.Size]byte) *cast.File {
+	parseCache.Lock()
+	defer parseCache.Unlock()
+	return parseCache.files[key]
+}
+
+func parseCachePut(key [sha256.Size]byte, f *cast.File) {
+	parseCache.Lock()
+	defer parseCache.Unlock()
+	if _, have := parseCache.files[key]; !have && len(parseCache.files) >= maxParseEntries {
+		for k := range parseCache.files {
+			delete(parseCache.files, k)
+			break
+		}
+	}
+	parseCache.files[key] = f
+}
+
+// ResetParseCache empties the parse cache (cold-run benchmarks and cache
+// tests).
+func ResetParseCache() {
+	parseCache.Lock()
+	defer parseCache.Unlock()
+	parseCache.files = make(map[[sha256.Size]byte]*cast.File)
+}

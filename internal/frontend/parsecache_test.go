@@ -1,0 +1,138 @@
+package frontend
+
+import (
+	"context"
+	"testing"
+
+	"safeflow/internal/metrics"
+)
+
+const cacheTestSrc = `
+int add(int a, int b) { return a + b; }
+int main() { return add(1, 2); }
+`
+
+// compileCounting compiles main.c from the given sources and returns the
+// frontend cache hit/miss counts the run recorded.
+func compileCounting(t *testing.T, sources map[string]string, opts Options) (hits, misses int) {
+	t.Helper()
+	col := metrics.NewCollector()
+	opts.Metrics = col
+	if _, err := Compile("cachetest", toSource(sources), []string{"main.c"}, opts); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	snap := col.Finish()
+	return snap.FrontendCacheHits, snap.FrontendCacheMisses
+}
+
+func TestParseCacheReuse(t *testing.T) {
+	ResetParseCache()
+	sources := map[string]string{"main.c": cacheTestSrc}
+
+	if hits, misses := compileCounting(t, sources, Options{}); hits != 0 || misses != 1 {
+		t.Fatalf("cold run: hits=%d misses=%d, want 0/1", hits, misses)
+	}
+	if hits, misses := compileCounting(t, sources, Options{}); hits != 1 || misses != 0 {
+		t.Fatalf("warm run: hits=%d misses=%d, want 1/0", hits, misses)
+	}
+}
+
+// Editing a file (or a header it includes) must change the content key and
+// force a fresh parse — the path alone is never the key.
+func TestParseCacheContentKey(t *testing.T) {
+	ResetParseCache()
+	sources := map[string]string{
+		"defs.h": "#define ANSWER 1\n",
+		"main.c": "#include \"defs.h\"\nint main() { return ANSWER; }\n",
+	}
+	if hits, misses := compileCounting(t, sources, Options{}); hits != 0 || misses != 1 {
+		t.Fatalf("cold run: hits=%d misses=%d, want 0/1", hits, misses)
+	}
+
+	// Same path, edited header: the preprocessed text differs → miss.
+	sources["defs.h"] = "#define ANSWER 2\n"
+	if hits, misses := compileCounting(t, sources, Options{}); hits != 0 || misses != 1 {
+		t.Fatalf("edited run: hits=%d misses=%d, want 0/1", hits, misses)
+	}
+
+	// The edited parse must reflect the new contents, not the cached AST.
+	res, err := Compile("edited", toSource(sources), []string{"main.c"}, Options{})
+	if err != nil {
+		t.Fatalf("compile after edit: %v", err)
+	}
+	if res.Module.FuncByName("main") == nil {
+		t.Fatal("main missing after edit")
+	}
+
+	// Defines change the expanded text the same way an edit does.
+	ResetParseCache()
+	base := map[string]string{"main.c": "int main() { return X; }\n"}
+	if _, misses := compileCounting(t, base, Options{Defines: map[string]string{"X": "1"}}); misses != 1 {
+		t.Fatal("first define run should miss")
+	}
+	if hits, _ := compileCounting(t, base, Options{Defines: map[string]string{"X": "2"}}); hits != 0 {
+		t.Fatal("changed define must not hit the cache")
+	}
+}
+
+func TestParseCacheDisable(t *testing.T) {
+	ResetParseCache()
+	sources := map[string]string{"main.c": cacheTestSrc}
+	if hits, misses := compileCounting(t, sources, Options{DisableParseCache: true}); hits != 0 || misses != 0 {
+		t.Fatalf("disabled run counted hits=%d misses=%d, want 0/0", hits, misses)
+	}
+	// A disabled run must not have populated the cache either.
+	if hits, _ := compileCounting(t, sources, Options{}); hits != 0 {
+		t.Fatal("disabled run leaked an entry into the cache")
+	}
+}
+
+// A failed parse must never publish an entry: the next compile of the same
+// contents has to re-parse and fail again, not hit a poisoned cache.
+func TestParseCacheNoPoisonOnError(t *testing.T) {
+	ResetParseCache()
+	bad := map[string]string{"main.c": "int main( { return 0; }\n"}
+	for i := 0; i < 2; i++ {
+		col := metrics.NewCollector()
+		if _, err := Compile("bad", toSource(bad), []string{"main.c"}, Options{Metrics: col}); err == nil {
+			t.Fatalf("run %d: expected parse error", i)
+		}
+		snap := col.Finish()
+		if snap.FrontendCacheHits != 0 {
+			t.Fatalf("run %d: failed parse hit the cache (hits=%d)", i, snap.FrontendCacheHits)
+		}
+	}
+}
+
+// Cancellation stops the worker pool between units; units that never
+// parsed must not appear in the cache, so a later un-cancelled run still
+// parses (and counts) every unit.
+func TestParseCacheNoPoisonOnCancel(t *testing.T) {
+	ResetParseCache()
+	sources := map[string]string{"main.c": cacheTestSrc}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CompileContext(ctx, "cancelled", toSource(sources), []string{"main.c"}, Options{}); err != context.Canceled {
+		t.Fatalf("cancelled compile err = %v, want context.Canceled", err)
+	}
+	if hits, misses := compileCounting(t, sources, Options{}); hits != 0 || misses != 1 {
+		t.Fatalf("post-cancel run: hits=%d misses=%d, want 0/1 (cache must be empty)", hits, misses)
+	}
+}
+
+// The cache stays bounded: inserting more than maxParseEntries distinct
+// units evicts rather than grows.
+func TestParseCacheBounded(t *testing.T) {
+	ResetParseCache()
+	defer ResetParseCache()
+	for i := 0; i < maxParseEntries+16; i++ {
+		key := parseCacheKey("main.c", string(rune('a'+i%26))+string(rune(i)))
+		parseCachePut(key, nil)
+	}
+	parseCache.Lock()
+	n := len(parseCache.files)
+	parseCache.Unlock()
+	if n > maxParseEntries {
+		t.Fatalf("cache grew to %d entries, bound is %d", n, maxParseEntries)
+	}
+}

@@ -142,15 +142,17 @@ type AnnotationFacts any
 
 // Function is a function definition (Blocks non-empty) or declaration.
 type Function struct {
-	Name     string
-	Sig      *ctypes.Func
-	Params   []*Param
-	Blocks   []*Block
-	Module   *Module
-	Pos      ctoken.Pos
-	IsDecl   bool // external declaration, no body
-	Facts    AnnotationFacts
-	nextName int
+	Name      string
+	Sig       *ctypes.Func
+	Params    []*Param
+	Blocks    []*Block
+	Module    *Module
+	Pos       ctoken.Pos
+	IsDecl    bool // external declaration, no body
+	Facts     AnnotationFacts
+	nextName  int
+	numValues int
+	numInstrs int
 }
 
 // Type implements Value (a function used as a callee operand).
@@ -248,13 +250,21 @@ type Instr interface {
 
 	setParent(*Block)
 	isTerminator() bool
+	setValueNum(int)
+	valueNum() int
+	setInstrIndex(int)
+	instrIndex() int
 }
 
-// instrBase provides shared bookkeeping for all instructions.
+// instrBase provides shared bookkeeping for all instructions. vnum and
+// iidx hold the dense numbering of NumberValues, offset by one so the
+// zero value means "unassigned" (-1).
 type instrBase struct {
 	parent *Block
 	pos    ctoken.Pos
 	id     int
+	vnum   int32
+	iidx   int32
 }
 
 func (i *instrBase) Parent() *Block        { return i.parent }
@@ -262,6 +272,10 @@ func (i *instrBase) setParent(b *Block)    { i.parent = b }
 func (i *instrBase) Pos() ctoken.Pos       { return i.pos }
 func (i *instrBase) isTerminator() bool    { return false }
 func (i *instrBase) SetPos(pos ctoken.Pos) { i.pos = pos }
+func (i *instrBase) setValueNum(n int)     { i.vnum = int32(n) + 1 }
+func (i *instrBase) valueNum() int         { return int(i.vnum) - 1 }
+func (i *instrBase) setInstrIndex(n int)   { i.iidx = int32(n) + 1 }
+func (i *instrBase) instrIndex() int       { return int(i.iidx) - 1 }
 
 // SetParentBlock sets the parent block; exported for passes that splice
 // instructions (e.g. inserting phis at a block's front) without Append.

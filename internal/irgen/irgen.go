@@ -52,6 +52,11 @@ func Build(name string, prog *csema.Program) *Result {
 		allocas: make(map[csema.Object]ir.Value),
 	}
 	g.run()
+	for _, f := range g.res.Module.Funcs {
+		if !f.IsDecl {
+			f.NumberValues()
+		}
+	}
 	return g.res
 }
 

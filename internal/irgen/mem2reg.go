@@ -20,6 +20,9 @@ func Promote(m *ir.Module) {
 	for _, f := range m.Funcs {
 		if !f.IsDecl {
 			promoteFunc(f)
+			// Phi insertion and load/store removal invalidate the dense
+			// numbering assigned at lowering time.
+			f.NumberValues()
 		}
 	}
 }

@@ -41,7 +41,11 @@ type RunMetrics struct {
 	UnitsSolved      int            `json:"units_solved"`
 	CacheHits        int            `json:"cache_hits"`
 	CacheMisses      int            `json:"cache_misses"`
-	PeakGoroutines   int            `json:"peak_goroutines"`
+	// Frontend parse-cache counters (omitted from JSON when zero so the
+	// schema stays backward compatible with v1 consumers).
+	FrontendCacheHits   int `json:"frontend_cache_hits,omitempty"`
+	FrontendCacheMisses int `json:"frontend_cache_misses,omitempty"`
+	PeakGoroutines      int `json:"peak_goroutines"`
 }
 
 // Canonicalize zeroes every execution-dependent field — wall times, the
@@ -63,6 +67,8 @@ func (m *RunMetrics) Canonicalize() {
 	m.UnitsSolved = 0
 	m.CacheHits = 0
 	m.CacheMisses = 0
+	m.FrontendCacheHits = 0
+	m.FrontendCacheMisses = 0
 	m.PeakGoroutines = 0
 }
 
@@ -121,6 +127,18 @@ func (c *Collector) SetPhase3(sccs, rounds, unitsSolved, cacheHits, cacheMisses 
 	c.m.UnitsSolved = unitsSolved
 	c.m.CacheHits = cacheHits
 	c.m.CacheMisses = cacheMisses
+	c.mu.Unlock()
+}
+
+// AddFrontendCache accumulates parse-cache hit/miss counts; translation
+// units report concurrently from the frontend worker pool.
+func (c *Collector) AddFrontendCache(hits, misses int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.m.FrontendCacheHits += hits
+	c.m.FrontendCacheMisses += misses
 	c.mu.Unlock()
 }
 

@@ -94,6 +94,9 @@ func (f Fact) Empty() bool { return len(f) == 0 }
 
 // clone copies the fact.
 func (f Fact) clone() Fact {
+	if len(f) == 0 {
+		return nil
+	}
 	out := make(Fact, len(f))
 	for r, iv := range f {
 		out[r] = iv
@@ -146,8 +149,9 @@ type Result struct {
 	// InitFuncs are the shminit-annotated functions (excluded from phases
 	// 2 and 3 per the paper).
 	InitFuncs map[*ir.Function]bool
-	// Facts maps, per defined non-init function, every value to its fact.
-	Facts map[*ir.Function]map[ir.Value]Fact
+	// Facts holds, per defined non-init function, the dense fact table of
+	// its last sparse solve (indexed by the function's value numbering).
+	Facts map[*ir.Function]dataflow.Facts[Fact]
 	// RetFacts holds the shm fact of each function's return value.
 	RetFacts map[*ir.Function]Fact
 	// Errors are annotation/malformation problems found during phase 1.
@@ -156,10 +160,7 @@ type Result struct {
 
 // FactOf returns the fact of v inside fn.
 func (r *Result) FactOf(fn *ir.Function, v ir.Value) Fact {
-	if m, ok := r.Facts[fn]; ok {
-		return m[v]
-	}
-	return nil
+	return r.Facts[fn].Get(v)
 }
 
 // IsShmPointer reports whether v may point into shared memory in fn.
@@ -172,7 +173,7 @@ func Analyze(m *ir.Module, cg *callgraph.Graph) *Result {
 	res := &Result{
 		RegionByName: make(map[string]*Region),
 		InitFuncs:    make(map[*ir.Function]bool),
-		Facts:        make(map[*ir.Function]map[ir.Value]Fact),
+		Facts:        make(map[*ir.Function]dataflow.Facts[Fact]),
 		RetFacts:     make(map[*ir.Function]Fact),
 	}
 	res.discoverRegions(m)
@@ -240,6 +241,9 @@ func (r *Result) discoverRegions(m *ir.Module) {
 func (r *Result) propagate(m *ir.Module, cg *callgraph.Graph) {
 	// Cross-function boundary facts.
 	paramFacts := make(map[*ir.Param]Fact)
+	// One solver per function, reused across the interprocedural rounds so
+	// the def-use index is built once and the fact buffers are recycled.
+	solvers := make(map[*ir.Function]*fnSolver)
 
 	dirty := make(map[*ir.Function]bool)
 	var queue []*ir.Function
@@ -263,7 +267,7 @@ func (r *Result) propagate(m *ir.Module, cg *callgraph.Graph) {
 		queue = queue[1:]
 		dirty[f] = false
 
-		retChanged, callArgs := r.solveFunction(f, paramFacts)
+		retChanged, callArgs := r.solveFunction(f, paramFacts, solvers)
 		if retChanged {
 			for _, caller := range cg.Callers[f] {
 				push(caller)
@@ -290,37 +294,43 @@ func (r *Result) propagate(m *ir.Module, cg *callgraph.Graph) {
 	}
 }
 
+// fnSolver is the per-function solve state reused across rounds.
+type fnSolver struct {
+	solver *dataflow.ValueSolver[Fact]
+	seeds  []dataflow.Seed[Fact]
+}
+
 // solveFunction runs the sparse solve for one function given current
-// parameter facts; it records the final fact map, returns whether the
+// parameter facts; it records the final fact table, returns whether the
 // function's return fact changed, and collects per-callee argument facts.
-func (r *Result) solveFunction(f *ir.Function, paramFacts map[*ir.Param]Fact) (retChanged bool, callArgs map[*ir.Function][]Fact) {
-	solver := &dataflow.ValueSolver[Fact]{
-		Fn:      f,
-		Lattice: lattice{},
-		Transfer: func(in ir.Instr, get func(ir.Value) Fact) (Fact, bool) {
-			return r.transfer(f, in, get)
-		},
+func (r *Result) solveFunction(f *ir.Function, paramFacts map[*ir.Param]Fact, solvers map[*ir.Function]*fnSolver) (retChanged bool, callArgs map[*ir.Function][]Fact) {
+	st := solvers[f]
+	if st == nil {
+		st = &fnSolver{solver: &dataflow.ValueSolver[Fact]{
+			Info:    dataflow.NewInfo(f),
+			Lattice: lattice{},
+			Transfer: func(in ir.Instr, get func(ir.Value) Fact) (Fact, bool) {
+				return r.transfer(f, in, get)
+			},
+		}}
+		solvers[f] = st
 	}
-	seeds := make(map[ir.Value]Fact)
+	st.seeds = st.seeds[:0]
 	for _, p := range f.Params {
 		if fact := paramFacts[p]; !fact.Empty() {
-			seeds[p] = fact
+			st.seeds = append(st.seeds, dataflow.Seed[Fact]{Val: p, Fact: fact})
 		}
 	}
-	final := solver.Solve(seeds)
-	// Merge the seeded parameter facts into the stored map so callers of
-	// FactOf see them (the solver returns instruction-derived facts plus
-	// seeds it was given).
-	for v, fact := range seeds {
-		final[v] = joinFacts(final[v], fact)
-	}
+	// The solver joins seeds into its fact table, so FactOf callers see the
+	// parameter facts too.
+	final := st.solver.Solve(st.seeds)
 	r.Facts[f] = final
 
 	// Return fact.
 	var ret Fact
 	for _, b := range f.Blocks {
 		if rt, ok := b.Term().(*ir.Ret); ok && rt.X != nil {
-			ret = joinFacts(ret, final[rt.X])
+			ret = joinFacts(ret, final.Get(rt.X))
 		}
 	}
 	if !equalFacts(ret, r.RetFacts[f]) {
@@ -342,7 +352,7 @@ func (r *Result) solveFunction(f *ir.Function, paramFacts map[*ir.Param]Fact) (r
 			}
 			for i, a := range call.Args {
 				if i < len(args) {
-					args[i] = joinFacts(args[i], final[a])
+					args[i] = joinFacts(args[i], final.Get(a))
 				}
 			}
 			callArgs[call.Callee] = args

@@ -104,9 +104,13 @@ func descOf(o *pointsto.Object) objDesc {
 	return d
 }
 
-func exportTaint(t Taint) pTaint {
-	out := pTaint{}
-	for s, k := range t.Sources {
+// exportTaint resolves the taint's interned source ids through srcList
+// (under srcMu) into the portable pointer-free form.
+func (a *analysis) exportTaint(t Taint) pTaint {
+	out := pTaint{params: paramsToMap(t.par)}
+	a.srcMu.Lock()
+	emit := func(id int, k Kind) {
+		s := a.srcList[id]
 		regionName := ""
 		if s.Region != nil {
 			regionName = s.Region.Name
@@ -116,23 +120,23 @@ func exportTaint(t Taint) pTaint {
 			k:   k,
 		})
 	}
-	if len(t.Params) > 0 {
-		out.params = cloneParams(t.Params)
-	}
+	t.src.data.forEach(func(id int) { emit(id, KindData) })
+	t.src.ctrl.forEach(func(id int) { emit(id, KindCtrl) })
+	a.srcMu.Unlock()
 	return out
 }
 
-func exportSummary(s summary) pSummary {
-	out := pSummary{ret: exportTaint(s.ret)}
+func (a *analysis) exportSummary(s summary) pSummary {
+	out := pSummary{ret: a.exportTaint(s.ret)}
 	for _, e := range s.effects {
 		out.effects = append(out.effects, pEffect{
 			ref:    pRef{obj: descOf(e.ref.Obj), off: e.ref.Off},
-			params: cloneParams(e.params),
+			params: paramsToMap(e.par),
 		})
 	}
 	for _, o := range s.asserts {
 		out.asserts = append(out.asserts, pObligation{
-			pos: o.pos, fnName: o.fnName, vbl: o.vbl, params: cloneParams(o.params),
+			pos: o.pos, fnName: o.fnName, vbl: o.vbl, params: paramsToMap(o.par),
 		})
 	}
 	return out
@@ -146,13 +150,13 @@ func (a *analysis) storeSummaryCache() {
 	}
 	mod := &cachedModule{units: make(map[string]pSummary, len(a.unitList))}
 	for _, u := range a.unitList {
-		mod.units[u.key] = exportSummary(u.sum)
+		mod.units[u.key] = a.exportSummary(u.sum)
 	}
 	a.mem.mu.RLock()
 	for ref, t := range a.mem.cells {
 		mod.cells = append(mod.cells, pCell{
 			ref:   pRef{obj: descOf(ref.Obj), off: ref.Off},
-			taint: exportTaint(t),
+			taint: a.exportTaint(t),
 		})
 	}
 	a.mem.mu.RUnlock()
@@ -200,16 +204,13 @@ func (b *binder) bindRef(r pRef) (pointsto.Ref, bool) {
 }
 
 func (b *binder) bindTaint(p pTaint) (Taint, bool) {
-	t := Taint{}
+	t := Taint{par: paramsFromMap(p.params)}
 	for _, st := range p.srcs {
 		s, ok := b.a.sourceFromKey(st.src)
 		if !ok {
 			return Taint{}, false
 		}
-		t.addSource(s, st.k)
-	}
-	if len(p.params) > 0 {
-		t.Params = cloneParams(p.params)
+		t.addSource(s.id, st.k)
 	}
 	return t, true
 }
@@ -236,8 +237,10 @@ func (a *analysis) sourceFromKey(p pSrc) (*Source, bool) {
 			Region:   region,
 			Detail:   p.key.detail,
 			Contexts: make(map[string]bool),
+			id:       len(a.srcList),
 		}
 		a.sources[p.key] = s
+		a.srcList = append(a.srcList, s)
 	}
 	return s, true
 }
@@ -254,11 +257,11 @@ func (b *binder) bindSummary(p pSummary) (summary, bool) {
 		if !ok {
 			return summary{}, false
 		}
-		s.effects = append(s.effects, effect{ref: ref, params: cloneParams(e.params)})
+		s.effects = append(s.effects, effect{ref: ref, par: paramsFromMap(e.params)})
 	}
 	for _, o := range p.asserts {
 		s.asserts = append(s.asserts, obligation{
-			pos: o.pos, fnName: o.fnName, vbl: o.vbl, params: cloneParams(o.params),
+			pos: o.pos, fnName: o.fnName, vbl: o.vbl, par: paramsFromMap(o.params),
 		})
 	}
 	return s, true

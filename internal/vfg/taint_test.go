@@ -1,0 +1,172 @@
+package vfg
+
+import (
+	"testing"
+)
+
+// ---------------------------------------------------------------------------
+// wordset spill behaviour (ids ≥ 64 leave the inline word)
+
+func TestWordsetSpill(t *testing.T) {
+	var w wordset
+	for _, id := range []int{0, 63, 64, 127, 128, 200} {
+		w = w.withBit(id)
+		if !w.has(id) {
+			t.Fatalf("withBit(%d) lost the bit", id)
+		}
+	}
+	if w.count() != 6 {
+		t.Fatalf("count = %d, want 6", w.count())
+	}
+	for _, id := range []int{1, 62, 65, 126, 129, 199, 201, 1000} {
+		if w.has(id) {
+			t.Errorf("has(%d) = true for non-member", id)
+		}
+	}
+
+	// forEach visits members in ascending order across the spill boundary.
+	var got []int
+	w.forEach(func(i int) { got = append(got, i) })
+	want := []int{0, 63, 64, 127, 128, 200}
+	if len(got) != len(want) {
+		t.Fatalf("forEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("forEach visited %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWordsetSpillJoinEqual(t *testing.T) {
+	a := wordset{}.withBit(3).withBit(70)
+	b := wordset{}.withBit(70).withBit(130)
+	u := wsUnion(a, b)
+	for _, id := range []int{3, 70, 130} {
+		if !u.has(id) {
+			t.Fatalf("union missing %d", id)
+		}
+	}
+	if !wsEqual(u, wsUnion(b, a)) {
+		t.Error("union not commutative")
+	}
+	if !wsEqual(wsUnion(u, a), u) {
+		t.Error("union not idempotent over a subset")
+	}
+
+	// Subtracting the high member must trim the hi slice so that
+	// structural equality remains set equality.
+	d := wsDiff(u, wordset{}.withBit(130))
+	if d.has(130) || !d.has(70) || !d.has(3) {
+		t.Fatalf("diff wrong members: %+v", d)
+	}
+	if !wsEqual(d, a) {
+		t.Errorf("diff not normalized: %+v vs %+v", d, a)
+	}
+	e := wsDiff(d, wordset{}.withBit(70))
+	if len(e.hi) != 0 {
+		t.Errorf("hi slice not trimmed after removing all spill members: %+v", e)
+	}
+	if !wsEqual(e, wordset{}.withBit(3)) {
+		t.Errorf("diff to inline-only set not equal: %+v", e)
+	}
+}
+
+func TestTaintSpilledSources(t *testing.T) {
+	var a, b Taint
+	a.addSource(10, KindData)
+	a.addSource(100, KindCtrl)
+	b.addSource(100, KindData) // data must dominate the ctrl grade in a
+	b.addParam(80, KindCtrl)
+
+	j := joinTaint(a, b)
+	if k := j.sourceKind(10); k != KindData {
+		t.Errorf("sourceKind(10) = %v, want data", k)
+	}
+	if k := j.sourceKind(100); k != KindData {
+		t.Errorf("sourceKind(100) = %v, want data (data dominates ctrl)", k)
+	}
+	if k := j.paramKind(80); k != KindCtrl {
+		t.Errorf("paramKind(80) = %v, want ctrl", k)
+	}
+
+	w := j.weaken(KindCtrl)
+	for _, id := range []int{10, 100} {
+		if k := w.sourceKind(id); k != KindCtrl {
+			t.Errorf("weakened sourceKind(%d) = %v, want ctrl", id, k)
+		}
+	}
+	if !equalTaint(joinTaint(j, j), j) {
+		t.Error("join not idempotent on spilled taint")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Allocation pins: the ≤64-id common case must stay allocation-free.
+
+func TestTaintJoinAllocFree(t *testing.T) {
+	var a, b Taint
+	a.addSource(1, KindData)
+	a.addSource(40, KindCtrl)
+	a.addParam(2, KindData)
+	b.addSource(40, KindData)
+	b.addParam(3, KindCtrl)
+	joined := joinTaint(a, b)
+
+	if n := testing.AllocsPerRun(100, func() {
+		_ = joinTaint(a, b)
+	}); n != 0 {
+		t.Errorf("joinTaint allocates %v times per run, want 0", n)
+	}
+	// The fixpoint case — joining a value already above the other — must
+	// share inputs, not rebuild.
+	if n := testing.AllocsPerRun(100, func() {
+		_ = joinTaint(joined, a)
+	}); n != 0 {
+		t.Errorf("fixpoint joinTaint allocates %v times per run, want 0", n)
+	}
+}
+
+func TestTaintAddWeakenAllocFree(t *testing.T) {
+	if n := testing.AllocsPerRun(100, func() {
+		var t Taint
+		t.addSource(7, KindData)
+		t.addSource(63, KindCtrl)
+		t.addParam(5, KindData)
+	}); n != 0 {
+		t.Errorf("addSource/addParam allocate %v times per run, want 0", n)
+	}
+
+	var base Taint
+	base.addSource(7, KindData)
+	base.addSource(63, KindCtrl)
+	base.addParam(5, KindData)
+	if n := testing.AllocsPerRun(100, func() {
+		_ = base.weaken(KindCtrl)
+	}); n != 0 {
+		t.Errorf("weaken allocates %v times per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		_ = base.sourcesOnly()
+	}); n != 0 {
+		t.Errorf("sourcesOnly allocates %v times per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		_ = equalTaint(base, base)
+	}); n != 0 {
+		t.Errorf("equalTaint allocates %v times per run, want 0", n)
+	}
+}
+
+// forEach with a non-capturing closure must not heap-allocate: the solver
+// and export paths iterate bitsets on every transfer.
+func TestWordsetForEachAllocFree(t *testing.T) {
+	w := wordset{}.withBit(1).withBit(17).withBit(63)
+	sink := 0
+	if n := testing.AllocsPerRun(100, func() {
+		w.forEach(func(i int) { sink += i })
+	}); n != 0 {
+		t.Errorf("forEach allocates %v times per run, want 0", n)
+	}
+	_ = sink
+}

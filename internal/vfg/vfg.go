@@ -95,8 +95,12 @@ func (e *ErrorDep) String() string {
 
 // SortedSources lists the error's sources in stable order.
 func (e *ErrorDep) SortedSources() []*Source {
-	t := Taint{Sources: e.Sources}
-	return t.SortedSources()
+	out := make([]*Source, 0, len(e.Sources))
+	for s := range e.Sources {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return sourceLess(out[i], out[j]) })
+	return out
 }
 
 // Result is the phase-3 output.
@@ -127,12 +131,12 @@ type Result struct {
 // Run executes the analysis.
 func Run(cfg Config) *Result {
 	a := &analysis{
-		cfg:      cfg,
-		units:    make(map[string]*unit),
-		sources:  make(map[srcKey]*Source),
-		errors:   make(map[string]*ErrorDep),
-		mem:      newMemStore(),
-		ctrlDeps: make(map[*ir.Function]map[*ir.Block][]cfgraph.ControlDep),
+		cfg:     cfg,
+		units:   make(map[string]*unit),
+		sources: make(map[srcKey]*Source),
+		errors:  make(map[string]*ErrorDep),
+		mem:     newMemStore(),
+		fnData:  make(map[*ir.Function]*fnData),
 	}
 	if cfg.Exponential {
 		// Exponential units are keyed by call path, so the closure is only
@@ -162,12 +166,12 @@ type obligation struct {
 	pos    ctoken.Pos
 	fnName string
 	vbl    string
-	params map[int]Kind
+	par    kindSet
 }
 
 type effect struct {
-	ref    pointsto.Ref
-	params map[int]Kind
+	ref pointsto.Ref
+	par kindSet
 }
 
 type summary struct {
@@ -177,11 +181,16 @@ type summary struct {
 }
 
 type unit struct {
-	key    string
-	fn     *ir.Function
-	ctx    Context
-	active Context // ctx extended with the function's own core facts
-	sum    summary
+	key       string
+	fn        *ir.Function
+	ctx       Context
+	active    Context // ctx extended with the function's own core facts
+	activeKey string  // active.Key(), precomputed (hot in sourceFor)
+	sum       summary
+	// calleeUnits memoizes getUnit lookups per callee in summary mode (the
+	// (callee → unit) binding is fixed for the life of the unit). Units of
+	// one function solve sequentially, so no lock is needed.
+	calleeUnits map[*ir.Function]*unit
 	// noncoreParams are parameter names annotated noncore (socket
 	// descriptors, §3.4.3); coreLocals are names of local buffers assumed
 	// core by assume(core(...)) that did not resolve to a region.
@@ -196,16 +205,19 @@ type analysis struct {
 	units    map[string]*unit
 	unitList []*unit
 
-	srcMu   sync.Mutex // guards sources (and each Source's Contexts)
+	srcMu   sync.Mutex // guards sources, srcList (and each Source's Contexts)
 	sources map[srcKey]*Source
+	// srcList is the interning table: srcList[s.id] == s. Reads of taint
+	// ids resolve through it (cold paths only), always under srcMu.
+	srcList []*Source
 
 	errMu  sync.Mutex // guards errors
 	errors map[string]*ErrorDep
 
 	mem *memStore
 
-	ctrlMu   sync.Mutex // guards ctrlDeps
-	ctrlDeps map[*ir.Function]map[*ir.Block][]cfgraph.ControlDep
+	fnMu   sync.Mutex // guards fnData
+	fnData map[*ir.Function]*fnData
 
 	intMu    sync.Mutex // guards internal
 	internal []error
@@ -289,6 +301,7 @@ func (a *analysis) getUnit(fn *ir.Function, ctx Context, callPath string) *unit 
 		coreLocals:    make(map[string]bool),
 	}
 	u.active = ctx.with(a.resolveCoreFacts(fn, u))
+	u.activeKey = u.active.Key()
 	a.units[key] = u
 	a.unitList = append(a.unitList, u)
 	a.mu.Unlock()
@@ -342,14 +355,59 @@ func paramByName(fn *ir.Function, name string) *ir.Param {
 	return nil
 }
 
-func (a *analysis) controlDepsOf(fn *ir.Function) map[*ir.Block][]cfgraph.ControlDep {
-	a.ctrlMu.Lock()
-	defer a.ctrlMu.Unlock()
-	if d, ok := a.ctrlDeps[fn]; ok {
+// fnData is the per-function solver state shared by every unit of the
+// function: control-dependence edges, the dense def-use index with the
+// control edges declared as extra uses, one reusable solver, and the
+// parameter seed facts (identical for every unit of the function). All
+// units of one function belong to the same callgraph SCC and therefore
+// solve sequentially, so sharing a single solver is race-free.
+type fnData struct {
+	deps   map[*ir.Block][]cfgraph.ControlDep
+	solver *dataflow.ValueSolver[Taint]
+	seeds  []dataflow.Seed[Taint]
+}
+
+func (a *analysis) fnDataOf(fn *ir.Function) *fnData {
+	a.fnMu.Lock()
+	defer a.fnMu.Unlock()
+	if d, ok := a.fnData[fn]; ok {
 		return d
 	}
-	d := cfgraph.ControlDeps(fn)
-	a.ctrlDeps[fn] = d
+	d := &fnData{deps: cfgraph.ControlDeps(fn)}
+	info := dataflow.NewInfo(fn)
+
+	// Control-dependence edges are not operands, so the solver needs them
+	// declared explicitly: a phi (or a call result) must be re-evaluated
+	// when the taint of a controlling branch condition changes.
+	extra := make([][]int32, info.NumValues)
+	addCtrlUses := func(in ir.Instr, b *ir.Block) {
+		ii := int32(ir.InstrIndex(in))
+		for _, dep := range d.deps[b] {
+			if n := ir.ValueNum(dep.Cond); n >= 0 && n < len(extra) {
+				extra[n] = append(extra[n], ii)
+			}
+		}
+	}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			switch x := in.(type) {
+			case *ir.Phi:
+				addCtrlUses(x, b)
+				for _, e := range x.Edges {
+					addCtrlUses(x, e.Pred)
+				}
+			case *ir.Call:
+				addCtrlUses(x, b)
+			}
+		}
+	}
+	d.solver = &dataflow.ValueSolver[Taint]{Info: info, Lattice: taintLattice{}, ExtraUses: extra}
+	for i, p := range fn.Params {
+		var t Taint
+		t.addParam(i, KindData)
+		d.seeds = append(d.seeds, dataflow.Seed[Taint]{Val: p, Fact: t})
+	}
+	a.fnData[fn] = d
 	return d
 }
 
@@ -370,8 +428,10 @@ func (a *analysis) sourceFor(in ir.Instr, region *shmflow.Region, fn *ir.Functio
 			Region:   region,
 			Detail:   detail,
 			Contexts: make(map[string]bool),
+			id:       len(a.srcList),
 		}
 		a.sources[k] = s
+		a.srcList = append(a.srcList, s)
 	}
 	s.Contexts[ctxKey] = true
 	return s
@@ -387,62 +447,25 @@ const maxInnerRounds = 20
 // summary changed (the per-SCC convergence signal for the scheduler).
 func (a *analysis) solveUnit(u *unit) bool {
 	a.solves.Add(1)
-	fn := u.fn
-	deps := a.controlDepsOf(fn)
+	fd := a.fnDataOf(u.fn)
 
 	// Local memory overlay: cells written in this unit, with full taints
 	// (including symbolic parameter deps visible to later loads here).
 	local := newMemStore()
-	var facts map[ir.Value]Taint
 	newSum := summary{}
 
-	// Control-dependence edges are not operands, so the solver needs them
-	// declared explicitly: a phi (or a call result) must be re-evaluated
-	// when the taint of a controlling branch condition changes.
-	extraUses := make(map[ir.Value][]ir.Instr)
-	addCtrlUses := func(in ir.Instr, b *ir.Block) {
-		for _, d := range deps[b] {
-			extraUses[d.Cond] = append(extraUses[d.Cond], in)
-		}
+	fd.solver.Transfer = func(in ir.Instr, get func(ir.Value) Taint) (Taint, bool) {
+		return a.transfer(u, in, get, local, fd.deps)
 	}
-	for _, b := range fn.Blocks {
-		for _, in := range b.Instrs {
-			switch x := in.(type) {
-			case *ir.Phi:
-				addCtrlUses(x, b)
-				for _, e := range x.Edges {
-					addCtrlUses(x, e.Pred)
-				}
-			case *ir.Call:
-				addCtrlUses(x, b)
-			}
-		}
-	}
-
 	for inner := 0; inner < maxInnerRounds; inner++ {
-		solver := &dataflow.ValueSolver[Taint]{
-			Fn:      fn,
-			Lattice: taintLattice{},
-			Transfer: func(in ir.Instr, get func(ir.Value) Taint) (Taint, bool) {
-				return a.transfer(u, in, get, local, deps)
-			},
-			ExtraUses: extraUses,
-		}
-		seeds := make(map[ir.Value]Taint)
-		for i, p := range fn.Params {
-			seeds[p] = Taint{Params: map[int]Kind{i: KindData}}
-		}
-		facts = solver.Solve(seeds)
-		for v, t := range seeds {
-			facts[v] = joinTaint(facts[v], t)
-		}
-
-		memChanged := a.applyEffectsPass(u, facts, local, deps, &newSum)
+		facts := fd.solver.Solve(fd.seeds)
+		memChanged := a.applyEffectsPass(u, facts, local, fd.deps, &newSum)
 		if !memChanged {
 			break
 		}
 		newSum = summary{} // recollected next pass with the updated memory
 	}
+	fd.solver.Transfer = nil // drop the closure's unit/overlay references
 
 	if !summaryEqual(u.sum, newSum) {
 		u.sum = newSum
@@ -457,13 +480,13 @@ func (a *analysis) transfer(u *unit, in ir.Instr, get func(ir.Value) Taint, loca
 	fn := u.fn
 	switch x := in.(type) {
 	case *ir.Load:
-		t := get(x.Addr).clone() // a tainted address taints the loaded value
+		t := get(x.Addr) // a tainted address taints the loaded value
 		fact := a.cfg.SF.FactOf(fn, x.Addr)
 		if !fact.Empty() {
 			for region, iv := range fact {
 				if region.NonCore && !u.active.covers(region, iv, x.Type().Size()) {
-					src := a.sourceFor(x, region, fn, SrcUnmonitoredRead, iv.String(), u.active.Key())
-					t.addSource(src, KindData)
+					src := a.sourceFor(x, region, fn, SrcUnmonitoredRead, iv.String(), u.activeKey)
+					t.addSource(src.id, KindData)
 				}
 			}
 			return t, true
@@ -489,9 +512,9 @@ func (a *analysis) transfer(u *unit, in ir.Instr, get func(ir.Value) Taint, loca
 	case *ir.Cmp:
 		return joinTaint(get(x.X), get(x.Y)), true
 	case *ir.Cast:
-		return get(x.X).clone(), true
+		return get(x.X), true
 	case *ir.GEP:
-		t := get(x.Base).clone()
+		t := get(x.Base)
 		for _, ix := range x.Indices {
 			if ix.Index != nil {
 				t = joinTaint(t, get(ix.Index))
@@ -518,9 +541,9 @@ func (a *analysis) transferCall(u *unit, call *ir.Call, get func(ir.Value) Taint
 			if len(call.Args) > 1 && a.bufferAssumedCore(u, call.Args[1]) {
 				return Taint{}, true
 			}
-			src := a.sourceFor(call, nil, u.fn, SrcNonCoreRecv, callee.Name+" on noncore descriptor", u.active.Key())
+			src := a.sourceFor(call, nil, u.fn, SrcNonCoreRecv, callee.Name+" on noncore descriptor", u.activeKey)
 			t := Taint{}
-			t.addSource(src, KindData)
+			t.addSource(src.id, KindData)
 			return t, true
 		}
 		return Taint{}, true
@@ -533,27 +556,43 @@ func (a *analysis) transferCall(u *unit, call *ir.Call, get func(ir.Value) Taint
 		}
 		return t, true
 	default:
-		s := a.getUnit(callee, u.active, u.key+"@"+call.Pos().String()).sum
-		t := Taint{Sources: cloneSources(s.ret.Sources)}
-		for i, k := range s.ret.Params {
+		s := a.calleeUnit(u, call).sum
+		t := s.ret.sourcesOnly()
+		// Instantiate the summary's symbolic parameter deps with the actual
+		// argument taints (data edges keep the argument's kinds; control
+		// edges weaken them).
+		s.ret.par.data.forEach(func(i int) {
 			if i < len(call.Args) {
-				t = joinTaint(t, get(call.Args[i]).weaken(k))
+				t = joinTaint(t, get(call.Args[i]))
 			}
-		}
+		})
+		s.ret.par.ctrl.forEach(func(i int) {
+			if i < len(call.Args) {
+				t = joinTaint(t, get(call.Args[i]).weaken(KindCtrl))
+			}
+		})
 		t = joinTaint(t, a.blockCtrlTaint(call.Parent(), get, deps))
 		return t, true
 	}
 }
 
-func cloneSources(m map[*Source]Kind) map[*Source]Kind {
-	if len(m) == 0 {
-		return nil
+// calleeUnit resolves the analysis unit a call from u enters. In summary
+// mode the binding is memoized per unit, keeping the string-keyed getUnit
+// lookup off the transfer hot path; in exponential mode every call path
+// is its own unit, so the path key is built here.
+func (a *analysis) calleeUnit(u *unit, call *ir.Call) *unit {
+	if a.cfg.Exponential {
+		return a.getUnit(call.Callee, u.active, u.key+"@"+call.Pos().String())
 	}
-	out := make(map[*Source]Kind, len(m))
-	for s, k := range m {
-		out[s] = k
+	if cu, ok := u.calleeUnits[call.Callee]; ok {
+		return cu
 	}
-	return out
+	cu := a.getUnit(call.Callee, u.active, "")
+	if u.calleeUnits == nil {
+		u.calleeUnits = make(map[*ir.Function]*unit)
+	}
+	u.calleeUnits[call.Callee] = cu
+	return cu
 }
 
 // isNonCoreDescriptor reports whether the descriptor value traces to a
@@ -585,9 +624,9 @@ func (a *analysis) blockCtrlTaint(b *ir.Block, get func(ir.Value) Taint, deps ma
 // solved value taints, updating memories, errors and the new summary.
 // It reports whether the local memory overlay changed (requiring another
 // inner round).
-func (a *analysis) applyEffectsPass(u *unit, facts map[ir.Value]Taint, local *memStore, deps map[*ir.Block][]cfgraph.ControlDep, sum *summary) bool {
+func (a *analysis) applyEffectsPass(u *unit, facts dataflow.Facts[Taint], local *memStore, deps map[*ir.Block][]cfgraph.ControlDep, sum *summary) bool {
 	fn := u.fn
-	get := func(v ir.Value) Taint { return facts[v] }
+	get := facts.Get
 	localChanged := false
 
 	for _, b := range fn.Blocks {
@@ -606,11 +645,11 @@ func (a *analysis) applyEffectsPass(u *unit, facts map[ir.Value]Taint, local *me
 					if local.write(ref, t) {
 						localChanged = true
 					}
-					if a.mem.write(ref, Taint{Sources: t.Sources}) {
+					if a.mem.write(ref, t.sourcesOnly()) {
 						a.changed.Store(true)
 					}
-					if len(t.Params) > 0 {
-						sum.effects = append(sum.effects, effect{ref: ref, params: cloneParams(t.Params)})
+					if t.hasParams() {
+						sum.effects = append(sum.effects, effect{ref: ref, par: t.par})
 					}
 				}
 			case *ir.Call:
@@ -639,11 +678,11 @@ func (a *analysis) applyCallEffects(u *unit, call *ir.Call, get func(ir.Value) T
 		t := get(call.Args[0])
 		vbl := a.cfg.AssertVars[call]
 		if t.HasSources() {
-			a.recordError(call.Pos(), u.fn.Name, vbl, t.Sources)
+			a.recordError(call.Pos(), u.fn.Name, vbl, t)
 		}
-		if len(t.Params) > 0 {
+		if t.hasParams() {
 			sum.asserts = append(sum.asserts, obligation{
-				pos: call.Pos(), fnName: u.fn.Name, vbl: vbl, params: cloneParams(t.Params),
+				pos: call.Pos(), fnName: u.fn.Name, vbl: vbl, par: t.par,
 			})
 		}
 		return false
@@ -654,11 +693,11 @@ func (a *analysis) applyCallEffects(u *unit, call *ir.Call, get func(ir.Value) T
 		// the argument's value taint.
 		t := joinTaint(get(call.Args[0]), ctrl)
 		if t.HasSources() {
-			a.recordError(call.Pos(), u.fn.Name, "kill.pid", t.Sources)
+			a.recordError(call.Pos(), u.fn.Name, "kill.pid", t)
 		}
-		if len(t.Params) > 0 {
+		if t.hasParams() {
 			sum.asserts = append(sum.asserts, obligation{
-				pos: call.Pos(), fnName: u.fn.Name, vbl: "kill.pid", params: cloneParams(t.Params),
+				pos: call.Pos(), fnName: u.fn.Name, vbl: "kill.pid", par: t.par,
 			})
 		}
 		return false
@@ -668,9 +707,9 @@ func (a *analysis) applyCallEffects(u *unit, call *ir.Call, get func(ir.Value) T
 		if a.bufferAssumedCore(u, call.Args[1]) {
 			return false
 		}
-		src := a.sourceFor(call, nil, u.fn, SrcNonCoreRecv, callee.Name+" buffer", u.active.Key())
+		src := a.sourceFor(call, nil, u.fn, SrcNonCoreRecv, callee.Name+" buffer", u.activeKey)
 		t := Taint{}
-		t.addSource(src, KindData)
+		t.addSource(src.id, KindData)
 		for _, ref := range a.cfg.PTS.PointsTo(call.Args[1]) {
 			if local.write(ref, t) {
 				localChanged = true
@@ -685,39 +724,44 @@ func (a *analysis) applyCallEffects(u *unit, call *ir.Call, get func(ir.Value) T
 	}
 
 	// Defined callee: instantiate its summary's effects and obligations.
-	s := a.getUnit(callee, u.active, u.key+"@"+call.Pos().String()).sum
-	resolve := func(params map[int]Kind) Taint {
+	s := a.calleeUnit(u, call).sum
+	resolve := func(par kindSet) Taint {
 		t := Taint{}
-		for i, k := range params {
+		par.data.forEach(func(i int) {
 			if i < len(call.Args) {
-				t = joinTaint(t, get(call.Args[i]).weaken(k))
+				t = joinTaint(t, get(call.Args[i]))
 			}
-		}
+		})
+		par.ctrl.forEach(func(i int) {
+			if i < len(call.Args) {
+				t = joinTaint(t, get(call.Args[i]).weaken(KindCtrl))
+			}
+		})
 		return joinTaint(t, ctrl)
 	}
 	for _, eff := range s.effects {
-		t := resolve(eff.params)
+		t := resolve(eff.par)
 		if t.Empty() {
 			continue
 		}
 		if local.write(eff.ref, t) {
 			localChanged = true
 		}
-		if a.mem.write(eff.ref, Taint{Sources: t.Sources}) {
+		if a.mem.write(eff.ref, t.sourcesOnly()) {
 			a.changed.Store(true)
 		}
-		if len(t.Params) > 0 {
-			sum.effects = append(sum.effects, effect{ref: eff.ref, params: cloneParams(t.Params)})
+		if t.hasParams() {
+			sum.effects = append(sum.effects, effect{ref: eff.ref, par: t.par})
 		}
 	}
 	for _, ob := range s.asserts {
-		t := resolve(ob.params)
+		t := resolve(ob.par)
 		if t.HasSources() {
-			a.recordError(ob.pos, ob.fnName, ob.vbl, t.Sources)
+			a.recordError(ob.pos, ob.fnName, ob.vbl, t)
 		}
-		if len(t.Params) > 0 {
+		if t.hasParams() {
 			sum.asserts = append(sum.asserts, obligation{
-				pos: ob.pos, fnName: ob.fnName, vbl: ob.vbl, params: cloneParams(t.Params),
+				pos: ob.pos, fnName: ob.fnName, vbl: ob.vbl, par: t.par,
 			})
 		}
 	}
@@ -741,18 +785,20 @@ func (a *analysis) bufferAssumedCore(u *unit, buf ir.Value) bool {
 	return false
 }
 
-func cloneParams(m map[int]Kind) map[int]Kind {
-	if len(m) == 0 {
-		return nil
+// recordError merges the taint's concrete sources into the error keyed by
+// (position, variable). Ids resolve through srcList first (srcMu), then
+// the error map is updated (errMu) — the lock order every path uses.
+func (a *analysis) recordError(pos ctoken.Pos, fnName, vbl string, t Taint) {
+	type srcKind struct {
+		s *Source
+		k Kind
 	}
-	out := make(map[int]Kind, len(m))
-	for i, k := range m {
-		out[i] = k
-	}
-	return out
-}
+	resolved := make([]srcKind, 0, t.src.count())
+	a.srcMu.Lock()
+	t.src.data.forEach(func(id int) { resolved = append(resolved, srcKind{a.srcList[id], KindData}) })
+	t.src.ctrl.forEach(func(id int) { resolved = append(resolved, srcKind{a.srcList[id], KindCtrl}) })
+	a.srcMu.Unlock()
 
-func (a *analysis) recordError(pos ctoken.Pos, fnName, vbl string, sources map[*Source]Kind) {
 	key := pos.String() + "|" + vbl
 	a.errMu.Lock()
 	defer a.errMu.Unlock()
@@ -761,9 +807,9 @@ func (a *analysis) recordError(pos ctoken.Pos, fnName, vbl string, sources map[*
 		e = &ErrorDep{Pos: pos, FnName: fnName, Var: vbl, Sources: make(map[*Source]Kind)}
 		a.errors[key] = e
 	}
-	for s, k := range sources {
-		if e.Sources[s] < k {
-			e.Sources[s] = k
+	for _, r := range resolved {
+		if e.Sources[r.s] < r.k {
+			e.Sources[r.s] = r.k
 		}
 	}
 }
@@ -779,7 +825,7 @@ func summaryEqual(a, b summary) bool {
 		return false
 	}
 	effKey := func(e effect) string {
-		return fmt.Sprintf("%v|%v", e.ref, paramsKey(e.params))
+		return fmt.Sprintf("%v|%v", e.ref, paramsKey(e.par))
 	}
 	ae, be := make(map[string]bool), make(map[string]bool)
 	for _, e := range a.effects {
@@ -797,7 +843,7 @@ func summaryEqual(a, b summary) bool {
 		}
 	}
 	obKey := func(o obligation) string {
-		return o.pos.String() + "|" + o.vbl + "|" + paramsKey(o.params)
+		return o.pos.String() + "|" + o.vbl + "|" + paramsKey(o.par)
 	}
 	ao, bo := make(map[string]bool), make(map[string]bool)
 	for _, o := range a.asserts {
@@ -815,19 +861,6 @@ func summaryEqual(a, b summary) bool {
 		}
 	}
 	return true
-}
-
-func paramsKey(m map[int]Kind) string {
-	idxs := make([]int, 0, len(m))
-	for i := range m {
-		idxs = append(idxs, i)
-	}
-	sort.Ints(idxs)
-	var sb strings.Builder
-	for _, i := range idxs {
-		fmt.Fprintf(&sb, "%d:%d,", i, m[i])
-	}
-	return sb.String()
 }
 
 // ---------------------------------------------------------------------------
@@ -912,7 +945,11 @@ func (a *analysis) finish() *Result {
 	}
 	sort.Slice(res.Warnings, func(i, j int) bool { return sourceLess(res.Warnings[i], res.Warnings[j]) })
 	for _, e := range a.errors {
-		e.ControlOnly = Taint{Sources: e.Sources}.MaxSourceKind() == KindCtrl
+		strongest := KindNone
+		for _, k := range e.Sources {
+			strongest = maxKind(strongest, k)
+		}
+		e.ControlOnly = strongest == KindCtrl
 		res.Errors = append(res.Errors, e)
 	}
 	// (file, line, col, name): a total order, so parallel and sequential

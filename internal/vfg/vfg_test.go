@@ -450,25 +450,25 @@ int main()
 }
 
 func TestTaintKindOrdering(t *testing.T) {
-	if maxKind(KindCtrl, KindData) != KindData || minKind(KindCtrl, KindData) != KindCtrl {
+	if maxKind(KindCtrl, KindData) != KindData {
 		t.Error("kind ordering broken")
 	}
 	tnt := Taint{}
-	src := &Source{}
-	tnt.addSource(src, KindCtrl)
-	if tnt.MaxSourceKind() != KindCtrl {
-		t.Error("max kind after ctrl add")
+	const id = 3
+	tnt.addSource(id, KindCtrl)
+	if tnt.sourceKind(id) != KindCtrl {
+		t.Error("kind after ctrl add")
 	}
-	tnt.addSource(src, KindData)
-	if tnt.MaxSourceKind() != KindData {
+	tnt.addSource(id, KindData)
+	if tnt.sourceKind(id) != KindData {
 		t.Error("upgrade to data failed")
 	}
-	tnt.addSource(src, KindCtrl) // downgrade must not happen
-	if tnt.Sources[src] != KindData {
+	tnt.addSource(id, KindCtrl) // downgrade must not happen
+	if tnt.sourceKind(id) != KindData {
 		t.Error("downgrade happened")
 	}
 	w := tnt.weaken(KindCtrl)
-	if w.Sources[src] != KindCtrl {
+	if w.sourceKind(id) != KindCtrl {
 		t.Error("weaken failed")
 	}
 }
