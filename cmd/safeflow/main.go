@@ -16,14 +16,24 @@
 //	-quiet         print only the summary line
 //	-stats         collect run metrics; printed after text reports,
 //	               embedded under "metrics" in JSON reports
+//	-strict        fail-stop on the first front-end error instead of
+//	               skipping the failing translation unit
 //	-timeout d     abort the analysis after d (e.g. 30s); exit status 2
 //	-workers n     pipeline worker goroutines (0 = GOMAXPROCS)
 //	-cpuprofile f  write a pprof CPU profile of the run to f
 //	-trace f       write a runtime execution trace of the run to f
 //
+// By default the front end recovers from per-unit failures: a translation
+// unit that fails to preprocess, lex, parse, or type-check is skipped and
+// reported as a diagnostic, and the surviving units are still analyzed
+// (calls into skipped definitions are treated conservatively). -strict
+// restores fail-stop behavior.
+//
 // Exit status: 0 when the system is clean, 1 when any warning, error
 // dependency, or restriction violation is reported, 2 on usage or
-// compilation errors (including a -timeout expiry).
+// compilation errors (including a -timeout expiry), 3 when the analysis
+// is degraded — one or more translation units were skipped, so the
+// verdict covers only the surviving units.
 package main
 
 import (
@@ -64,6 +74,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		format      = fs.String("format", "text", "output format: text or json")
 		corpusName  = fs.String("corpus", "", "analyze an embedded evaluation system: IP, \"Generic Simplex\", or \"Double IP\"")
 		stats       = fs.Bool("stats", false, "collect and print run metrics")
+		strict      = fs.Bool("strict", false, "fail-stop on the first front-end error instead of skipping the unit")
 		timeout     = fs.Duration("timeout", 0, "abort the analysis after this duration (0 = no limit)")
 		workers     = fs.Int("workers", 0, "pipeline worker goroutines (0 = GOMAXPROCS)")
 		cpuprofile  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -85,7 +96,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "safeflow: unknown format %q\n", *format)
 		return 2
 	}
-	opts := safeflow.Options{Exponential: *exponential, Roots: roots, Stats: *stats, Workers: *workers}
+	opts := safeflow.Options{
+		Exponential: *exponential, Roots: roots, Stats: *stats, Workers: *workers,
+		Recover: !*strict,
+	}
 	switch *aliasMode {
 	case "subset":
 		opts.PointsTo = safeflow.ModeSubset
@@ -169,7 +183,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		safeflow.WriteReport(stdout, rep)
 		report.WriteStats(stdout, rep.Metrics)
 	}
-	if rep.Clean() {
+	switch {
+	case rep.Degraded:
+		return 3
+	case rep.Clean():
 		return 0
 	}
 	return 1

@@ -145,3 +145,41 @@ func TestCLICorpus(t *testing.T) {
 		t.Errorf("unknown corpus exit = %d, want 2", code)
 	}
 }
+
+// A broken translation unit is skipped rather than fatal: the run still
+// produces a report for the surviving units and exits 3 (degraded).
+func TestCLIDegradedExitThree(t *testing.T) {
+	dir := writeTemp(t, "core.c", defective)
+	if err := os.WriteFile(filepath.Join(dir, "broken.c"), []byte("int oops( {\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	code := run([]string{"-name", "sys", dir}, &out, &errOut)
+	if code != 3 {
+		t.Fatalf("exit = %d, want 3 (stderr: %s)\n%s", code, errOut.String(), out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "Degraded analysis") || !strings.Contains(text, "broken.c") {
+		t.Errorf("report missing degraded section:\n%s", text)
+	}
+	if !strings.Contains(text, "Error dependencies (1)") {
+		t.Errorf("surviving unit verdicts missing:\n%s", text)
+	}
+}
+
+// -strict restores the fail-stop behavior: the same broken unit aborts
+// the run with exit 2 and no report.
+func TestCLIStrictFailStop(t *testing.T) {
+	dir := writeTemp(t, "core.c", defective)
+	if err := os.WriteFile(filepath.Join(dir, "broken.c"), []byte("int oops( {\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	code := run([]string{"-strict", dir}, &out, &errOut)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2\n%s", code, out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("strict run printed a report:\n%s", out.String())
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"safeflow/internal/callgraph"
 	"safeflow/internal/cpp"
+	"safeflow/internal/diag"
 	"safeflow/internal/frontend"
 	"safeflow/internal/guard"
 	"safeflow/internal/ir"
@@ -99,6 +100,15 @@ type Options struct {
 	// counters, cache hit rates, peak goroutines) into Report.Metrics,
 	// which the JSON report embeds under its versioned "metrics" key.
 	Stats bool
+	// Recover enables graceful degradation: translation units that fail
+	// to preprocess, lex, parse, or type-check are skipped with
+	// structured diagnostics (Report.Diagnostics) instead of failing the
+	// whole analysis, calls into their definitions are treated as
+	// unknown-taint sources, and the report is marked Degraded (never
+	// Clean). Off by default: the zero Options preserve the fail-stop
+	// behavior library callers rely on; the safeflow CLI enables it
+	// unless -strict is given.
+	Recover bool
 }
 
 // Report is the complete analysis output for one system.
@@ -126,6 +136,16 @@ type Report struct {
 	// report with internal errors is never Clean: the crashed phase's
 	// results may be partial, everything else is complete.
 	Internal []error
+	// Diagnostics are the structured front-end failures of a recovering
+	// run (Options.Recover): one entry per lex/parse/typecheck/lower
+	// error, attributed to the translation unit that was skipped because
+	// of it. Sorted by (unit, phase, position, message).
+	Diagnostics []diag.Diagnostic
+	// Degraded marks a run in which one or more translation units were
+	// skipped: the verdicts cover only the surviving units (with calls
+	// into skipped definitions treated conservatively), so the report
+	// never claims Clean.
+	Degraded bool
 	// Metrics is the run's instrumentation snapshot (Options.Stats);
 	// nil when stats collection was off.
 	Metrics *metrics.RunMetrics
@@ -142,10 +162,12 @@ type Report struct {
 // TotalErrors returns all reported error dependencies (data + control).
 func (r *Report) TotalErrors() int { return len(r.ErrorsData) + len(r.ErrorsControlOnly) }
 
-// Clean reports whether the analysis found nothing to flag.
+// Clean reports whether the analysis found nothing to flag. A degraded
+// run is never clean: skipped units mean the verdict is incomplete.
 func (r *Report) Clean() bool {
 	return len(r.AnnotationErrors) == 0 && len(r.Violations) == 0 &&
-		len(r.Warnings) == 0 && r.TotalErrors() == 0 && len(r.Internal) == 0
+		len(r.Warnings) == 0 && r.TotalErrors() == 0 && len(r.Internal) == 0 &&
+		!r.Degraded && len(r.Diagnostics) == 0
 }
 
 // AnalyzeSources compiles and analyzes the translation units named by
@@ -167,17 +189,30 @@ func AnalyzeSourcesContext(ctx context.Context, name string, sources cpp.Source,
 		col.SetTranslationUnits(len(cFiles))
 	}
 
-	var res *irgen.Result
+	var (
+		res     *irgen.Result
+		diags   []diag.Diagnostic
+		missing map[string]bool
+	)
+	fopts := frontend.Options{
+		Defines:           opts.Defines,
+		Workers:           opts.Workers,
+		DisableParseCache: opts.DisableParseCache,
+		Metrics:           col,
+	}
 	done := col.Phase("frontend")
 	err := guard.Run("frontend", name, func() error {
 		firePhaseHook("frontend", name)
+		if opts.Recover {
+			rr, cerr := frontend.CompileRecoverContext(ctx, name, sources, cFiles, fopts)
+			if cerr != nil {
+				return cerr
+			}
+			res, diags, missing = rr.Res, rr.Diags, rr.MissingDefs
+			return nil
+		}
 		var cerr error
-		res, cerr = frontend.CompileContext(ctx, name, sources, cFiles, frontend.Options{
-			Defines:           opts.Defines,
-			Workers:           opts.Workers,
-			DisableParseCache: opts.DisableParseCache,
-			Metrics:           col,
-		})
+		res, cerr = frontend.CompileContext(ctx, name, sources, cFiles, fopts)
 		return cerr
 	})
 	done()
@@ -195,13 +230,23 @@ func AnalyzeSourcesContext(ctx context.Context, name string, sources cpp.Source,
 		}
 		return nil, fmt.Errorf("safeflow: %w", err)
 	}
+	degraded := len(diags) > 0
+	if degraded {
+		// A degraded module must never publish to (or seed from) the
+		// summary cache: its fingerprint describes the full source set,
+		// not the surviving subset.
+		opts.DisableCache = true
+		opts.CacheKey = ""
+	}
 	if opts.CacheKey == "" && !opts.DisableCache {
 		opts.CacheKey = fingerprintSources(name, sources, cFiles, opts)
 	}
-	rep, err := analyzeModule(ctx, name, res, opts, col)
+	rep, err := analyzeModuleWith(ctx, name, res, opts, col, missing)
 	if err != nil {
 		return nil, err
 	}
+	rep.Diagnostics = diags
+	rep.Degraded = degraded
 	rep.LinesOfCode, rep.AnnotationLines = countSourceStats(sources, cFiles)
 	rep.Metrics = col.Finish()
 	return rep, nil
@@ -214,19 +259,21 @@ func AnalyzeString(name, src string, opts Options) (*Report, error) {
 
 // AnalyzeModule runs phases 1–3 on an already-compiled module.
 func AnalyzeModule(name string, res *irgen.Result, opts Options) *Report {
-	rep, _ := analyzeModule(context.Background(), name, res, opts, nil)
+	rep, _ := analyzeModuleWith(context.Background(), name, res, opts, nil, nil)
 	return rep
 }
 
 // AnalyzeModuleContext is AnalyzeModule with cancellation; it returns
 // ctx.Err() when the run was cancelled between phases or analysis units.
 func AnalyzeModuleContext(ctx context.Context, name string, res *irgen.Result, opts Options) (*Report, error) {
-	return analyzeModule(ctx, name, res, opts, nil)
+	return analyzeModuleWith(ctx, name, res, opts, nil, nil)
 }
 
-// analyzeModule drives phases 1–3, each wrapped in panic isolation and
-// separated by cancellation checks; col (may be nil) collects metrics.
-func analyzeModule(ctx context.Context, name string, res *irgen.Result, opts Options, col *metrics.Collector) (*Report, error) {
+// analyzeModuleWith drives phases 1–3, each wrapped in panic isolation
+// and separated by cancellation checks; col (may be nil) collects
+// metrics, and missing (may be nil) names the functions whose defining
+// units the recovering front end skipped.
+func analyzeModuleWith(ctx context.Context, name string, res *irgen.Result, opts Options, col *metrics.Collector, missing map[string]bool) (*Report, error) {
 	mode := opts.PointsTo
 	if mode == 0 {
 		mode = pointsto.ModeSubset
@@ -326,6 +373,7 @@ func analyzeModule(ctx context.Context, name string, res *irgen.Result, opts Opt
 			CacheKey:    opts.CacheKey,
 			Ctx:         ctx,
 			Metrics:     col,
+			MissingDefs: missing,
 		})
 		return nil
 	})

@@ -146,6 +146,23 @@ type checker struct {
 
 // Analyze type-checks the files as one program.
 func Analyze(files []*cast.File) (*Program, error) {
+	prog, perFile := AnalyzeUnits(files)
+	var all ErrorList
+	for _, errs := range perFile {
+		all = append(all, errs...)
+	}
+	if len(all) > 0 {
+		return prog, all
+	}
+	return prog, nil
+}
+
+// AnalyzeUnits is Analyze with per-unit error attribution: the i-th
+// returned list holds the errors produced while checking files[i]'s
+// declarations (pass 1) and bodies (pass 2); it is empty when the file
+// checked cleanly. The recovering front end uses the attribution to drop
+// exactly the failing translation units and retry with the rest.
+func AnalyzeUnits(files []*cast.File) (*Program, []ErrorList) {
 	prog := &Program{
 		Files:      files,
 		Structs:    make(map[string]*ctypes.Struct),
@@ -159,25 +176,34 @@ func Analyze(files []*cast.File) (*Program, error) {
 	c := &checker{prog: prog}
 	c.declareBuiltins()
 
+	perFile := make([]ErrorList, len(files))
+	// attribute appends the errors accumulated since mark to files[i].
+	attribute := func(i, mark int) int {
+		if len(c.errs) > mark {
+			perFile[i] = append(perFile[i], c.errs[mark:]...)
+		}
+		return len(c.errs)
+	}
+
 	// Pass 1: collect typedefs, structs, enums, globals, function
 	// signatures across all files so order doesn't matter.
-	for _, f := range files {
+	mark := 0
+	for i, f := range files {
 		for _, d := range f.Decls {
 			c.collectDecl(d)
 		}
+		mark = attribute(i, mark)
 	}
 	// Pass 2: check function bodies and global initializers.
-	for _, f := range files {
+	for i, f := range files {
 		for _, d := range f.Decls {
 			if fd, ok := d.(*cast.FuncDecl); ok && fd.Body != nil {
 				c.checkFuncBody(fd)
 			}
 		}
+		mark = attribute(i, mark)
 	}
-	if len(c.errs) > 0 {
-		return prog, c.errs
-	}
-	return prog, nil
+	return prog, perFile
 }
 
 func (c *checker) errorf(pos ctoken.Pos, format string, args ...any) {

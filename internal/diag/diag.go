@@ -1,0 +1,104 @@
+// Package diag defines the structured diagnostics of the recovering
+// front end. Where the fail-stop pipeline aborts a whole system on the
+// first lex/parse/typecheck error, the recovering pipeline records one
+// Diagnostic per failure, skips the translation unit it is attributed
+// to, and analyzes the rest — the diagnostics travel with the report so
+// a degraded run states exactly which units were dropped and why.
+package diag
+
+import (
+	"fmt"
+	"sort"
+
+	"safeflow/internal/ctoken"
+)
+
+// Phases a diagnostic can be attributed to, in pipeline order.
+const (
+	PhasePreprocess = "preprocess"
+	PhaseLex        = "lex"
+	PhaseParse      = "parse"
+	PhaseTypecheck  = "typecheck"
+	PhaseLower      = "lower"
+	PhaseInternal   = "internal" // recovered panic while compiling the unit
+)
+
+// phaseRank orders phases for sorting; unknown phases sort last.
+func phaseRank(p string) int {
+	switch p {
+	case PhasePreprocess:
+		return 0
+	case PhaseLex:
+		return 1
+	case PhaseParse:
+		return 2
+	case PhaseTypecheck:
+		return 3
+	case PhaseLower:
+		return 4
+	case PhaseInternal:
+		return 5
+	}
+	return 6
+}
+
+// Diagnostic is one recorded front-end failure: the translation unit it
+// caused to be skipped, the position of the failure (zero when the
+// failure has no precise location, e.g. a missing include), the pipeline
+// phase that rejected the unit, and the underlying message.
+type Diagnostic struct {
+	Unit  string
+	Pos   ctoken.Pos
+	Phase string
+	Msg   string
+}
+
+// String implements fmt.Stringer.
+func (d Diagnostic) String() string {
+	if d.Pos.IsValid() {
+		return fmt.Sprintf("%s: [%s] %s: %s", d.Unit, d.Phase, d.Pos, d.Msg)
+	}
+	return fmt.Sprintf("%s: [%s] %s", d.Unit, d.Phase, d.Msg)
+}
+
+// Less is the total order on diagnostics: unit, then phase (pipeline
+// order), then position, then message — so sorted diagnostic lists are
+// byte-identical regardless of worker count or discovery order.
+func Less(a, b Diagnostic) bool {
+	if a.Unit != b.Unit {
+		return a.Unit < b.Unit
+	}
+	if ra, rb := phaseRank(a.Phase), phaseRank(b.Phase); ra != rb {
+		return ra < rb
+	}
+	if a.Pos != b.Pos {
+		if a.Pos.File != b.Pos.File {
+			return a.Pos.File < b.Pos.File
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Col < b.Pos.Col
+	}
+	return a.Msg < b.Msg
+}
+
+// Sort orders diagnostics by Less.
+func Sort(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool { return Less(ds[i], ds[j]) })
+}
+
+// Units returns the sorted, deduplicated unit names the diagnostics are
+// attributed to (the skipped translation units of a degraded run).
+func Units(ds []Diagnostic) []string {
+	seen := make(map[string]bool, len(ds))
+	var out []string
+	for _, d := range ds {
+		if !seen[d.Unit] {
+			seen[d.Unit] = true
+			out = append(out, d.Unit)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

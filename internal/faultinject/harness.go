@@ -1,0 +1,62 @@
+// Scenario runner: generate a system, plant seeded faults, run the full
+// recovering pipeline, and capture the degraded report in both rendered
+// forms for determinism comparison.
+
+package faultinject
+
+import (
+	"context"
+	"strings"
+
+	"safeflow/internal/core"
+	"safeflow/internal/corpus"
+	"safeflow/internal/cpp"
+	"safeflow/internal/report"
+)
+
+// EligibleUnits are the generated translation units the injector may
+// fault. init.c carries the region and noncore annotations — dropping it
+// legitimately changes what the analysis can see — and main.c carries
+// the critical sinks the differential invariant checks, so faults target
+// the middle of the system: the monitors and the stage chain.
+var EligibleUnits = []string{"monitors.c", "stages.c"}
+
+// Scenario is one seeded fault-injection run over a generated system.
+type Scenario struct {
+	Seed    int64            // drives both the generator and the injector
+	Gen     corpus.GenConfig // generated-system shape (zero = defaults)
+	Faults  int              // faulted units (clamped to len(EligibleUnits))
+	Workers int              // pipeline worker count (0 = GOMAXPROCS)
+	Stats   bool             // collect run metrics into Report.Metrics
+}
+
+// Result is one scenario's outcome.
+type Result struct {
+	System *corpus.Generated // the original, unfaulted system
+	Faults []Fault           // what was planted where
+	Report *core.Report
+	Text   string // rendered text report
+	JSON   string // rendered JSON report
+}
+
+// Run generates the scenario's system, plants its faults, and analyzes
+// the mutated sources in recovering mode. The analysis itself failing
+// (not just degrading) is returned as an error.
+func Run(ctx context.Context, sc Scenario) (*Result, error) {
+	gen := corpus.Generate(sc.Seed, sc.Gen)
+	mutated, faults := Mutate(sc.Seed, gen.Sources, EligibleUnits, sc.Faults)
+	rep, err := core.AnalyzeSourcesContext(ctx, gen.Name, cpp.MapSource(mutated), gen.CFiles, core.Options{
+		Recover: true,
+		Workers: sc.Workers,
+		Stats:   sc.Stats,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var text, js strings.Builder
+	report.Write(&text, rep)
+	if err := report.WriteJSON(&js, rep); err != nil {
+		return nil, err
+	}
+	return &Result{System: &gen, Faults: faults, Report: rep, Text: text.String(), JSON: js.String()}, nil
+}

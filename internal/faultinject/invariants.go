@@ -1,0 +1,28 @@
+// Invariant helpers shared by the fault-injection tests.
+
+package faultinject
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// WaitGoroutineBaseline polls until the process goroutine count returns
+// to at most baseline, or fails after the deadline. Worker pools shut
+// down asynchronously after a run returns, so a bounded poll (the same
+// discipline the cancellation tests use) distinguishes a leak from a
+// still-draining pool.
+func WaitGoroutineBaseline(baseline int, within time.Duration) error {
+	deadline := time.Now().Add(within)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("goroutine leak: %d running, baseline %d", n, baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

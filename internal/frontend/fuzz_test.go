@@ -7,6 +7,7 @@ import (
 
 	"safeflow/internal/core"
 	"safeflow/internal/corpus"
+	"safeflow/internal/cpp"
 	"safeflow/internal/frontend"
 )
 
@@ -46,6 +47,46 @@ func FuzzCompile(f *testing.F) {
 		rep, err := core.AnalyzeString("fuzz", src, core.Options{})
 		if err == nil && rep == nil {
 			t.Fatal("nil report without error")
+		}
+	})
+}
+
+// FuzzParseRecovery feeds arbitrary sources through the recovering
+// front end. The recovering path must never panic, and its structured
+// diagnostics must be byte-stable: two compilations of the same input
+// produce identical diagnostic lists (the degraded-report determinism
+// guarantee starts here).
+func FuzzParseRecovery(f *testing.F) {
+	for _, seed := range []string{
+		"int main() { return 0; }",
+		"int main( { return 0; }",
+		"char *s = \"unterminated;\nint x = @;",
+		"double f() { return g; }\nint main() { return 0; }",
+		"void v() { return 1.0; }",
+		"int f(", "}{", "", "\x00", "int a[;",
+		"/***SafeFlow Annotation assume(bogus(x)) /***/ void f() {}",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		render := func() string {
+			rr, err := frontend.CompileRecover("fuzz", cpp.MapSource{"main.c": src}, []string{"main.c"},
+				frontend.Options{DisableParseCache: true})
+			if err != nil {
+				return "error: " + err.Error()
+			}
+			if rr.Res == nil {
+				t.Fatal("nil result without error")
+			}
+			out := ""
+			for _, d := range rr.Diags {
+				out += d.String() + "\n"
+			}
+			return out
+		}
+		first, second := render(), render()
+		if first != second {
+			t.Fatalf("recovering diagnostics unstable across runs:\n--- first:\n%s\n--- second:\n%s", first, second)
 		}
 	})
 }

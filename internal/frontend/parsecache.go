@@ -12,6 +12,13 @@
 // side tables and the IR lowering builds separate ir nodes. Entries are
 // stored only after a fully successful parse, so a cancelled or crashed
 // compilation can never poison the cache.
+//
+// Entries are self-checking: each carries an echo of the file name and
+// declaration count recorded at store time, verified on every hit. An
+// entry that no longer matches its echo (memory corruption, a buggy
+// mutation of a shared AST) is evicted and recompiled — a corrupt entry
+// degrades to a miss, never to a wrong module — and the eviction is
+// counted in run metrics as cache_corrupt_evictions.
 
 package frontend
 
@@ -20,16 +27,30 @@ import (
 	"sync"
 
 	"safeflow/internal/cast"
+	"safeflow/internal/metrics"
 )
 
 // maxParseEntries bounds the process-global cache; eviction is arbitrary
 // (the cache is an accelerator, not a store of record).
 const maxParseEntries = 256
 
+// parseEntry is one cached AST with its integrity echo.
+type parseEntry struct {
+	file *cast.File
+	// Integrity echo, recorded at store time and verified on every get.
+	name  string // file.Name at store time
+	decls int    // len(file.Decls) at store time
+}
+
+// valid reports whether the entry still matches its integrity echo.
+func (e *parseEntry) valid() bool {
+	return e != nil && e.file != nil && e.file.Name == e.name && len(e.file.Decls) == e.decls
+}
+
 var parseCache = struct {
 	sync.Mutex
-	files map[[sha256.Size]byte]*cast.File
-}{files: make(map[[sha256.Size]byte]*cast.File)}
+	files map[[sha256.Size]byte]*parseEntry
+}{files: make(map[[sha256.Size]byte]*parseEntry)}
 
 func parseCacheKey(filename, expanded string) [sha256.Size]byte {
 	h := sha256.New()
@@ -41,10 +62,22 @@ func parseCacheKey(filename, expanded string) [sha256.Size]byte {
 	return key
 }
 
-func parseCacheGet(key [sha256.Size]byte) *cast.File {
+// parseCacheGet returns the cached AST for key, or nil. A corrupted or
+// truncated entry is evicted, counted (col is nil-safe), and reported as
+// a miss so the unit is recompiled from source.
+func parseCacheGet(key [sha256.Size]byte, col *metrics.Collector) *cast.File {
 	parseCache.Lock()
 	defer parseCache.Unlock()
-	return parseCache.files[key]
+	e, ok := parseCache.files[key]
+	if !ok {
+		return nil
+	}
+	if !e.valid() {
+		delete(parseCache.files, key)
+		col.AddCacheCorruptEvictions(1)
+		return nil
+	}
+	return e.file
 }
 
 func parseCachePut(key [sha256.Size]byte, f *cast.File) {
@@ -56,7 +89,12 @@ func parseCachePut(key [sha256.Size]byte, f *cast.File) {
 			break
 		}
 	}
-	parseCache.files[key] = f
+	e := &parseEntry{file: f}
+	if f != nil {
+		e.name = f.Name
+		e.decls = len(f.Decls)
+	}
+	parseCache.files[key] = e
 }
 
 // ResetParseCache empties the parse cache (cold-run benchmarks and cache
@@ -64,5 +102,30 @@ func parseCachePut(key [sha256.Size]byte, f *cast.File) {
 func ResetParseCache() {
 	parseCache.Lock()
 	defer parseCache.Unlock()
-	parseCache.files = make(map[[sha256.Size]byte]*cast.File)
+	parseCache.files = make(map[[sha256.Size]byte]*parseEntry)
+}
+
+// ParseCacheLen reports the number of cached entries (test hook for the
+// fault-injection harness's no-cache-writes invariant).
+func ParseCacheLen() int {
+	parseCache.Lock()
+	defer parseCache.Unlock()
+	return len(parseCache.files)
+}
+
+// CorruptParseCache damages up to n cached entries in place (test hook
+// for the fault-injection harness) and returns how many were corrupted.
+// The next get of a damaged entry must evict and recompile it.
+func CorruptParseCache(n int) int {
+	parseCache.Lock()
+	defer parseCache.Unlock()
+	corrupted := 0
+	for _, e := range parseCache.files {
+		if corrupted >= n {
+			break
+		}
+		e.decls = e.decls + 1 // break the integrity echo
+		corrupted++
+	}
+	return corrupted
 }

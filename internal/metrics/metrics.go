@@ -45,7 +45,11 @@ type RunMetrics struct {
 	// schema stays backward compatible with v1 consumers).
 	FrontendCacheHits   int `json:"frontend_cache_hits,omitempty"`
 	FrontendCacheMisses int `json:"frontend_cache_misses,omitempty"`
-	PeakGoroutines      int `json:"peak_goroutines"`
+	// CacheCorruptEvictions counts cache entries (parse or summary) whose
+	// integrity check failed on load: each was evicted and recomputed
+	// instead of poisoning the run. Omitted from JSON when zero.
+	CacheCorruptEvictions int `json:"cache_corrupt_evictions,omitempty"`
+	PeakGoroutines        int `json:"peak_goroutines"`
 }
 
 // Canonicalize zeroes every execution-dependent field — wall times, the
@@ -69,6 +73,7 @@ func (m *RunMetrics) Canonicalize() {
 	m.CacheMisses = 0
 	m.FrontendCacheHits = 0
 	m.FrontendCacheMisses = 0
+	m.CacheCorruptEvictions = 0
 	m.PeakGoroutines = 0
 }
 
@@ -139,6 +144,17 @@ func (c *Collector) AddFrontendCache(hits, misses int) {
 	c.mu.Lock()
 	c.m.FrontendCacheHits += hits
 	c.m.FrontendCacheMisses += misses
+	c.mu.Unlock()
+}
+
+// AddCacheCorruptEvictions counts cache entries evicted because their
+// integrity check failed on load; the caches report concurrently.
+func (c *Collector) AddCacheCorruptEvictions(n int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.m.CacheCorruptEvictions += n
 	c.mu.Unlock()
 }
 

@@ -21,6 +21,8 @@ type JSONReport struct {
 	AnnotationLines int                 `json:"annotation_lines"`
 	Regions         []JSONRegion        `json:"regions"`
 	InternalErrs    []string            `json:"internal_errors,omitempty"`
+	Degraded        bool                `json:"degraded,omitempty"`
+	Diagnostics     []JSONDiagnostic    `json:"diagnostics,omitempty"`
 	AnnotationErrs  []string            `json:"annotation_errors,omitempty"`
 	Violations      []JSONViolation     `json:"violations,omitempty"`
 	Warnings        []JSONWarning       `json:"warnings,omitempty"`
@@ -28,6 +30,15 @@ type JSONReport struct {
 	ControlReports  []JSONError         `json:"control_reports,omitempty"`
 	Clean           bool                `json:"clean"`
 	Metrics         *metrics.RunMetrics `json:"metrics,omitempty"`
+}
+
+// JSONDiagnostic is one recovering-front-end failure: the translation
+// unit skipped because of it, the failing phase, and the message.
+type JSONDiagnostic struct {
+	Unit  string `json:"unit"`
+	Pos   string `json:"pos,omitempty"`
+	Phase string `json:"phase"`
+	Msg   string `json:"msg"`
 }
 
 // JSONRegion describes one shared-memory variable.
@@ -82,6 +93,14 @@ func ToJSON(rep *core.Report) *JSONReport {
 	}
 	for _, e := range rep.Internal {
 		out.InternalErrs = append(out.InternalErrs, e.Error())
+	}
+	out.Degraded = rep.Degraded
+	for _, d := range rep.Diagnostics {
+		jd := JSONDiagnostic{Unit: d.Unit, Phase: d.Phase, Msg: d.Msg}
+		if d.Pos.IsValid() {
+			jd.Pos = d.Pos.String()
+		}
+		out.Diagnostics = append(out.Diagnostics, jd)
 	}
 	for _, e := range rep.AnnotationErrors {
 		out.AnnotationErrs = append(out.AnnotationErrs, e.Error())

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"safeflow/internal/core"
+	"safeflow/internal/diag"
 	"safeflow/internal/metrics"
 	"safeflow/internal/vfg"
 )
@@ -31,6 +32,15 @@ func Write(w io.Writer, rep *core.Report) {
 			len(rep.Internal))
 		for _, e := range rep.Internal {
 			fmt.Fprintf(w, "  %v\n", e)
+		}
+	}
+
+	if len(rep.Diagnostics) > 0 {
+		units := diag.Units(rep.Diagnostics)
+		fmt.Fprintf(w, "\nDegraded analysis — %d translation unit(s) skipped (%s):\n",
+			len(units), strings.Join(units, ", "))
+		for _, d := range rep.Diagnostics {
+			fmt.Fprintf(w, "  %s\n", d)
 		}
 	}
 
@@ -64,8 +74,11 @@ func Write(w io.Writer, rep *core.Report) {
 		writeError(w, e)
 	}
 
-	if rep.Clean() {
+	switch {
+	case rep.Clean():
 		fmt.Fprintf(w, "\nsafe value flow verified: no unmonitored non-core value reaches critical data\n")
+	case rep.Degraded:
+		fmt.Fprintf(w, "\nanalysis DEGRADED: the skipped units above were not verified; verdicts for the surviving units treat calls into skipped definitions conservatively\n")
 	}
 }
 

@@ -16,6 +16,7 @@
 package vfg
 
 import (
+	"sort"
 	"sync"
 
 	"safeflow/internal/ctoken"
@@ -79,6 +80,57 @@ type pCell struct {
 type cachedModule struct {
 	units map[string]pSummary // unit key (fn|ctx) → converged summary
 	cells []pCell             // converged global memory-store taints
+	// check is a structural checksum over the entry, computed at store
+	// time and verified before seeding: a corrupted or truncated entry is
+	// evicted and treated as a full miss (counted in run metrics as
+	// cache_corrupt_evictions) instead of seeding the run with damaged
+	// state.
+	check uint64
+}
+
+// checksum derives the entry's structural checksum: FNV-1a over the unit
+// keys (sorted) with their summary shapes, and the memory cells. It is a
+// cheap integrity check, not a cryptographic one — it exists to catch
+// truncation and stray mutation of shared cache state.
+func (m *cachedModule) checksum() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) { h = (h ^ uint64(b)) * prime64 }
+	mixInt := func(n int) {
+		for i := 0; i < 8; i++ {
+			mix(byte(n >> (8 * i)))
+		}
+	}
+	mixStr := func(s string) {
+		mixInt(len(s))
+		for i := 0; i < len(s); i++ {
+			mix(s[i])
+		}
+	}
+	keys := make([]string, 0, len(m.units))
+	for k := range m.units {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	mixInt(len(keys))
+	for _, k := range keys {
+		s := m.units[k]
+		mixStr(k)
+		mixInt(len(s.ret.srcs))
+		mixInt(len(s.ret.params))
+		mixInt(len(s.effects))
+		mixInt(len(s.asserts))
+	}
+	mixInt(len(m.cells))
+	for _, c := range m.cells {
+		mixStr(c.ref.obj.name)
+		mixInt(int(c.ref.off))
+		mixInt(len(c.taint.srcs))
+	}
+	return h
 }
 
 // maxCachedModules bounds the process-global cache; eviction is arbitrary
@@ -161,6 +213,7 @@ func (a *analysis) storeSummaryCache() {
 	}
 	a.mem.mu.RUnlock()
 
+	mod.check = mod.checksum()
 	summaryCache.Lock()
 	defer summaryCache.Unlock()
 	if _, have := summaryCache.mods[a.cfg.CacheKey]; !have && len(summaryCache.mods) >= maxCachedModules {
@@ -170,6 +223,58 @@ func (a *analysis) storeSummaryCache() {
 		}
 	}
 	summaryCache.mods[a.cfg.CacheKey] = mod
+}
+
+// ResetSummaryCache empties the cross-run summary cache (cache tests and
+// the fault-injection harness).
+func ResetSummaryCache() {
+	summaryCache.Lock()
+	defer summaryCache.Unlock()
+	summaryCache.mods = make(map[string]*cachedModule)
+}
+
+// SummaryCacheLen reports the number of cached modules (test hook for
+// the fault-injection harness's no-cache-writes invariant).
+func SummaryCacheLen() int {
+	summaryCache.Lock()
+	defer summaryCache.Unlock()
+	return len(summaryCache.mods)
+}
+
+// SummaryCacheKeys returns the sorted cache keys currently stored (test
+// hook: lets the harness assert a faulted run published no new entries).
+func SummaryCacheKeys() []string {
+	summaryCache.Lock()
+	defer summaryCache.Unlock()
+	keys := make([]string, 0, len(summaryCache.mods))
+	for k := range summaryCache.mods {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CorruptSummaryCache damages up to n cached modules in place (test hook
+// for the fault-injection harness) and returns how many were corrupted.
+// The next seed of a damaged module must evict it and solve cold.
+func CorruptSummaryCache(n int) int {
+	summaryCache.Lock()
+	defer summaryCache.Unlock()
+	corrupted := 0
+	for _, mod := range summaryCache.mods {
+		if corrupted >= n {
+			break
+		}
+		// Truncate the cells and drop a unit without refreshing the
+		// checksum: the structural echo no longer matches.
+		mod.cells = nil
+		for k := range mod.units {
+			delete(mod.units, k)
+			break
+		}
+		corrupted++
+	}
+	return corrupted
 }
 
 // ---------------------------------------------------------------------------
@@ -277,6 +382,14 @@ func (a *analysis) seedSummaryCache() {
 	}
 	summaryCache.Lock()
 	mod := summaryCache.mods[a.cfg.CacheKey]
+	if mod != nil && mod.check != mod.checksum() {
+		// Integrity failure: the entry was corrupted or truncated since it
+		// was stored. Evict it and solve cold — a damaged entry degrades
+		// to a miss, never to damaged seeds.
+		delete(summaryCache.mods, a.cfg.CacheKey)
+		mod = nil
+		a.cfg.Metrics.AddCacheCorruptEvictions(1)
+	}
 	summaryCache.Unlock()
 	if mod == nil {
 		a.cacheMisses = len(a.unitList)

@@ -61,6 +61,7 @@ type SourceKind int
 const (
 	SrcUnmonitoredRead SourceKind = iota + 1 // shared-memory read outside core assumptions
 	SrcNonCoreRecv                           // message received on a noncore socket (§3.4.3)
+	SrcSkippedDef                            // call into a function whose defining unit was skipped
 )
 
 // Source is one unsafe-value origin — each corresponds to a SafeFlow
@@ -85,6 +86,9 @@ func (s *Source) String() string {
 	switch s.Kind {
 	case SrcNonCoreRecv:
 		return fmt.Sprintf("%s: %s: unmonitored non-core message data (%s)", s.Pos, s.FnName, s.Detail)
+	case SrcSkippedDef:
+		return fmt.Sprintf("%s: %s: call into %s whose defining unit was skipped (conservative unknown taint)",
+			s.Pos, s.FnName, s.Detail)
 	default:
 		return fmt.Sprintf("%s: %s: unmonitored read of non-core shared memory %s%s",
 			s.Pos, s.FnName, s.Region.Name, s.Detail)

@@ -68,6 +68,13 @@ type Config struct {
 	// Metrics, when non-nil, receives goroutine observations from worker
 	// goroutines (peak-concurrency instrumentation). Nil-safe.
 	Metrics *metrics.Collector
+	// MissingDefs names functions whose definitions are unavailable
+	// because their translation unit was skipped by the recovering front
+	// end. Calls to them are treated conservatively: the return value and
+	// the memory reachable through pointer arguments receive an
+	// unknown-taint source (SrcSkippedDef), so a degraded run can only
+	// over-report, never miss, a dependency in the surviving units.
+	MissingDefs map[string]bool
 }
 
 // ErrorDep is one reported error: critical data depends on unmonitored
@@ -554,6 +561,13 @@ func (a *analysis) transferCall(u *unit, call *ir.Call, get func(ir.Value) Taint
 		for _, arg := range call.Args {
 			t = joinTaint(t, get(arg))
 		}
+		if a.cfg.MissingDefs[callee.Name] {
+			// The callee's defining unit was skipped by the recovering
+			// front end: its behavior is unknown, so the result carries an
+			// unknown-taint source in addition to the argument deps.
+			src := a.sourceFor(call, nil, u.fn, SrcSkippedDef, callee.Name, u.activeKey)
+			t.addSource(src.id, KindData)
+		}
 		return t, true
 	default:
 		s := a.calleeUnit(u, call).sum
@@ -720,6 +734,24 @@ func (a *analysis) applyCallEffects(u *unit, call *ir.Call, get func(ir.Value) T
 		}
 		return localChanged
 	case callee.IsDecl || a.cfg.SF.InitFuncs[callee]:
+		if a.cfg.MissingDefs[callee.Name] {
+			// The callee's defining unit was skipped: assume it may write
+			// unknown values through every pointer argument.
+			src := a.sourceFor(call, nil, u.fn, SrcSkippedDef, callee.Name, u.activeKey)
+			t := Taint{}
+			t.addSource(src.id, KindData)
+			for _, arg := range call.Args {
+				for _, ref := range a.cfg.PTS.PointsTo(arg) {
+					if local.write(ref, t) {
+						localChanged = true
+					}
+					if a.mem.write(ref, t) {
+						a.changed.Store(true)
+					}
+				}
+			}
+			return localChanged
+		}
 		return false
 	}
 

@@ -150,11 +150,33 @@ func AnalyzeFiles(name string, paths []string, opts Options) (*Report, error) {
 	return AnalyzeFilesContext(context.Background(), name, paths, opts)
 }
 
+// A DuplicateInputError reports two input paths that collide after being
+// flattened to their basenames: the analyzer keys sources by basename (as
+// #include does), so accepting both would silently analyze only one.
+type DuplicateInputError struct {
+	Base          string // the colliding basename
+	First, Second string // the two input paths that map to it
+}
+
+func (e *DuplicateInputError) Error() string {
+	return fmt.Sprintf("safeflow: input paths %s and %s collide on basename %s",
+		e.First, e.Second, e.Base)
+}
+
 // AnalyzeFilesContext is AnalyzeFiles with deadline/cancellation support.
+// Paths whose basenames collide are rejected with a *DuplicateInputError
+// (sources are keyed by basename, so one would silently shadow the other),
+// as are header files with the same basename but different contents pulled
+// in from two input directories.
 func AnalyzeFilesContext(ctx context.Context, name string, paths []string, opts Options) (*Report, error) {
 	sources := map[string]string{}
 	var cFiles []string
+	seenC := map[string]string{}     // basename -> input path
+	headerDir := map[string]string{} // header basename -> source dir
 	for _, p := range paths {
+		if filepath.Ext(p) != ".c" {
+			return nil, fmt.Errorf("safeflow: %s is not a .c file", p)
+		}
 		dir := filepath.Dir(p)
 		entries, err := os.ReadDir(dir)
 		if err != nil {
@@ -168,15 +190,30 @@ func AnalyzeFilesContext(ctx context.Context, name string, paths []string, opts 
 			if err != nil {
 				return nil, fmt.Errorf("safeflow: %w", err)
 			}
+			if prev, ok := sources[e.Name()]; ok && prev != string(data) {
+				return nil, &DuplicateInputError{
+					Base:   e.Name(),
+					First:  filepath.Join(headerDir[e.Name()], e.Name()),
+					Second: filepath.Join(dir, e.Name()),
+				}
+			}
 			sources[e.Name()] = string(data)
+			headerDir[e.Name()] = dir
 		}
 		data, err := os.ReadFile(p)
 		if err != nil {
 			return nil, fmt.Errorf("safeflow: %w", err)
 		}
 		base := filepath.Base(p)
+		if first, ok := seenC[base]; ok {
+			return nil, &DuplicateInputError{Base: base, First: first, Second: p}
+		}
+		seenC[base] = p
 		sources[base] = string(data)
 		cFiles = append(cFiles, base)
+	}
+	if len(cFiles) == 0 {
+		return nil, fmt.Errorf("safeflow: no .c files given")
 	}
 	return AnalyzeContext(ctx, name, sources, cFiles, opts)
 }

@@ -1,6 +1,7 @@
 package safeflow
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -203,5 +204,68 @@ func TestCompileErrorSurfaced(t *testing.T) {
 	_, err := AnalyzeString("bad", "int main( { return 0; }", Options{})
 	if err == nil {
 		t.Error("syntax error not surfaced")
+	}
+}
+
+// Two input paths that flatten to the same basename must be rejected with
+// a structured error, not silently shadow each other.
+func TestAnalyzeFilesDuplicateBasename(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	for _, d := range []string{dirA, dirB} {
+		if err := os.WriteFile(filepath.Join(d, "main.c"), []byte("int main() { return 0; }\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := AnalyzeFiles("dup", []string{filepath.Join(dirA, "main.c"), filepath.Join(dirB, "main.c")}, Options{})
+	var dup *DuplicateInputError
+	if !errors.As(err, &dup) {
+		t.Fatalf("err = %v, want *DuplicateInputError", err)
+	}
+	if dup.Base != "main.c" || dup.First != filepath.Join(dirA, "main.c") || dup.Second != filepath.Join(dirB, "main.c") {
+		t.Errorf("error fields = %+v", dup)
+	}
+}
+
+// Headers with the same basename but different contents pulled in from
+// two input directories would silently corrupt the include space.
+func TestAnalyzeFilesHeaderCollision(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	write := func(dir, name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(dirA, "a.c", "int main() { return 0; }\n")
+	write(dirA, "defs.h", "#define N 1\n")
+	write(dirB, "b.c", "int helper() { return 0; }\n")
+	write(dirB, "defs.h", "#define N 2\n")
+	_, err := AnalyzeFiles("hdr", []string{filepath.Join(dirA, "a.c"), filepath.Join(dirB, "b.c")}, Options{})
+	var dup *DuplicateInputError
+	if !errors.As(err, &dup) {
+		t.Fatalf("err = %v, want *DuplicateInputError", err)
+	}
+	if dup.Base != "defs.h" {
+		t.Errorf("colliding base = %q, want defs.h", dup.Base)
+	}
+
+	// Identical contents are not a collision (the common shared header).
+	write(dirB, "defs.h", "#define N 1\n")
+	if _, err := AnalyzeFiles("hdr", []string{filepath.Join(dirA, "a.c"), filepath.Join(dirB, "b.c")}, Options{}); err != nil {
+		t.Errorf("identical shared header rejected: %v", err)
+	}
+}
+
+func TestAnalyzeFilesInputGuards(t *testing.T) {
+	if _, err := AnalyzeFiles("none", nil, Options{}); err == nil || !strings.Contains(err.Error(), "no .c files") {
+		t.Errorf("empty input error = %v", err)
+	}
+	dir := t.TempDir()
+	hdr := filepath.Join(dir, "only.h")
+	if err := os.WriteFile(hdr, []byte("#define X 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AnalyzeFiles("hdr-only", []string{hdr}, Options{}); err == nil || !strings.Contains(err.Error(), "not a .c file") {
+		t.Errorf("non-.c input error = %v", err)
 	}
 }
