@@ -22,6 +22,11 @@
 //	-workers n     pipeline worker goroutines (0 = GOMAXPROCS)
 //	-cpuprofile f  write a pprof CPU profile of the run to f
 //	-trace f       write a runtime execution trace of the run to f
+//	-cachedir d    persistent cache directory shared across runs and with
+//	               safeflowd ("auto" = the per-user cache dir); parsed
+//	               units and converged summaries are reused across
+//	               process restarts, with every entry integrity-checked
+//	               on read
 //
 // By default the front end recovers from per-unit failures: a translation
 // unit that fails to preprocess, lex, parse, or type-check is skipped and
@@ -79,6 +84,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers     = fs.Int("workers", 0, "pipeline worker goroutines (0 = GOMAXPROCS)")
 		cpuprofile  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		tracefile   = fs.String("trace", "", "write a runtime execution trace to this file")
+		cacheDir    = fs.String("cachedir", "", "persistent cache directory shared across runs (\"auto\" = the per-user cache dir; default: no disk cache)")
 		roots       stringList
 	)
 	fs.Var(&roots, "root", "analysis entry function (repeatable)")
@@ -100,6 +106,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Exponential: *exponential, Roots: roots, Stats: *stats, Workers: *workers,
 		Recover: !*strict,
 	}
+	if *cacheDir != "" {
+		dir := *cacheDir
+		if dir == "auto" {
+			var err error
+			dir, err = safeflow.DefaultCacheDir()
+			if err != nil {
+				fmt.Fprintf(stderr, "safeflow: resolving -cachedir auto: %v\n", err)
+				return 2
+			}
+		}
+		dc, err := safeflow.OpenDiskCache(dir, 0)
+		if err != nil {
+			fmt.Fprintf(stderr, "safeflow: opening -cachedir: %v\n", err)
+			return 2
+		}
+		opts.DiskCache = dc
+	}
 	switch *aliasMode {
 	case "subset":
 		opts.PointsTo = safeflow.ModeSubset
@@ -120,12 +143,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintf(stderr, "safeflow: %v\n", err)
+			fmt.Fprintf(stderr, "safeflow: -cpuprofile: cannot create %s: %v\n", *cpuprofile, err)
 			return 2
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(stderr, "safeflow: %v\n", err)
+			fmt.Fprintf(stderr, "safeflow: -cpuprofile: %v\n", err)
 			return 2
 		}
 		defer pprof.StopCPUProfile()
@@ -133,12 +156,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *tracefile != "" {
 		f, err := os.Create(*tracefile)
 		if err != nil {
-			fmt.Fprintf(stderr, "safeflow: %v\n", err)
+			fmt.Fprintf(stderr, "safeflow: -trace: cannot create %s: %v\n", *tracefile, err)
 			return 2
 		}
 		defer f.Close()
 		if err := trace.Start(f); err != nil {
-			fmt.Fprintf(stderr, "safeflow: %v\n", err)
+			fmt.Fprintf(stderr, "safeflow: -trace: %v\n", err)
 			return 2
 		}
 		defer trace.Stop()

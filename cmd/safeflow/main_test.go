@@ -146,6 +146,66 @@ func TestCLICorpus(t *testing.T) {
 	}
 }
 
+// Unusable -cpuprofile/-trace paths must fail with a usage error that
+// names the offending flag — not a stack trace, and not a half-started
+// analysis.
+func TestCLIProfilePathErrors(t *testing.T) {
+	dir := writeTemp(t, "core.c", defective)
+	badPath := filepath.Join(t.TempDir(), "no-such-dir", "out.pprof")
+	for _, flagName := range []string{"-cpuprofile", "-trace"} {
+		var out, errOut strings.Builder
+		code := run([]string{flagName, badPath, dir}, &out, &errOut)
+		if code != 2 {
+			t.Errorf("%s unwritable: exit = %d, want 2", flagName, code)
+		}
+		if !strings.Contains(errOut.String(), flagName) {
+			t.Errorf("%s unwritable: stderr %q does not name the flag", flagName, errOut.String())
+		}
+		if out.Len() != 0 {
+			t.Errorf("%s unwritable: analysis output was printed:\n%s", flagName, out.String())
+		}
+	}
+}
+
+// -cachedir persists parse and summary results across process
+// "restarts": two runs sharing a cache directory produce identical
+// reports, and an unusable directory is a usage error naming the flag.
+func TestCLICacheDir(t *testing.T) {
+	dir := writeTemp(t, "core.c", defective)
+	cacheDir := t.TempDir()
+
+	var first, second, errOut strings.Builder
+	if code := run([]string{"-cachedir", cacheDir, "-format", "json", dir}, &first, &errOut); code != 1 {
+		t.Fatalf("first run exit = %d (stderr: %s)", code, errOut.String())
+	}
+	entries, err := os.ReadDir(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("-cachedir run left the cache directory empty")
+	}
+	if code := run([]string{"-cachedir", cacheDir, "-format", "json", dir}, &second, &errOut); code != 1 {
+		t.Fatalf("second run exit = %d (stderr: %s)", code, errOut.String())
+	}
+	if first.String() != second.String() {
+		t.Error("disk-warm report diverged from cold report")
+	}
+
+	notADir := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(notADir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	errOut.Reset()
+	if code := run([]string{"-cachedir", notADir, dir}, &out, &errOut); code != 2 {
+		t.Errorf("unusable -cachedir: exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "-cachedir") {
+		t.Errorf("unusable -cachedir: stderr %q does not name the flag", errOut.String())
+	}
+}
+
 // A broken translation unit is skipped rather than fatal: the run still
 // produces a report for the surviving units and exits 3 (degraded).
 func TestCLIDegradedExitThree(t *testing.T) {

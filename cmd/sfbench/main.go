@@ -20,10 +20,13 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -34,8 +37,11 @@ import (
 
 	"safeflow/internal/core"
 	"safeflow/internal/corpus"
+	"safeflow/internal/daemon"
+	"safeflow/internal/diskcache"
 	"safeflow/internal/frontend"
 	"safeflow/internal/report"
+	"safeflow/internal/vfg"
 	"safeflow/pkg/safeflow"
 	"safeflow/pkg/simplexrt"
 )
@@ -55,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit a machine-readable benchmark record and exit")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	tracefile := fs.String("trace", "", "write a runtime execution trace to this file")
+	cacheDir := fs.String("cachedir", "", "disk-cache directory for the -json daemon benchmark (default: a fresh temporary dir, so cold requests are genuinely cold)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -65,12 +72,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintf(stderr, "sfbench: %v\n", err)
+			fmt.Fprintf(stderr, "sfbench: -cpuprofile: cannot create %s: %v\n", *cpuprofile, err)
 			return 2
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(stderr, "sfbench: %v\n", err)
+			fmt.Fprintf(stderr, "sfbench: -cpuprofile: %v\n", err)
 			return 2
 		}
 		defer pprof.StopCPUProfile()
@@ -78,19 +85,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *tracefile != "" {
 		f, err := os.Create(*tracefile)
 		if err != nil {
-			fmt.Fprintf(stderr, "sfbench: %v\n", err)
+			fmt.Fprintf(stderr, "sfbench: -trace: cannot create %s: %v\n", *tracefile, err)
 			return 2
 		}
 		defer f.Close()
 		if err := trace.Start(f); err != nil {
-			fmt.Fprintf(stderr, "sfbench: %v\n", err)
+			fmt.Fprintf(stderr, "sfbench: -trace: %v\n", err)
 			return 2
 		}
 		defer trace.Stop()
 	}
 
 	if *jsonOut {
-		if err := runJSON(stdout); err != nil {
+		if err := runJSON(stdout, *cacheDir); err != nil {
 			fmt.Fprintf(stderr, "sfbench: %v\n", err)
 			return 1
 		}
@@ -199,20 +206,34 @@ type benchSystem struct {
 	SummaryCacheHitRate  float64 `json:"summary_cache_hit_rate"`
 }
 
+// daemonBench is one corpus system's request-latency row for the
+// safeflowd service path: the same analysis issued as POST /v1/analyze,
+// first with every cache empty, then with only the disk tier warm (the
+// restarted-daemon case), then with the in-memory caches hot (the
+// steady-state case).
+type daemonBench struct {
+	Name                string `json:"name"`
+	ColdRequestNS       int64  `json:"request_cold_ns"`
+	DiskWarmRequestNS   int64  `json:"request_disk_warm_ns"`
+	MemoryWarmRequestNS int64  `json:"request_memory_warm_ns"`
+}
+
 type benchRecord struct {
 	SchemaVersion int           `json:"schema_version"`
 	GoVersion     string        `json:"go_version"`
 	GOMAXPROCS    int           `json:"gomaxprocs"`
 	Systems       []benchSystem `json:"systems"`
+	Daemon        []daemonBench `json:"daemon"`
 }
 
 // runJSON measures every corpus system and emits one benchRecord. It must
 // run in a fresh process (the run loop returns right after it) so the
 // first end-to-end run is genuinely cold: the parse cache is reset
 // explicitly and the summary cache starts empty.
-func runJSON(w io.Writer) error {
+func runJSON(w io.Writer, cacheDir string) error {
 	const warmRuns = 5
-	rec := benchRecord{SchemaVersion: 1, GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	// Schema v2 adds the "daemon" request-latency section.
+	rec := benchRecord{SchemaVersion: 2, GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	for _, sys := range corpus.All() {
 		src, err := sys.SourceMap()
 		if err != nil {
@@ -288,9 +309,96 @@ func runJSON(w io.Writer) error {
 		}
 		rec.Systems = append(rec.Systems, row)
 	}
+	daemonRows, err := benchDaemon(cacheDir)
+	if err != nil {
+		return fmt.Errorf("daemon benchmark: %w", err)
+	}
+	rec.Daemon = daemonRows
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rec)
+}
+
+// benchDaemon serves the analyzer through internal/daemon on an
+// in-process listener and times one request per cache temperature for
+// each corpus system. The memory-warm figure is the best of three
+// repeats; cold and disk-warm are single shots by construction (a second
+// request would no longer be cold). With the default empty cacheDir a
+// fresh temporary store is used and removed afterwards.
+func benchDaemon(cacheDir string) ([]daemonBench, error) {
+	if cacheDir == "" {
+		tmp, err := os.MkdirTemp("", "sfbench-daemon-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		cacheDir = tmp
+	}
+	dc, err := diskcache.Open(cacheDir, 0)
+	if err != nil {
+		return nil, err
+	}
+	srv := httptest.NewServer(daemon.New(daemon.Config{Cache: dc}).Handler())
+	defer srv.Close()
+
+	resetCaches := func() {
+		frontend.ResetParseCache()
+		vfg.ResetSummaryCache()
+	}
+	request := func(body []byte) (int64, error) {
+		t0 := time.Now()
+		resp, err := http.Post(srv.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		elapsed := time.Since(t0).Nanoseconds()
+		if err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("status %d: %s", resp.StatusCode, data)
+		}
+		return elapsed, nil
+	}
+
+	var rows []daemonBench
+	for _, sys := range corpus.All() {
+		src, err := sys.SourceMap()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sys.Name, err)
+		}
+		body, err := json.Marshal(daemon.AnalyzeRequest{
+			Name: sys.Name, Sources: src, CFiles: sys.CFiles,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := daemonBench{Name: sys.Name}
+		resetCaches()
+		if row.ColdRequestNS, err = request(body); err != nil {
+			return nil, fmt.Errorf("%s cold: %w", sys.Name, err)
+		}
+		resetCaches() // only the disk tier survives this "restart"
+		if row.DiskWarmRequestNS, err = request(body); err != nil {
+			return nil, fmt.Errorf("%s disk-warm: %w", sys.Name, err)
+		}
+		for i := 0; i < 3; i++ {
+			ns, err := request(body)
+			if err != nil {
+				return nil, fmt.Errorf("%s memory-warm: %w", sys.Name, err)
+			}
+			if row.MemoryWarmRequestNS == 0 || ns < row.MemoryWarmRequestNS {
+				row.MemoryWarmRequestNS = ns
+			}
+		}
+		rows = append(rows, row)
+	}
+	// The request loop above warmed the process-wide caches with daemon
+	// traffic; reset so nothing later in a combined run sees them warm.
+	resetCaches()
+	return rows, nil
 }
 
 func runFigure1(w io.Writer) bool {

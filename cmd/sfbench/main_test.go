@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -48,6 +49,49 @@ func TestSfbenchAblation(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "per-call-path units") {
 		t.Errorf("ablation output:\n%s", out.String())
+	}
+}
+
+func TestSfbenchProfilePathErrors(t *testing.T) {
+	badPath := t.TempDir() + "/no-such-dir/out.pprof"
+	for _, flagName := range []string{"-cpuprofile", "-trace"} {
+		var out, errOut strings.Builder
+		code := run([]string{flagName, badPath, "-table1"}, &out, &errOut)
+		if code != 2 {
+			t.Errorf("%s unwritable: exit = %d, want 2", flagName, code)
+		}
+		if !strings.Contains(errOut.String(), flagName) {
+			t.Errorf("%s unwritable: stderr %q does not name the flag", flagName, errOut.String())
+		}
+		if out.Len() != 0 {
+			t.Errorf("%s unwritable: benchmark ran anyway:\n%s", flagName, out.String())
+		}
+	}
+}
+
+func TestSfbenchJSONIncludesDaemonSection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark run")
+	}
+	var out, errOut strings.Builder
+	code := run([]string{"-json", "-cachedir", t.TempDir()}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", code, errOut.String())
+	}
+	var rec benchRecord
+	if err := json.Unmarshal([]byte(out.String()), &rec); err != nil {
+		t.Fatalf("output is not a benchRecord: %v", err)
+	}
+	if rec.SchemaVersion != 2 {
+		t.Errorf("schema_version = %d, want 2", rec.SchemaVersion)
+	}
+	if len(rec.Systems) != 3 || len(rec.Daemon) != 3 {
+		t.Fatalf("systems = %d, daemon rows = %d, want 3 each", len(rec.Systems), len(rec.Daemon))
+	}
+	for _, d := range rec.Daemon {
+		if d.ColdRequestNS <= 0 || d.DiskWarmRequestNS <= 0 || d.MemoryWarmRequestNS <= 0 {
+			t.Errorf("%s: non-positive latency row %+v", d.Name, d)
+		}
 	}
 }
 

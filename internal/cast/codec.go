@@ -1,0 +1,65 @@
+// Binary (de)serialization of parsed translation units, used by the
+// persistent parse cache to share ASTs across process restarts. The
+// encoding is gob with every concrete node type registered; the AST is a
+// pure tree of exported fields (csema keeps its resolution results in
+// side tables), so a decoded File is behaviorally identical to a freshly
+// parsed one.
+//
+// CodecVersion names the encoding. The disk cache stores it with every
+// entry and invalidates entries written under a different version, so
+// this constant MUST be bumped whenever a node type gains, loses, or
+// re-types a field — gob would otherwise silently drop the difference.
+
+package cast
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// CodecVersion versions the Encode/Decode byte format (see above).
+const CodecVersion = 1
+
+func init() {
+	// Register every concrete type that can appear behind the Decl,
+	// Stmt, Expr, and TypeExpr interfaces.
+	for _, v := range []interface{}{
+		// Types.
+		&BaseType{}, &NamedType{}, &StructType{}, &EnumType{},
+		&PointerType{}, &ArrayType{}, &FuncType{},
+		// Declarations.
+		&VarDecl{}, &FieldDecl{}, &ParamDecl{}, &FuncDecl{},
+		&TypedefDecl{}, &RecordDecl{},
+		// Statements.
+		&BlockStmt{}, &DeclStmt{}, &ExprStmt{}, &EmptyStmt{}, &IfStmt{},
+		&WhileStmt{}, &DoWhileStmt{}, &ForStmt{}, &ReturnStmt{},
+		&BreakStmt{}, &ContinueStmt{}, &SwitchStmt{}, &CaseClause{},
+		&LabeledStmt{}, &GotoStmt{}, &AnnotatedStmt{},
+		// Expressions.
+		&Ident{}, &IntLit{}, &FloatLit{}, &StrLit{}, &ParenExpr{},
+		&UnaryExpr{}, &PostfixExpr{}, &BinaryExpr{}, &AssignExpr{},
+		&CondExpr{}, &CallExpr{}, &IndexExpr{}, &MemberExpr{},
+		&CastExpr{}, &SizeofExpr{},
+	} {
+		gob.Register(v)
+	}
+}
+
+// Encode serializes a parsed file for the persistent parse cache.
+func Encode(f *File) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return nil, fmt.Errorf("cast: encode %s: %w", f.Name, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode reconstructs a file serialized by Encode.
+func Decode(data []byte) (*File, error) {
+	f := new(File)
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(f); err != nil {
+		return nil, fmt.Errorf("cast: decode: %w", err)
+	}
+	return f, nil
+}

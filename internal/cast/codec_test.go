@@ -1,0 +1,91 @@
+package cast_test
+
+import (
+	"reflect"
+	"testing"
+
+	"safeflow/internal/cast"
+	"safeflow/internal/clex"
+	"safeflow/internal/cparse"
+)
+
+const codecSrc = `
+typedef struct { double v; int flags[4]; } R;
+enum mode { IDLE, RUN = 5 };
+R *region;
+static unsigned int counter;
+
+double monitor(double lo, double hi, double x);
+
+void initComm()
+/***SafeFlow Annotation shminit /***/
+{
+	region = (R *) shmat(shmget(7, sizeof(R), 0), 0, 0);
+	InitCheck(region, sizeof(R));
+	/***SafeFlow Annotation assume(shmvar(region, sizeof(R))) /***/
+}
+
+int main()
+{
+	double u = 0.0;
+	int i;
+	for (i = 0; i < 4; i++) {
+		if (region->flags[i] > 0 && i != 2)
+			u += region->v;
+		else
+			u -= 1.0;
+	}
+	while (u > 10.0) { u = u / 2.0; }
+	do { u++; } while (u < 0.0);
+	switch ((int) u) {
+	case 0:
+		u = -u;
+		break;
+	default:
+		goto out;
+	}
+out:
+	return u > 0.0 ? 1 : 0;
+}
+`
+
+func parseCodecFile(t *testing.T) *cast.File {
+	t.Helper()
+	lx := clex.New("main.c", codecSrc)
+	toks := lx.All()
+	if errs := lx.Errors(); len(errs) > 0 {
+		t.Fatalf("lex: %v", errs)
+	}
+	f, err := cparse.New("main.c", toks).ParseFile()
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	f := parseCodecFile(t)
+	data, err := cast.Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cast.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The decoded tree must be structurally identical — same source
+	// rendering and same deep structure (positions, annotations, values).
+	if cast.Print(got) != cast.Print(f) {
+		t.Fatalf("decoded tree prints differently:\n--- got ---\n%s\n--- want ---\n%s",
+			cast.Print(got), cast.Print(f))
+	}
+	if !reflect.DeepEqual(got, f) {
+		t.Fatal("decoded tree is not deeply equal to the original")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := cast.Decode([]byte("not a gob stream")); err == nil {
+		t.Fatal("Decode accepted garbage")
+	}
+}

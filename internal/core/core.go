@@ -24,6 +24,7 @@ import (
 	"safeflow/internal/callgraph"
 	"safeflow/internal/cpp"
 	"safeflow/internal/diag"
+	"safeflow/internal/diskcache"
 	"safeflow/internal/frontend"
 	"safeflow/internal/guard"
 	"safeflow/internal/ir"
@@ -96,6 +97,16 @@ type Options struct {
 	// off, forcing every translation unit through lex + parse even when
 	// its preprocessed contents are unchanged from a prior run.
 	DisableParseCache bool
+	// DiskCache, when non-nil, adds a persistent content-addressed tier
+	// below both in-memory caches: parsed ASTs (parse cache) and
+	// converged module summaries (vfg cache) are written to the store and
+	// read back across process restarts, so CLI warm starts and daemon
+	// workers skip work a previous process already did. Every entry is
+	// integrity-checked on read; a damaged entry is evicted and
+	// recomputed (cache_corrupt_evictions), never trusted. Degraded runs
+	// keep the existing contract: they neither seed from nor store to the
+	// summary tier.
+	DiskCache diskcache.CacheBackend
 	// Stats collects run metrics (per-phase wall times, pipeline shape
 	// counters, cache hit rates, peak goroutines) into Report.Metrics,
 	// which the JSON report embeds under its versioned "metrics" key.
@@ -198,6 +209,7 @@ func AnalyzeSourcesContext(ctx context.Context, name string, sources cpp.Source,
 		Defines:           opts.Defines,
 		Workers:           opts.Workers,
 		DisableParseCache: opts.DisableParseCache,
+		DiskCache:         opts.DiskCache,
 		Metrics:           col,
 	}
 	done := col.Phase("frontend")
@@ -371,6 +383,7 @@ func analyzeModuleWith(ctx context.Context, name string, res *irgen.Result, opts
 			Exponential: opts.Exponential,
 			Workers:     opts.Workers,
 			CacheKey:    opts.CacheKey,
+			DiskCache:   opts.DiskCache,
 			Ctx:         ctx,
 			Metrics:     col,
 			MissingDefs: missing,

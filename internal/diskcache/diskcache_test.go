@@ -1,0 +1,272 @@
+package diskcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func key(s string) [sha256.Size]byte { return sha256.Sum256([]byte(s)) }
+
+func open(t *testing.T, maxBytes int64) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := open(t, 0)
+	data := []byte("hello, cache")
+	s.Put("parse", 1, key("k"), data)
+	got, ok, corrupt := s.Get("parse", 1, key("k"))
+	if !ok || corrupt {
+		t.Fatalf("Get = ok:%v corrupt:%v, want hit", ok, corrupt)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("payload = %q, want %q", got, data)
+	}
+	if _, ok, _ := s.Get("parse", 1, key("missing")); ok {
+		t.Fatal("miss reported as hit")
+	}
+	st := s.Snapshot()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNamespaceIsolation(t *testing.T) {
+	s := open(t, 0)
+	s.Put("parse", 1, key("k"), []byte("parse payload"))
+	if _, ok, _ := s.Get("summary", 1, key("k")); ok {
+		t.Fatal("namespaces not isolated")
+	}
+}
+
+func TestVersionMismatchInvalidates(t *testing.T) {
+	s := open(t, 0)
+	s.Put("summary", 1, key("k"), []byte("v1 encoding"))
+	// A reader with a newer codec version must not decode the old bytes:
+	// the entry is evicted as stale, not reported as corrupt.
+	_, ok, corrupt := s.Get("summary", 2, key("k"))
+	if ok || corrupt {
+		t.Fatalf("Get v2 = ok:%v corrupt:%v, want plain miss", ok, corrupt)
+	}
+	if got := s.Len("summary"); got != 0 {
+		t.Fatalf("stale entry not evicted: %d entries left", got)
+	}
+	if st := s.Snapshot(); st.VersionEvictions != 1 {
+		t.Fatalf("VersionEvictions = %d, want 1", st.VersionEvictions)
+	}
+	// And the old reader must not see the entry again either.
+	if _, ok, _ := s.Get("summary", 1, key("k")); ok {
+		t.Fatal("evicted entry still readable")
+	}
+}
+
+func TestCorruptionEvictsAndReports(t *testing.T) {
+	s := open(t, 0)
+	s.Put("parse", 1, key("k"), []byte("some payload bytes"))
+	if n := s.Corrupt("parse", 1); n != 1 {
+		t.Fatalf("Corrupt = %d, want 1", n)
+	}
+	_, ok, corrupt := s.Get("parse", 1, key("k"))
+	if ok || !corrupt {
+		t.Fatalf("Get = ok:%v corrupt:%v, want corrupt eviction", ok, corrupt)
+	}
+	if got := s.Len("parse"); got != 0 {
+		t.Fatalf("corrupt entry not evicted: %d entries left", got)
+	}
+	if st := s.Snapshot(); st.CorruptEvictions != 1 {
+		t.Fatalf("CorruptEvictions = %d, want 1", st.CorruptEvictions)
+	}
+	// Recompute-and-restore heals the entry.
+	s.Put("parse", 1, key("k"), []byte("some payload bytes"))
+	if _, ok, _ := s.Get("parse", 1, key("k")); !ok {
+		t.Fatal("restored entry not readable")
+	}
+}
+
+func TestTruncatedEntryIsCorrupt(t *testing.T) {
+	s := open(t, 0)
+	s.Put("parse", 1, key("k"), []byte("a payload long enough to truncate"))
+	path := filepath.Join(s.Dir(), "parse", fmt.Sprintf("%x", key("k")))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ok, corrupt := s.Get("parse", 1, key("k"))
+	if ok || !corrupt {
+		t.Fatalf("Get truncated = ok:%v corrupt:%v, want corrupt", ok, corrupt)
+	}
+}
+
+func TestGarbageFileIsCorrupt(t *testing.T) {
+	s := open(t, 0)
+	path := filepath.Join(s.Dir(), "parse", fmt.Sprintf("%x", key("k")))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("not an entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, corrupt := s.Get("parse", 1, key("k")); ok || !corrupt {
+		t.Fatalf("garbage entry: ok:%v corrupt:%v, want corrupt", ok, corrupt)
+	}
+}
+
+func TestLRUSizeBound(t *testing.T) {
+	// Budget fits ~4 of the 1 KiB payloads (plus headers).
+	s := open(t, 4*(1024+headerSize))
+	payload := bytes.Repeat([]byte("x"), 1024)
+	for i := 0; i < 8; i++ {
+		k := key(fmt.Sprintf("k%d", i))
+		s.Put("parse", 1, k, payload)
+		// Distinct mtimes so LRU order is well defined on coarse
+		// filesystem clocks.
+		path := filepath.Join(s.Dir(), "parse", fmt.Sprintf("%x", k))
+		mt := time.Now().Add(time.Duration(i-8) * time.Minute)
+		os.Chtimes(path, mt, mt)
+	}
+	s.Put("parse", 1, key("final"), payload)
+	st := s.Snapshot()
+	if st.BytesInUse > 4*(1024+headerSize) {
+		t.Fatalf("store over budget: %d bytes", st.BytesInUse)
+	}
+	if st.LRUEvictions == 0 {
+		t.Fatal("no LRU evictions recorded")
+	}
+	// The newest entry must have survived; the oldest must be gone.
+	if _, ok, _ := s.Get("parse", 1, key("final")); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+	if _, ok, _ := s.Get("parse", 1, key("k0")); ok {
+		t.Fatal("least recent entry survived")
+	}
+}
+
+func TestReopenRecountsSize(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("parse", 1, key("a"), []byte("one"))
+	s.Put("parse", 1, key("b"), []byte("two"))
+	want := s.Snapshot().BytesInUse
+
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s2.Snapshot()
+	if st.BytesInUse != want || st.Entries != 2 {
+		t.Fatalf("reopened store sees %d bytes / %d entries, want %d / 2",
+			st.BytesInUse, st.Entries, want)
+	}
+	if _, ok, _ := s2.Get("parse", 1, key("a")); !ok {
+		t.Fatal("reopened store misses prior entry")
+	}
+}
+
+func TestConcurrentReadersWriters(t *testing.T) {
+	s := open(t, 0)
+	const (
+		keys    = 16
+		workers = 8
+		rounds  = 50
+	)
+	payload := func(i int) []byte {
+		return bytes.Repeat([]byte{byte('a' + i)}, 256+i)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (w + r) % keys
+				k := key(fmt.Sprintf("k%d", i))
+				if (w+r)%2 == 0 {
+					s.Put("parse", 1, k, payload(i))
+					continue
+				}
+				got, ok, corrupt := s.Get("parse", 1, k)
+				if corrupt {
+					t.Errorf("reader saw corrupt entry for k%d", i)
+					return
+				}
+				// A hit must be complete and correct — never torn.
+				if ok && !bytes.Equal(got, payload(i)) {
+					t.Errorf("reader saw torn entry for k%d: %d bytes", i, len(got))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentProcessesSimulated shares one directory between two
+// Store handles (what two safeflow processes do) and checks readers
+// never see torn or mixed entries while both write.
+func TestConcurrentProcessesSimulated(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("shared")
+	a := bytes.Repeat([]byte("A"), 4096)
+	b := bytes.Repeat([]byte("B"), 4096)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			s1.Put("parse", 1, k, a)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			s2.Put("parse", 1, k, b)
+		}
+	}()
+	readErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			got, ok, corrupt := s2.Get("parse", 1, k)
+			if corrupt {
+				readErr <- fmt.Errorf("round %d: corrupt entry", i)
+				return
+			}
+			if ok && !bytes.Equal(got, a) && !bytes.Equal(got, b) {
+				readErr <- fmt.Errorf("round %d: torn entry (%d bytes)", i, len(got))
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-readErr:
+		t.Fatal(err)
+	default:
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"safeflow/internal/cpp"
 	"safeflow/internal/csema"
 	"safeflow/internal/diag"
+	"safeflow/internal/diskcache"
 	"safeflow/internal/guard"
 	"safeflow/internal/irgen"
 	"safeflow/internal/metrics"
@@ -58,6 +59,12 @@ type Options struct {
 	// every translation unit through lex + parse (cold-run benchmarks,
 	// memory-constrained batch runs).
 	DisableParseCache bool
+	// DiskCache, when non-nil, adds a persistent tier below the in-memory
+	// parse cache: on a memory miss the unit's AST is loaded from the
+	// content-addressed store, and freshly parsed units are written back,
+	// so unchanged units survive process restarts. Integrity-checked on
+	// read; a damaged entry degrades to a miss (cache_corrupt_evictions).
+	DiskCache diskcache.CacheBackend
 	// Metrics, when non-nil, receives goroutine observations from the
 	// worker pool (peak-concurrency instrumentation) and parse-cache
 	// hit/miss counts. Nil-safe.
@@ -117,6 +124,15 @@ func compileUnitDiags(sources cpp.Source, cf string, opts Options) unitOutcome {
 			opts.Metrics.AddFrontendCache(1, 0)
 			return unitOutcome{file: f}
 		}
+		if opts.DiskCache != nil {
+			if f := parseDiskGet(opts.DiskCache, key, cf, opts.Metrics); f != nil {
+				// Promote to the in-memory tier so siblings in this run
+				// (and later runs in this process) share the decoded AST.
+				parseCachePut(key, f)
+				opts.Metrics.AddFrontendCache(1, 0)
+				return unitOutcome{file: f}
+			}
+		}
 	}
 	lx := clex.New(cf, text)
 	toks := lx.All()
@@ -162,6 +178,9 @@ func compileUnitDiags(sources cpp.Source, cf string, opts Options) unitOutcome {
 		// Only fully parsed units are stored, so a failed, cancelled or
 		// panicking compilation never publishes a partial entry.
 		parseCachePut(key, f)
+		if opts.DiskCache != nil {
+			parseDiskPut(opts.DiskCache, key, f)
+		}
 		opts.Metrics.AddFrontendCache(0, 1)
 	}
 	return unitOutcome{file: f}

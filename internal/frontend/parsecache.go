@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"safeflow/internal/cast"
+	"safeflow/internal/diskcache"
 	"safeflow/internal/metrics"
 )
 
@@ -111,6 +112,61 @@ func ParseCacheLen() int {
 	parseCache.Lock()
 	defer parseCache.Unlock()
 	return len(parseCache.files)
+}
+
+// ---------------------------------------------------------------------------
+// Disk tier. When Options.DiskCache is set, parsed ASTs are also
+// persisted to the content-addressed store (namespace "parse", payload =
+// cast.Encode bytes), so the next process — a CLI warm start, an sfbench
+// iteration, a safeflowd worker after a restart — skips lex + parse for
+// unchanged preprocessed units. The store verifies a SHA-256 of every
+// payload on read and evicts on mismatch; on top of that the decoded AST
+// is checked against the unit name it was stored for, so a disk hit can
+// only ever produce the same AST a fresh parse would.
+
+// parseDiskNS is the store namespace for parse entries.
+const parseDiskNS = "parse"
+
+// parseDiskVersion versions the payload encoding; it tracks
+// cast.CodecVersion so an AST shape change invalidates old entries
+// instead of decoding them with the wrong codec.
+const parseDiskVersion = cast.CodecVersion
+
+// parseDiskGet consults the persistent tier after an in-memory miss.
+// Any integrity failure — store checksum, undecodable payload, unit-name
+// echo mismatch — degrades to a miss and is counted as a corrupt
+// eviction (col is nil-safe).
+func parseDiskGet(dc diskcache.CacheBackend, key [sha256.Size]byte, cf string, col *metrics.Collector) *cast.File {
+	data, ok, corrupt := dc.Get(parseDiskNS, parseDiskVersion, key)
+	if corrupt {
+		col.AddCacheCorruptEvictions(1)
+	}
+	if !ok {
+		col.AddDiskCache(0, 1)
+		return nil
+	}
+	f, err := cast.Decode(data)
+	if err != nil || f == nil || f.Name != cf {
+		// The payload passed the store's checksum but does not decode to
+		// an AST for this unit (codec bug or stale entry written without
+		// a version bump): treat as corrupt. The recomputed entry is
+		// re-stored, healing it.
+		col.AddCacheCorruptEvictions(1)
+		col.AddDiskCache(0, 1)
+		return nil
+	}
+	col.AddDiskCache(1, 0)
+	return f
+}
+
+// parseDiskPut persists a freshly parsed unit; encoding failures just
+// skip the store (the cache is an accelerator, not a store of record).
+func parseDiskPut(dc diskcache.CacheBackend, key [sha256.Size]byte, f *cast.File) {
+	data, err := cast.Encode(f)
+	if err != nil {
+		return
+	}
+	dc.Put(parseDiskNS, parseDiskVersion, key, data)
 }
 
 // CorruptParseCache damages up to n cached entries in place (test hook

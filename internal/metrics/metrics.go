@@ -45,9 +45,15 @@ type RunMetrics struct {
 	// schema stays backward compatible with v1 consumers).
 	FrontendCacheHits   int `json:"frontend_cache_hits,omitempty"`
 	FrontendCacheMisses int `json:"frontend_cache_misses,omitempty"`
-	// CacheCorruptEvictions counts cache entries (parse or summary) whose
-	// integrity check failed on load: each was evicted and recomputed
-	// instead of poisoning the run. Omitted from JSON when zero.
+	// Disk-cache tier counters (omitted from JSON when zero): hits and
+	// misses observed against the persistent content-addressed store that
+	// backs the parse and summary caches across process restarts.
+	DiskCacheHits   int `json:"disk_cache_hits,omitempty"`
+	DiskCacheMisses int `json:"disk_cache_misses,omitempty"`
+	// CacheCorruptEvictions counts cache entries (parse, summary, or
+	// disk) whose integrity check failed on load: each was evicted and
+	// recomputed instead of poisoning the run. Omitted from JSON when
+	// zero.
 	CacheCorruptEvictions int `json:"cache_corrupt_evictions,omitempty"`
 	PeakGoroutines        int `json:"peak_goroutines"`
 }
@@ -73,6 +79,8 @@ func (m *RunMetrics) Canonicalize() {
 	m.CacheMisses = 0
 	m.FrontendCacheHits = 0
 	m.FrontendCacheMisses = 0
+	m.DiskCacheHits = 0
+	m.DiskCacheMisses = 0
 	m.CacheCorruptEvictions = 0
 	m.PeakGoroutines = 0
 }
@@ -144,6 +152,18 @@ func (c *Collector) AddFrontendCache(hits, misses int) {
 	c.mu.Lock()
 	c.m.FrontendCacheHits += hits
 	c.m.FrontendCacheMisses += misses
+	c.mu.Unlock()
+}
+
+// AddDiskCache accumulates persistent-cache hit/miss counts; the parse
+// and summary caches report concurrently when a disk tier is attached.
+func (c *Collector) AddDiskCache(hits, misses int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.m.DiskCacheHits += hits
+	c.m.DiskCacheMisses += misses
 	c.mu.Unlock()
 }
 

@@ -215,7 +215,6 @@ func (a *analysis) storeSummaryCache() {
 
 	mod.check = mod.checksum()
 	summaryCache.Lock()
-	defer summaryCache.Unlock()
 	if _, have := summaryCache.mods[a.cfg.CacheKey]; !have && len(summaryCache.mods) >= maxCachedModules {
 		for k := range summaryCache.mods {
 			delete(summaryCache.mods, k)
@@ -223,6 +222,18 @@ func (a *analysis) storeSummaryCache() {
 		}
 	}
 	summaryCache.mods[a.cfg.CacheKey] = mod
+	summaryCache.Unlock()
+
+	// Persistent tier: publish the converged module so the next process
+	// starts warm. Encoding failures just skip the store. This runs only
+	// on converged, unfaulted runs (the scheduler skips storeSummaryCache
+	// otherwise), so the disk inherits the never-publish-partial-state
+	// contract.
+	if a.cfg.DiskCache != nil {
+		if data, err := encodeModule(mod); err == nil {
+			a.cfg.DiskCache.Put(summaryDiskNS, summaryDiskVersion, summaryDiskKey(a.cfg.CacheKey), data)
+		}
+	}
 }
 
 // ResetSummaryCache empties the cross-run summary cache (cache tests and
@@ -275,6 +286,43 @@ func CorruptSummaryCache(n int) int {
 		corrupted++
 	}
 	return corrupted
+}
+
+// seedFromDisk loads this module's converged snapshot from the
+// persistent tier. A hit is promoted into the in-memory cache (so
+// sibling runs in this process skip the decode); any integrity failure
+// degrades to a miss counted as a corrupt eviction.
+func (a *analysis) seedFromDisk() *cachedModule {
+	data, ok, corrupt := a.cfg.DiskCache.Get(summaryDiskNS, summaryDiskVersion, summaryDiskKey(a.cfg.CacheKey))
+	if corrupt {
+		a.cfg.Metrics.AddCacheCorruptEvictions(1)
+	}
+	if !ok {
+		a.cfg.Metrics.AddDiskCache(0, 1)
+		return nil
+	}
+	mod, err := decodeModule(data)
+	if err != nil || mod.check != mod.checksum() {
+		// Passed the store's payload checksum but is not a valid module
+		// snapshot (codec bug or an unbumped version): solve cold. The
+		// converged run re-stores the entry, healing it.
+		a.cfg.Metrics.AddCacheCorruptEvictions(1)
+		a.cfg.Metrics.AddDiskCache(0, 1)
+		return nil
+	}
+	a.cfg.Metrics.AddDiskCache(1, 0)
+	summaryCache.Lock()
+	if _, have := summaryCache.mods[a.cfg.CacheKey]; !have {
+		if len(summaryCache.mods) >= maxCachedModules {
+			for k := range summaryCache.mods {
+				delete(summaryCache.mods, k)
+				break
+			}
+		}
+		summaryCache.mods[a.cfg.CacheKey] = mod
+	}
+	summaryCache.Unlock()
+	return mod
 }
 
 // ---------------------------------------------------------------------------
@@ -391,6 +439,12 @@ func (a *analysis) seedSummaryCache() {
 		a.cfg.Metrics.AddCacheCorruptEvictions(1)
 	}
 	summaryCache.Unlock()
+	if mod == nil && a.cfg.DiskCache != nil {
+		// Persistent tier: a prior process may have converged this exact
+		// module. The decoded snapshot re-verifies its structural checksum
+		// before seeding, mirroring the in-memory self-check.
+		mod = a.seedFromDisk()
+	}
 	if mod == nil {
 		a.cacheMisses = len(a.unitList)
 		return

@@ -1,0 +1,211 @@
+// Persistent form of the summary cache. The in-memory cache stores a
+// module's converged summaries in a portable (pointer-free) shape
+// already — positions, names, byte offsets — so the disk tier only has
+// to mirror that shape into gob-encodable structs (gob requires exported
+// fields) and back. Entries are keyed by the SHA-256 of the module's
+// CacheKey (which itself fingerprints the full source set and the
+// options that change phase-3 results), so a disk hit can only seed a
+// run analyzing an identical module.
+//
+// Integrity is checked twice on load: the disk store verifies the
+// SHA-256 of the raw payload (torn or bit-rotted files), and the decoded
+// module re-verifies the structural FNV checksum recorded at store time
+// (the same self-check the in-memory cache applies). Either failure
+// degrades to a miss, counted as a cache_corrupt_eviction, and the run
+// solves cold — seeding is an acceleration, never a source of truth.
+
+package vfg
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+
+	"safeflow/internal/ctoken"
+	"safeflow/internal/pointsto"
+)
+
+// summaryDiskNS is the store namespace for summary entries.
+const summaryDiskNS = "summary"
+
+// summaryDiskVersion versions the wire encoding below. Bump it whenever
+// a wire struct gains, loses, or re-types a field — the disk store
+// invalidates entries written under any other version instead of
+// decoding them with the wrong codec.
+const summaryDiskVersion = 1
+
+// Wire mirrors of the portable summary domain (exported fields for gob).
+
+type wireSrc struct {
+	Pos    ctoken.Pos
+	Kind   SourceKind
+	Region string
+	Detail string
+	Fn     string
+}
+
+type wireSrcTaint struct {
+	Src wireSrc
+	K   Kind
+}
+
+type wireTaint struct {
+	Srcs   []wireSrcTaint
+	Params map[int]Kind
+}
+
+type wireObj struct {
+	Kind pointsto.ObjKind
+	Name string
+	Fn   string
+	Pos  ctoken.Pos
+}
+
+type wireRef struct {
+	Obj wireObj
+	Off int64
+}
+
+type wireEffect struct {
+	Ref    wireRef
+	Params map[int]Kind
+}
+
+type wireObligation struct {
+	Pos    ctoken.Pos
+	FnName string
+	Vbl    string
+	Params map[int]Kind
+}
+
+type wireSummary struct {
+	Ret     wireTaint
+	Effects []wireEffect
+	Asserts []wireObligation
+}
+
+type wireCell struct {
+	Ref   wireRef
+	Taint wireTaint
+}
+
+type wireModule struct {
+	Units map[string]wireSummary
+	Cells []wireCell
+	Check uint64
+}
+
+// ---------------------------------------------------------------------------
+// cachedModule → wire
+
+func toWireTaint(p pTaint) wireTaint {
+	out := wireTaint{Params: p.params}
+	for _, st := range p.srcs {
+		out.Srcs = append(out.Srcs, wireSrcTaint{
+			Src: wireSrc{
+				Pos:    st.src.key.pos,
+				Kind:   st.src.key.kind,
+				Region: st.src.key.region,
+				Detail: st.src.key.detail,
+				Fn:     st.src.fn,
+			},
+			K: st.k,
+		})
+	}
+	return out
+}
+
+func toWireRef(r pRef) wireRef {
+	return wireRef{
+		Obj: wireObj{Kind: r.obj.kind, Name: r.obj.name, Fn: r.obj.fn, Pos: r.obj.pos},
+		Off: r.off,
+	}
+}
+
+func toWireModule(m *cachedModule) *wireModule {
+	out := &wireModule{Units: make(map[string]wireSummary, len(m.units)), Check: m.check}
+	for k, s := range m.units {
+		ws := wireSummary{Ret: toWireTaint(s.ret)}
+		for _, e := range s.effects {
+			ws.Effects = append(ws.Effects, wireEffect{Ref: toWireRef(e.ref), Params: e.params})
+		}
+		for _, o := range s.asserts {
+			ws.Asserts = append(ws.Asserts, wireObligation{
+				Pos: o.pos, FnName: o.fnName, Vbl: o.vbl, Params: o.params,
+			})
+		}
+		out.Units[k] = ws
+	}
+	for _, c := range m.cells {
+		out.Cells = append(out.Cells, wireCell{Ref: toWireRef(c.ref), Taint: toWireTaint(c.taint)})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// wire → cachedModule
+
+func fromWireTaint(w wireTaint) pTaint {
+	out := pTaint{params: w.Params}
+	for _, st := range w.Srcs {
+		out.srcs = append(out.srcs, pSrcTaint{
+			src: pSrc{
+				key: srcKey{pos: st.Src.Pos, kind: st.Src.Kind, region: st.Src.Region, detail: st.Src.Detail},
+				fn:  st.Src.Fn,
+			},
+			k: st.K,
+		})
+	}
+	return out
+}
+
+func fromWireRef(w wireRef) pRef {
+	return pRef{
+		obj: objDesc{kind: w.Obj.Kind, name: w.Obj.Name, fn: w.Obj.Fn, pos: w.Obj.Pos},
+		off: w.Off,
+	}
+}
+
+func fromWireModule(w *wireModule) *cachedModule {
+	out := &cachedModule{units: make(map[string]pSummary, len(w.Units)), check: w.Check}
+	for k, ws := range w.Units {
+		s := pSummary{ret: fromWireTaint(ws.Ret)}
+		for _, e := range ws.Effects {
+			s.effects = append(s.effects, pEffect{ref: fromWireRef(e.Ref), params: e.Params})
+		}
+		for _, o := range ws.Asserts {
+			s.asserts = append(s.asserts, pObligation{
+				pos: o.Pos, fnName: o.FnName, vbl: o.Vbl, params: o.Params,
+			})
+		}
+		out.units[k] = s
+	}
+	for _, c := range w.Cells {
+		out.cells = append(out.cells, pCell{ref: fromWireRef(c.Ref), taint: fromWireTaint(c.Taint)})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Encode / decode
+
+// summaryDiskKey derives the store key from the module cache key.
+func summaryDiskKey(cacheKey string) [sha256.Size]byte {
+	return sha256.Sum256([]byte("summary\x00" + cacheKey))
+}
+
+func encodeModule(m *cachedModule) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(toWireModule(m)); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeModule(data []byte) (*cachedModule, error) {
+	w := new(wireModule)
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(w); err != nil {
+		return nil, err
+	}
+	return fromWireModule(w), nil
+}

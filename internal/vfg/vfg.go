@@ -28,6 +28,7 @@ import (
 	"safeflow/internal/cfgraph"
 	"safeflow/internal/ctoken"
 	"safeflow/internal/dataflow"
+	"safeflow/internal/diskcache"
 	"safeflow/internal/ir"
 	"safeflow/internal/irgen"
 	"safeflow/internal/metrics"
@@ -59,6 +60,12 @@ type Config struct {
 	// summaries are stored back. The key must fingerprint the module
 	// contents (see core.AnalyzeModule).
 	CacheKey string
+	// DiskCache, when non-nil (and CacheKey is set), adds a persistent
+	// tier below the in-memory summary cache: converged modules are also
+	// written to the content-addressed store and seeded back after a
+	// process restart. Integrity-checked on read (store checksum plus the
+	// module's structural checksum); a damaged entry degrades to a miss.
+	DiskCache diskcache.CacheBackend
 	// Ctx, when non-nil, cancels the analysis between units: the drivers
 	// check it between fixpoint rounds and before each SCC solve, so a
 	// cancelled run stops promptly with a partial (discarded) result and

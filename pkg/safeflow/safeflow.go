@@ -39,6 +39,7 @@ import (
 
 	"safeflow/internal/core"
 	"safeflow/internal/cpp"
+	"safeflow/internal/diskcache"
 	"safeflow/internal/guard"
 	"safeflow/internal/metrics"
 	"safeflow/internal/pointsto"
@@ -77,6 +78,43 @@ type InternalError = guard.InternalError
 // RunMetrics is one run's instrumentation snapshot (Options.Stats),
 // embedded in the JSON report under the versioned "metrics" key.
 type RunMetrics = metrics.RunMetrics
+
+// CacheBackend is the persistent cache interface accepted by
+// Options.DiskCache; DiskCache (from OpenDiskCache) is the standard
+// implementation.
+type CacheBackend = diskcache.CacheBackend
+
+// DiskCache is a content-addressed on-disk cache shared by every
+// SafeFlow process pointed at the same directory: parsed translation
+// units and converged module summaries persist across process restarts,
+// so repeated analyses of unchanged inputs start warm even from a cold
+// process. Every entry is integrity-checked on read (SHA-256 of the
+// payload recorded at store time); corrupted entries are evicted and
+// recomputed, surfacing in run metrics as cache_corrupt_evictions. The
+// store is size-bounded with least-recently-used eviction.
+type DiskCache = diskcache.Store
+
+// DiskCacheStats is a snapshot of a DiskCache's counters.
+type DiskCacheStats = diskcache.Stats
+
+// OpenDiskCache opens (creating if needed) the persistent cache rooted
+// at dir. maxBytes bounds the store's total size; 0 applies the default
+// budget (256 MiB). Concurrent processes may share one directory:
+// writes are atomic renames, so readers see complete entries or misses,
+// never torn bytes.
+func OpenDiskCache(dir string, maxBytes int64) (*DiskCache, error) {
+	return diskcache.Open(dir, maxBytes)
+}
+
+// DefaultCacheDir returns the conventional per-user location for the
+// persistent cache (<user cache dir>/safeflow), without creating it.
+func DefaultCacheDir() (string, error) {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", fmt.Errorf("safeflow: %w", err)
+	}
+	return filepath.Join(base, "safeflow"), nil
+}
 
 // Alias-analysis modes for Options.PointsTo.
 const (
