@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"safeflow/internal/annot"
+	"safeflow/internal/fuzzcamp"
 )
 
 // fuzzSizer resolves a couple of plausible type names and rejects the
@@ -21,6 +22,14 @@ var fuzzSizer = annot.TypeSizerFunc(func(name string) (int64, bool) {
 // Malformed input must come back as an error, never a panic, and
 // accepted input must yield at least one fact.
 func FuzzAnnotationParse(f *testing.F) {
+	// Annotation bodies harvested from the sffuzz campaign's seed
+	// systems, so the native fuzzer and the mutation campaign share a
+	// frontier.
+	for _, in := range fuzzcamp.SeedInputs(1, 4) {
+		for _, body := range fuzzcamp.AnnotationBodies(in) {
+			f.Add(body)
+		}
+	}
 	for _, seed := range []string{
 		"shminit",
 		"assume(shmvar(feedback, sizeof(SHMData)))",

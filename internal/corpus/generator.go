@@ -20,28 +20,46 @@ import (
 	"strings"
 )
 
-// GenConfig bounds the generated system's shape. Zero fields take the
-// defaults noted on each.
+// GenConfig bounds the generated system's shape. Zero and negative
+// fields take the defaults noted on each; values beyond the caps are
+// clamped. Generate always runs on the Normalize'd form, so degenerate
+// configurations (negative counts, absurd sizes) cannot produce
+// malformed systems or runaway output — they produce the documented
+// defaults.
 type GenConfig struct {
-	Regions  int // shared-memory regions (default 2, min 1)
-	Monitors int // monitored accessor functions (default 2, min 1)
-	Stages   int // chained helper stages (default 3, min 1)
-	Depth    int // statement nesting depth (default 2)
+	Regions  int // shared-memory regions (default 2, min 1, max 64)
+	Monitors int // monitored accessor functions (default 2, min 1, max 64)
+	Stages   int // chained helper stages (default 3, min 1, max 64)
+	Depth    int // statement nesting depth (default 2, min 1, max 6)
 }
 
-func (c GenConfig) withDefaults() GenConfig {
-	if c.Regions <= 0 {
-		c.Regions = 2
+// Shape caps: a generated system is a test input, not a stress corpus;
+// anything past these bounds would only slow campaigns down without
+// reaching new analyzer behavior.
+const (
+	maxGenCount = 64 // Regions, Monitors, Stages
+	maxGenDepth = 6
+)
+
+// Normalize returns the validated configuration Generate actually
+// runs: non-positive fields replaced by their defaults, oversized
+// fields clamped to the caps. Corpus stores that key on (seed, config)
+// should persist the normalized form, since two configurations that
+// normalize equal generate byte-identical systems.
+func (c GenConfig) Normalize() GenConfig {
+	clamp := func(v, def, max int) int {
+		switch {
+		case v <= 0:
+			return def
+		case v > max:
+			return max
+		}
+		return v
 	}
-	if c.Monitors <= 0 {
-		c.Monitors = 2
-	}
-	if c.Stages <= 0 {
-		c.Stages = 3
-	}
-	if c.Depth <= 0 {
-		c.Depth = 2
-	}
+	c.Regions = clamp(c.Regions, 2, maxGenCount)
+	c.Monitors = clamp(c.Monitors, 2, maxGenCount)
+	c.Stages = clamp(c.Stages, 3, maxGenCount)
+	c.Depth = clamp(c.Depth, 2, maxGenDepth)
 	return c
 }
 
@@ -61,7 +79,7 @@ type sysGen struct {
 // Generate emits the system for one seed. Identical (seed, cfg) inputs
 // produce identical sources.
 func Generate(seed int64, cfg GenConfig) Generated {
-	g := &sysGen{r: rand.New(rand.NewSource(seed)), cfg: cfg.withDefaults()}
+	g := &sysGen{r: rand.New(rand.NewSource(seed)), cfg: cfg.Normalize()}
 	return Generated{
 		Name: fmt.Sprintf("gen-%d", seed),
 		Sources: map[string]string{

@@ -50,12 +50,13 @@ func TestDifferentialDegradedInclusion(t *testing.T) {
 			}
 
 			// Degraded static verdicts on the faulted program.
-			fr, err := Run(context.Background(), Scenario{Seed: seed, Faults: 1})
+			sc := Scenario{Seed: seed, Faults: 1}
+			fr, err := Run(context.Background(), sc)
 			if err != nil {
-				t.Fatal(err)
+				t.Fatalf("%v\n%s", err, sc.Repro())
 			}
 			if !fr.Report.Degraded {
-				t.Fatal("faulted run not degraded")
+				t.Fatalf("faulted run not degraded\n%s", sc.Repro())
 			}
 			skipped := map[string]bool{}
 			for _, u := range diag.Units(fr.Report.Diagnostics) {
@@ -73,8 +74,8 @@ func TestDifferentialDegradedInclusion(t *testing.T) {
 					}
 					checked++
 					if !staticData[pos] {
-						t.Errorf("dynamically tainted %s at %s (surviving unit) missing from degraded static errors",
-							sink, pos)
+						t.Errorf("dynamically tainted %s at %s (surviving unit) missing from degraded static errors\n%s",
+							sink, pos, sc.Repro())
 					}
 				}
 			}

@@ -104,12 +104,13 @@ func TestDegradedRunsAreDeterministic(t *testing.T) {
 			baseline := runtime.NumGoroutine()
 			var first *Result
 			for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
-				res, err := Run(context.Background(), Scenario{Seed: seed, Faults: 1, Workers: workers})
+				sc := Scenario{Seed: seed, Faults: 1, Workers: workers}
+				res, err := Run(context.Background(), sc)
 				if err != nil {
-					t.Fatalf("workers=%d: %v", workers, err)
+					t.Fatalf("workers=%d: %v\n%s", workers, err, sc.Repro())
 				}
 				if !res.Report.Degraded {
-					t.Fatalf("workers=%d: run not degraded", workers)
+					t.Fatalf("workers=%d: run not degraded\n%s", workers, sc.Repro())
 				}
 				skipped := map[string]bool{}
 				for _, u := range diag.Units(res.Report.Diagnostics) {
@@ -117,7 +118,8 @@ func TestDegradedRunsAreDeterministic(t *testing.T) {
 				}
 				for _, f := range res.Faults {
 					if !skipped[f.Unit] {
-						t.Errorf("workers=%d: faulted unit %s missing from diagnostics", workers, f.Unit)
+						t.Errorf("workers=%d: faulted unit %s missing from diagnostics\n%s",
+							workers, f.Unit, sc.Repro())
 					}
 				}
 				if first == nil {
@@ -125,11 +127,11 @@ func TestDegradedRunsAreDeterministic(t *testing.T) {
 					continue
 				}
 				if res.Text != first.Text {
-					t.Errorf("workers=%d: text report differs\n--- workers=1:\n%s\n--- workers=%d:\n%s",
-						workers, first.Text, workers, res.Text)
+					t.Errorf("workers=%d: text report differs (%s)\n--- workers=1:\n%s\n--- workers=%d:\n%s",
+						workers, sc.Repro(), first.Text, workers, res.Text)
 				}
 				if res.JSON != first.JSON {
-					t.Errorf("workers=%d: JSON report differs", workers)
+					t.Errorf("workers=%d: JSON report differs\n%s", workers, sc.Repro())
 				}
 			}
 			if err := WaitGoroutineBaseline(baseline, 2*time.Second); err != nil {
@@ -148,12 +150,13 @@ func TestNoSummaryCacheWritesOnFaultedRuns(t *testing.T) {
 	defer vfg.ResetSummaryCache()
 	defer frontend.ResetParseCache()
 	for _, seed := range harnessSeeds {
-		if _, err := Run(context.Background(), Scenario{Seed: seed, Faults: 1}); err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
+		sc := Scenario{Seed: seed, Faults: 1}
+		if _, err := Run(context.Background(), sc); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, sc.Repro())
 		}
 		if n := vfg.SummaryCacheLen(); n != 0 {
-			t.Fatalf("seed %d: faulted run wrote %d summary-cache entries (keys %v)",
-				seed, n, vfg.SummaryCacheKeys())
+			t.Fatalf("seed %d: faulted run wrote %d summary-cache entries (keys %v)\n%s",
+				seed, n, vfg.SummaryCacheKeys(), sc.Repro())
 		}
 	}
 }
@@ -163,9 +166,10 @@ func TestNoSummaryCacheWritesOnFaultedRuns(t *testing.T) {
 func TestNoParseCacheEntryForFaultedUnit(t *testing.T) {
 	for _, seed := range harnessSeeds {
 		frontend.ResetParseCache()
-		res, err := Run(context.Background(), Scenario{Seed: seed, Faults: 1})
+		sc := Scenario{Seed: seed, Faults: 1}
+		res, err := Run(context.Background(), sc)
 		if err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
+			t.Fatalf("seed %d: %v\n%s", seed, err, sc.Repro())
 		}
 		want := len(res.System.CFiles)
 		for _, f := range res.Faults {
@@ -174,8 +178,8 @@ func TestNoParseCacheEntryForFaultedUnit(t *testing.T) {
 			}
 		}
 		if n := frontend.ParseCacheLen(); n != want {
-			t.Errorf("seed %d (faults %v): parse cache has %d entries, want %d",
-				seed, res.Faults, n, want)
+			t.Errorf("seed %d (faults %v): parse cache has %d entries, want %d\n%s",
+				seed, res.Faults, n, want, sc.Repro())
 		}
 	}
 	frontend.ResetParseCache()
@@ -190,8 +194,9 @@ func TestCacheCorruptionSelfHeals(t *testing.T) {
 	defer vfg.ResetSummaryCache()
 	defer frontend.ResetParseCache()
 
+	scen := Scenario{Seed: 42, Stats: true}
 	run := func() (*Result, error) {
-		return Run(context.Background(), Scenario{Seed: 42, Stats: true})
+		return Run(context.Background(), scen)
 	}
 	warm, err := run()
 	if err != nil {
@@ -218,8 +223,8 @@ func TestCacheCorruptionSelfHeals(t *testing.T) {
 		t.Fatal(err)
 	}
 	if healed.Text != warm.Text {
-		t.Errorf("report changed after cache corruption\n--- warm:\n%s\n--- healed:\n%s",
-			warm.Text, healed.Text)
+		t.Errorf("report changed after cache corruption (%s)\n--- warm:\n%s\n--- healed:\n%s",
+			scen.Repro(), warm.Text, healed.Text)
 	}
 	m := healed.Report.Metrics
 	if m == nil {
@@ -271,20 +276,21 @@ func TestSeededCancellation(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 	for i, seed := range harnessSeeds {
 		phase := phases[(int(seed)+i)%len(phases)]
+		sc := Scenario{Seed: seed, Faults: 1, Workers: 2}
 		ctx, cancel := context.WithCancel(context.Background())
 		core.SetPhaseHook(func(p, system string) {
 			if p == phase {
 				cancel()
 			}
 		})
-		_, err := Run(ctx, Scenario{Seed: seed, Faults: 1, Workers: 2})
+		_, err := Run(ctx, sc)
 		core.SetPhaseHook(nil)
 		cancel()
 		if err != context.Canceled {
-			t.Errorf("seed %d cancel@%s: err = %v, want context.Canceled", seed, phase, err)
+			t.Errorf("seed %d cancel@%s: err = %v, want context.Canceled\n%s", seed, phase, err, sc.Repro())
 		}
 		if n := vfg.SummaryCacheLen(); n != 0 {
-			t.Errorf("seed %d cancel@%s: cancelled run wrote %d summary entries", seed, phase, n)
+			t.Errorf("seed %d cancel@%s: cancelled run wrote %d summary entries\n%s", seed, phase, n, sc.Repro())
 		}
 	}
 	if err := WaitGoroutineBaseline(baseline, 2*time.Second); err != nil {

@@ -6,6 +6,8 @@ package faultinject
 
 import (
 	"context"
+	"fmt"
+	"strconv"
 	"strings"
 
 	"safeflow/internal/core"
@@ -28,6 +30,67 @@ type Scenario struct {
 	Faults  int              // faulted units (clamped to len(EligibleUnits))
 	Workers int              // pipeline worker count (0 = GOMAXPROCS)
 	Stats   bool             // collect run metrics into Report.Metrics
+}
+
+// String renders the scenario in its canonical replayable form:
+// "seed=S,gen=R/M/St/D,faults=F,workers=W,stats=B". ParseScenario is
+// its exact inverse, so a failing run's printed scenario pastes
+// directly into a replay command.
+func (sc Scenario) String() string {
+	return fmt.Sprintf("seed=%d,gen=%d/%d/%d/%d,faults=%d,workers=%d,stats=%v",
+		sc.Seed, sc.Gen.Regions, sc.Gen.Monitors, sc.Gen.Stages, sc.Gen.Depth,
+		sc.Faults, sc.Workers, sc.Stats)
+}
+
+// Repro returns the one-command replay line for the scenario; every
+// harness failure message carries it so a campaign or CI finding is
+// reproducible without reading the test source.
+func (sc Scenario) Repro() string {
+	return fmt.Sprintf("replay: go test ./internal/faultinject -run 'TestReplayScenario' -scenario '%s'", sc)
+}
+
+// ParseScenario parses the String form back into a Scenario.
+func ParseScenario(s string) (Scenario, error) {
+	var sc Scenario
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return sc, fmt.Errorf("faultinject: scenario field %q is not key=value", part)
+		}
+		var err error
+		switch key {
+		case "seed":
+			sc.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "gen":
+			var shape [4]int
+			fields := strings.Split(val, "/")
+			if len(fields) != len(shape) {
+				return sc, fmt.Errorf("faultinject: gen %q: want R/M/St/D", val)
+			}
+			for i, f := range fields {
+				if shape[i], err = strconv.Atoi(f); err != nil {
+					break
+				}
+			}
+			sc.Gen = corpus.GenConfig{Regions: shape[0], Monitors: shape[1], Stages: shape[2], Depth: shape[3]}
+		case "faults":
+			sc.Faults, err = strconv.Atoi(val)
+		case "workers":
+			sc.Workers, err = strconv.Atoi(val)
+		case "stats":
+			sc.Stats, err = strconv.ParseBool(val)
+		default:
+			return sc, fmt.Errorf("faultinject: unknown scenario field %q", key)
+		}
+		if err != nil {
+			return sc, fmt.Errorf("faultinject: scenario field %q: %w", part, err)
+		}
+	}
+	return sc, nil
 }
 
 // Result is one scenario's outcome.

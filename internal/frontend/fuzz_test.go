@@ -9,7 +9,22 @@ import (
 	"safeflow/internal/corpus"
 	"safeflow/internal/cpp"
 	"safeflow/internal/frontend"
+	"safeflow/internal/fuzzcamp"
 )
+
+// campaignSeedTexts is the shared seed frontier with the sffuzz
+// campaign (fuzzcamp.SeedInputs): the same generated systems seed both
+// `go test -fuzz` and the mutation campaign, so a corpus file found
+// interesting by one explores from the other's starting line.
+func campaignSeedTexts() []string {
+	var texts []string
+	for _, in := range fuzzcamp.SeedInputs(1, 4) {
+		for _, name := range in.Files() {
+			texts = append(texts, in.Sources[name])
+		}
+	}
+	return texts
+}
 
 // FuzzCompile feeds arbitrary C-subset sources through the whole
 // pipeline: compilation and then full analysis. Both must reject bad
@@ -27,6 +42,9 @@ func FuzzCompile(f *testing.F) {
 		for _, text := range src {
 			f.Add(text)
 		}
+	}
+	for _, text := range campaignSeedTexts() {
+		f.Add(text)
 	}
 	for _, seed := range []string{
 		"int main() { return 0; }",
@@ -57,6 +75,9 @@ func FuzzCompile(f *testing.F) {
 // produce identical diagnostic lists (the degraded-report determinism
 // guarantee starts here).
 func FuzzParseRecovery(f *testing.F) {
+	for _, text := range campaignSeedTexts() {
+		f.Add(text)
+	}
 	for _, seed := range []string{
 		"int main() { return 0; }",
 		"int main( { return 0; }",

@@ -1,0 +1,222 @@
+package fuzzcamp
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// testExec is the executor configuration the package tests share:
+// honest oracles, a tight interpreter budget.
+func testExec() Executor { return Executor{MaxSteps: 500_000} }
+
+// TestSeedInputsExecuteClean guards the campaign against oracle false
+// positives: every generator-derived seed input must execute with no
+// violation under the honest executor — otherwise the campaign would
+// "find" bugs in a correct analyzer.
+func TestSeedInputsExecuteClean(t *testing.T) {
+	exec := testExec()
+	for _, in := range SeedInputs(1, 4) {
+		res, err := exec.Execute(context.Background(), in)
+		if err != nil {
+			t.Fatalf("%s: %v", in.Name, err)
+		}
+		if res.Violation != nil {
+			t.Errorf("%s: honest executor reports violation: %v", in.Name, res.Violation)
+		}
+		if res.Sig == "" {
+			t.Errorf("%s: empty coverage signature", in.Name)
+		}
+	}
+}
+
+// hashDir fingerprints a corpus directory's persisted entries.
+func hashDir(t *testing.T, dir string) string {
+	t.Helper()
+	glob, err := filepath.Glob(filepath.Join(dir, "corpus", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(glob)
+	h := sha256.New()
+	for _, p := range glob {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(h, "%s:%d:", filepath.Base(p), len(data))
+		h.Write(data)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// The acceptance-criteria determinism pin: the same seed and execution
+// budget reproduce the same corpus evolution (byte-identical persisted
+// corpus) and the same coverage counters, at any GOMAXPROCS.
+func TestCampaignDeterministic(t *testing.T) {
+	run := func(dir string) *Stats {
+		stats, err := Run(context.Background(), Config{
+			Seed:           7,
+			CorpusDir:      dir,
+			MaxExecs:       12,
+			SeedCount:      3,
+			MinimizeBudget: 20,
+			Exec:           testExec(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	dirA, dirB := t.TempDir(), t.TempDir()
+	a, b := run(dirA), run(dirB)
+	a.Elapsed, b.Elapsed = 0, 0
+	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+		t.Errorf("campaign stats differ across identical seeds:\n%+v\n%+v", a, b)
+	}
+	if ha, hb := hashDir(t, dirA), hashDir(t, dirB); ha != hb {
+		t.Errorf("persisted corpus differs across identical seeds: %s vs %s", ha, hb)
+	}
+	if a.Execs != 12 {
+		t.Errorf("Execs = %d, want 12", a.Execs)
+	}
+	if a.Signatures == 0 || a.CorpusSize == 0 {
+		t.Errorf("no coverage recorded: %+v", a)
+	}
+}
+
+// A persisted corpus re-seeds the next campaign: the second run loads
+// the first run's entries and keeps evolving them.
+func TestCampaignPersistsAndReloads(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Seed: 3, CorpusDir: dir, MaxExecs: 6, SeedCount: 2,
+		MinimizeBudget: 20, Exec: testExec()}
+	first, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := OpenCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	persisted, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(persisted) == 0 {
+		t.Fatal("first campaign persisted nothing")
+	}
+	second, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.SeedInputs != first.SeedInputs+len(persisted) {
+		t.Errorf("second campaign seeded %d inputs, want %d (persisted %d + generator %d)",
+			second.SeedInputs, first.SeedInputs+len(persisted), len(persisted), first.SeedInputs)
+	}
+}
+
+// A campaign with no bound must refuse to start rather than run forever.
+func TestCampaignRequiresBound(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Seed: 1}); err == nil {
+		t.Fatal("unbounded campaign did not error")
+	}
+}
+
+func TestQueueDeterministicWeightedChoice(t *testing.T) {
+	mk := func() []string {
+		q := NewQueue(rand.New(rand.NewSource(9)))
+		for i := 0; i < 5; i++ {
+			q.Add(Input{Name: fmt.Sprintf("e%d", i), Sources: map[string]string{"a.c": "x"}})
+		}
+		var picks []string
+		for i := 0; i < 20; i++ {
+			picks = append(picks, q.Choose().Name)
+		}
+		return picks
+	}
+	a, b := mk(), mk()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("queue choices differ across identical seeds:\n%v\n%v", a, b)
+	}
+	distinct := map[string]bool{}
+	for _, p := range a {
+		distinct[p] = true
+	}
+	if len(distinct) < 3 {
+		t.Errorf("energy decay did not rotate the frontier: only %d distinct picks in %v", len(distinct), a)
+	}
+}
+
+func TestMutatorDeterministicAndEffective(t *testing.T) {
+	base := SeedInputs(1, 1)[0]
+	donor := SeedInputs(2, 1)[0]
+	mk := func() []string {
+		m := NewMutator(rand.New(rand.NewSource(4)))
+		var names []string
+		changed := 0
+		for i := 0; i < 25; i++ {
+			out := m.Mutate(base, donor)
+			names = append(names, out.Name)
+			if out.Hash() != base.Hash() {
+				changed++
+			}
+		}
+		if changed < 15 {
+			t.Errorf("only %d/25 mutants changed the input", changed)
+		}
+		return names
+	}
+	a, b := mk(), mk()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("mutation chains differ across identical seeds:\n%v\n%v", a, b)
+	}
+}
+
+func TestMinimizeShrinksWhilePreservingViolation(t *testing.T) {
+	in := Input{
+		Name:    "m",
+		Sources: map[string]string{"a.c": "keep\njunk1\njunk2\njunk3\nMAGIC\njunk4\njunk5\n"},
+		CFiles:  []string{"a.c"},
+	}
+	check := func(_ context.Context, cand Input) (*Violation, error) {
+		if len(cand.Sources["a.c"]) > 0 && containsLine(cand.Sources["a.c"], "MAGIC") {
+			return &Violation{Oracle: "magic", Detail: "still magic"}, nil
+		}
+		return nil, nil
+	}
+	small := Minimize(context.Background(), in, "magic", 100, check)
+	if !containsLine(small.Sources["a.c"], "MAGIC") {
+		t.Fatal("minimizer lost the violation")
+	}
+	if len(small.Sources["a.c"]) >= len(in.Sources["a.c"]) {
+		t.Errorf("minimizer did not shrink: %d -> %d bytes",
+			len(in.Sources["a.c"]), len(small.Sources["a.c"]))
+	}
+}
+
+func containsLine(src, want string) bool {
+	for _, l := range splitLines(src) {
+		if l == want {
+			return true
+		}
+	}
+	return false
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}

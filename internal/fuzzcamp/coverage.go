@@ -1,0 +1,106 @@
+// Coverage signals. The campaign does not instrument the analyzer's
+// binary; it reuses the cheap counters the pipeline already exports —
+// internal/metrics phase-shape counters (translation units, SCCs,
+// fixpoint rounds, units solved) plus the structural shape of the
+// report (warnings, data/control errors, violations, annotation
+// errors, diagnostics per front-end phase, degradation) — and treats
+// each distinct bucketed tuple as one covered "analysis path". A
+// mutant whose tuple is new lights up behavior no earlier input
+// reached: a new SCC structure, a new fixpoint depth, a new
+// diagnostic mix, a new verdict shape.
+//
+// Counters that grow with input size are log2-bucketed so the space
+// of signatures stays small and a mutant must change analysis shape,
+// not just add one more statement, to count as new coverage. All
+// signals are taken from a Workers=1, cache-disabled run, so a
+// signature is a deterministic function of the input bytes.
+
+package fuzzcamp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"safeflow/internal/core"
+)
+
+// Signature is one bucketed coverage tuple.
+type Signature string
+
+// bucket maps a non-negative counter to its log2 bucket (0, 1, 2, 4,
+// 8, ... lower bounds), so e.g. 9..16 fixpoint rounds are one bucket.
+func bucket(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	b := 1
+	for b < n {
+		b <<= 1
+	}
+	return b
+}
+
+// SignatureOf derives the input's coverage signature from its
+// Workers=1 analysis report (which must have been produced with
+// Options.Stats so the metrics snapshot is present; a nil-metrics
+// report contributes zeros for the phase counters).
+func SignatureOf(rep *core.Report) Signature {
+	var tus, sccs, rounds, solved int
+	if rep.Metrics != nil {
+		tus = rep.Metrics.TranslationUnits
+		sccs = rep.Metrics.SCCs
+		rounds = rep.Metrics.FixpointRounds
+		solved = rep.Metrics.UnitsSolved
+	}
+	// Diagnostics bucketed per front-end phase: which recovery paths ran
+	// matters more than how many entries each produced.
+	phases := map[string]int{}
+	for _, d := range rep.Diagnostics {
+		phases[d.Phase]++
+	}
+	names := make([]string, 0, len(phases))
+	for p := range phases {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	var diag strings.Builder
+	for _, p := range names {
+		fmt.Fprintf(&diag, "%s:%d,", p, bucket(phases[p]))
+	}
+	return Signature(fmt.Sprintf(
+		"tu%d scc%d rd%d sv%d w%d ed%d ec%d vi%d ae%d rg%d dg%v in%d [%s]",
+		tus, bucket(sccs), bucket(rounds), bucket(solved),
+		bucket(len(rep.Warnings)), bucket(len(rep.ErrorsData)),
+		bucket(len(rep.ErrorsControlOnly)), bucket(len(rep.Violations)),
+		bucket(len(rep.AnnotationErrors)), bucket(len(rep.Regions)),
+		rep.Degraded, len(rep.Internal), diag.String()))
+}
+
+// Coverage is the set of signatures the campaign has reached.
+type Coverage struct {
+	seen map[Signature]bool
+	keys []Signature // insertion order, for deterministic reporting
+}
+
+// NewCoverage returns an empty coverage set.
+func NewCoverage() *Coverage { return &Coverage{seen: map[Signature]bool{}} }
+
+// Add records the signature; it reports whether it was new.
+func (c *Coverage) Add(sig Signature) bool {
+	if c.seen[sig] {
+		return false
+	}
+	c.seen[sig] = true
+	c.keys = append(c.keys, sig)
+	return true
+}
+
+// Len is the number of distinct signatures reached.
+func (c *Coverage) Len() int { return len(c.keys) }
+
+// Signatures returns the reached signatures in the order they were
+// first seen (deterministic for a deterministic campaign).
+func (c *Coverage) Signatures() []Signature {
+	return append([]Signature(nil), c.keys...)
+}

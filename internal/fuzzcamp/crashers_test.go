@@ -1,0 +1,42 @@
+package fuzzcamp
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+)
+
+// crashersDir is the repository's permanent crasher archive: every
+// minimized input a campaign ever found lives here and is replayed by
+// the tier-1 suite forever after.
+var crashersDir = filepath.Join("..", "..", "testdata", "crashers")
+
+// TestCrasherRegressions replays every archived crasher under the
+// honest oracles. A failure means a previously-fixed bug (or a
+// just-archived, not-yet-fixed one) reproduces: the input, its oracle,
+// and its original detail are printed for one-command triage with
+//
+//	go run ./cmd/sffuzz -replay testdata/crashers/<dir>
+func TestCrasherRegressions(t *testing.T) {
+	crashers, err := LoadCrashers(crashersDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crashers) == 0 {
+		t.Skip("crasher archive is empty")
+	}
+	exec := testExec()
+	for _, c := range crashers {
+		c := c
+		t.Run(c.Dir(), func(t *testing.T) {
+			v, err := Replay(context.Background(), c, exec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != nil {
+				t.Errorf("archived crasher reproduces: %v (originally: %s — replay with `go run ./cmd/sffuzz -replay testdata/crashers/%s`)",
+					v, c.Detail, c.Dir())
+			}
+		})
+	}
+}

@@ -1,0 +1,60 @@
+// Delta minimization of oracle-violating inputs. A crasher is only
+// useful as a regression test if a human can read it, so before an
+// input is persisted the minimizer shrinks it: per file, it tries
+// removing runs of lines (halving the chunk size ddmin-style down to
+// single lines) and keeps every removal under which the SAME oracle
+// still fires. The search is greedy, bounded, and fully deterministic,
+// so a campaign replay minimizes to the identical crasher.
+
+package fuzzcamp
+
+import (
+	"context"
+	"strings"
+)
+
+// Minimize shrinks in while check keeps reporting a violation of the
+// same oracle. check must be deterministic; budget bounds the number
+// of candidate executions (<=0 means the default 300).
+func Minimize(ctx context.Context, in Input, want string, budget int,
+	check func(context.Context, Input) (*Violation, error)) Input {
+	if budget <= 0 {
+		budget = 300
+	}
+	cur := in.Clone()
+	still := func(candidate Input) bool {
+		if budget <= 0 || ctx.Err() != nil {
+			return false
+		}
+		budget--
+		v, err := check(ctx, candidate)
+		return err == nil && v != nil && v.Oracle == want
+	}
+
+	for _, file := range cur.Files() {
+		lines := strings.Split(cur.Sources[file], "\n")
+		for chunk := (len(lines) + 1) / 2; chunk >= 1; chunk /= 2 {
+			for start := 0; start < len(lines); {
+				end := start + chunk
+				if end > len(lines) {
+					end = len(lines)
+				}
+				candidate := cur.Clone()
+				trimmed := append([]string(nil), lines[:start]...)
+				trimmed = append(trimmed, lines[end:]...)
+				candidate.Sources[file] = strings.Join(trimmed, "\n")
+				if still(candidate) {
+					cur = candidate
+					lines = trimmed
+					// keep start: the next chunk slid into place
+				} else {
+					start = end
+				}
+			}
+			if budget <= 0 {
+				return cur
+			}
+		}
+	}
+	return cur
+}

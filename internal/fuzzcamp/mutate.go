@@ -1,0 +1,348 @@
+// Mutation operators. Each operator is a small, targeted edit to one
+// source file of an input — the campaign's counterpart to the
+// syzkaller prog mutators, but over SafeFlow's annotated C subset:
+// annotation edits (drop, duplicate, retarget, corrupt the coreness),
+// shared-memory shape edits (region struct fields, sizeof arithmetic),
+// call-structure edits (retarget monitor/stage calls, insert calls,
+// splice function bodies across corpus entries), control-structure
+// edits (flip comparisons, clone/delete statements), and raw
+// robustness edits (truncation). Mutants need not compile: the
+// recovering front end and the degraded-soundness oracle are part of
+// the attack surface.
+//
+// All randomness comes from the Mutator's seeded rng, so a campaign
+// replays exactly.
+
+package fuzzcamp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Mutator applies seeded mutation operators to inputs.
+type Mutator struct {
+	r *rand.Rand
+}
+
+// NewMutator returns a mutator driven by the given seeded rng (shared
+// with the campaign so the whole loop replays from one seed).
+func NewMutator(r *rand.Rand) *Mutator { return &Mutator{r: r} }
+
+// op is one mutation operator: it edits the (file, lines) pair in
+// place and reports whether it found anything to do.
+type op struct {
+	name  string
+	apply func(m *Mutator, lines []string, splice Input) ([]string, bool)
+}
+
+var ops = []op{
+	{"drop-annotation", (*Mutator).dropAnnotation},
+	{"dup-annotation", (*Mutator).dupAnnotation},
+	{"retarget-annotation", (*Mutator).retargetAnnotation},
+	{"corrupt-coreness", (*Mutator).corruptCoreness},
+	{"retarget-assert", (*Mutator).retargetAssert},
+	{"shm-shape", (*Mutator).shmShape},
+	{"retarget-call", (*Mutator).retargetCall},
+	{"insert-stmt", (*Mutator).insertStmt},
+	{"insert-kill", (*Mutator).insertKill},
+	{"flip-compare", (*Mutator).flipCompare},
+	{"tweak-number", (*Mutator).tweakNumber},
+	{"clone-line", (*Mutator).cloneLine},
+	{"delete-line", (*Mutator).deleteLine},
+	{"splice-lines", (*Mutator).spliceLines},
+	{"truncate", (*Mutator).truncate},
+}
+
+// Mutate returns a mutant of in: 1–3 operators applied to randomly
+// chosen files, with splice (another corpus entry; may be the zero
+// Input) as donor material for the splice operator. The mutant's name
+// records its ancestry operator chain.
+func (m *Mutator) Mutate(in Input, splice Input) Input {
+	out := in.Clone()
+	var applied []string
+	rounds := 1 + m.r.Intn(3)
+	for i := 0; i < rounds; i++ {
+		files := out.Files()
+		if len(files) == 0 {
+			break
+		}
+		file := files[m.r.Intn(len(files))]
+		o := ops[m.r.Intn(len(ops))]
+		lines := strings.Split(out.Sources[file], "\n")
+		mutated, ok := o.apply(m, lines, splice)
+		if !ok {
+			continue
+		}
+		out.Sources[file] = strings.Join(mutated, "\n")
+		applied = append(applied, o.name)
+	}
+	if len(applied) > 0 {
+		out.Name = fmt.Sprintf("%s+%s", in.Name, strings.Join(applied, "+"))
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Annotation operators
+
+// annotationLines returns the indices of SafeFlow annotation lines.
+func annotationLines(lines []string) []int {
+	var idx []int
+	for i, l := range lines {
+		if strings.Contains(l, "SafeFlow Annotation") {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+func (m *Mutator) dropAnnotation(lines []string, _ Input) ([]string, bool) {
+	idx := annotationLines(lines)
+	if len(idx) == 0 {
+		return lines, false
+	}
+	i := idx[m.r.Intn(len(idx))]
+	return append(lines[:i], lines[i+1:]...), true
+}
+
+func (m *Mutator) dupAnnotation(lines []string, _ Input) ([]string, bool) {
+	idx := annotationLines(lines)
+	if len(idx) == 0 {
+		return lines, false
+	}
+	i := idx[m.r.Intn(len(idx))]
+	out := append([]string(nil), lines[:i+1]...)
+	out = append(out, lines[i])
+	return append(out, lines[i+1:]...), true
+}
+
+// retargetAnnotation points an annotation at a different region
+// variable, modelling an annotation that drifted from the code.
+func (m *Mutator) retargetAnnotation(lines []string, _ Input) ([]string, bool) {
+	idx := annotationLines(lines)
+	if len(idx) == 0 {
+		return lines, false
+	}
+	i := idx[m.r.Intn(len(idx))]
+	from := fmt.Sprintf("reg%d", m.r.Intn(4))
+	to := fmt.Sprintf("reg%d", m.r.Intn(4))
+	if !strings.Contains(lines[i], from) {
+		return lines, false
+	}
+	lines[i] = strings.Replace(lines[i], from, to, 1)
+	return lines, true
+}
+
+// corruptCoreness rewrites core↔noncore inside an annotation. The
+// arities differ, so one direction also yields a malformed annotation —
+// both the semantic flip and the parse-error path are wanted.
+func (m *Mutator) corruptCoreness(lines []string, _ Input) ([]string, bool) {
+	idx := annotationLines(lines)
+	if len(idx) == 0 {
+		return lines, false
+	}
+	i := idx[m.r.Intn(len(idx))]
+	switch {
+	case strings.Contains(lines[i], "noncore("):
+		lines[i] = strings.Replace(lines[i], "noncore(", "core(", 1)
+	case strings.Contains(lines[i], "core("):
+		lines[i] = strings.Replace(lines[i], "core(", "noncore(", 1)
+	default:
+		return lines, false
+	}
+	return lines, true
+}
+
+// retargetAssert renames the variable inside assert(safe(...)).
+func (m *Mutator) retargetAssert(lines []string, _ Input) ([]string, bool) {
+	for i, l := range lines {
+		j := strings.Index(l, "assert(safe(")
+		if j < 0 {
+			continue
+		}
+		rest := l[j+len("assert(safe("):]
+		k := strings.IndexByte(rest, ')')
+		if k <= 0 {
+			return lines, false
+		}
+		repl := []string{"u", "v", "t", "s", "x"}[m.r.Intn(5)]
+		lines[i] = l[:j+len("assert(safe(")] + repl + rest[k:]
+		return lines, true
+	}
+	return lines, false
+}
+
+// ---------------------------------------------------------------------------
+// Shared-memory shape operators
+
+// shmShape edits region-shape source: struct field lists and sizeof
+// arithmetic, perturbing the layout the phase-1 analysis reasons about.
+func (m *Mutator) shmShape(lines []string, _ Input) ([]string, bool) {
+	for i, l := range lines {
+		switch {
+		case strings.Contains(l, "typedef struct") && m.r.Intn(2) == 0:
+			lines[i] = strings.Replace(l, "{", "{ double extra; ", 1)
+			return lines, true
+		case strings.Contains(l, "sizeof(") && strings.Contains(l, "*"):
+			lines[i] = strings.Replace(l, "sizeof(", fmt.Sprintf("%d + sizeof(", m.r.Intn(16)), 1)
+			return lines, true
+		}
+	}
+	return lines, false
+}
+
+// ---------------------------------------------------------------------------
+// Call-structure operators
+
+// retargetCall redirects a monitorN/stageN call to a different index,
+// rewiring the callgraph (possibly into a missing definition).
+func (m *Mutator) retargetCall(lines []string, _ Input) ([]string, bool) {
+	prefix := []string{"monitor", "stage"}[m.r.Intn(2)]
+	for i, l := range lines {
+		j := strings.Index(l, prefix)
+		if j < 0 || j+len(prefix) >= len(l) {
+			continue
+		}
+		d := l[j+len(prefix)]
+		if d < '0' || d > '9' {
+			continue
+		}
+		lines[i] = l[:j+len(prefix)] + fmt.Sprint(m.r.Intn(6)) + l[j+len(prefix)+1:]
+		return lines, true
+	}
+	return lines, false
+}
+
+// insertStmt plants a direct shared-memory read or a monitor round
+// trip after a random statement line inside a function body.
+func (m *Mutator) insertStmt(lines []string, _ Input) ([]string, bool) {
+	stmts := []string{
+		"    u = reg0->a;",
+		"    t = reg%d->b + t;",
+		"    s = monitor0(reg%d->a);",
+		"    v = stage0(v);",
+		"    reg%d->flag = 1;",
+	}
+	var at []int
+	for i, l := range lines {
+		if strings.HasSuffix(strings.TrimRight(l, " \t"), ";") && strings.HasPrefix(l, "    ") {
+			at = append(at, i)
+		}
+	}
+	if len(at) == 0 {
+		return lines, false
+	}
+	i := at[m.r.Intn(len(at))]
+	s := stmts[m.r.Intn(len(stmts))]
+	if strings.Contains(s, "%d") {
+		s = fmt.Sprintf(s, m.r.Intn(3))
+	}
+	out := append([]string(nil), lines[:i+1]...)
+	out = append(out, s)
+	return append(out, lines[i+1:]...), true
+}
+
+// insertKill plants the paper's defect class: a kill() whose pid comes
+// straight from an unmonitored shared read.
+func (m *Mutator) insertKill(lines []string, _ Input) ([]string, bool) {
+	for i, l := range lines {
+		if strings.Contains(l, "return 0;") {
+			out := append([]string(nil), lines[:i]...)
+			out = append(out, fmt.Sprintf("    kill(reg%d->flag, %d);", m.r.Intn(3), 1+m.r.Intn(30)))
+			return append(out, lines[i:]...), true
+		}
+	}
+	return lines, false
+}
+
+// ---------------------------------------------------------------------------
+// Control-structure and raw-text operators
+
+var compareSwap = strings.NewReplacer("<=", ">=", ">=", "<=")
+
+func (m *Mutator) flipCompare(lines []string, _ Input) ([]string, bool) {
+	for i, l := range lines {
+		if !strings.Contains(l, "if (") {
+			continue
+		}
+		switch {
+		case strings.Contains(l, "<=") || strings.Contains(l, ">="):
+			lines[i] = compareSwap.Replace(l)
+		case strings.Contains(l, "!="):
+			lines[i] = strings.Replace(l, "!=", "==", 1)
+		case strings.Contains(l, "<"):
+			lines[i] = strings.Replace(l, "<", ">", 1)
+		case strings.Contains(l, ">"):
+			lines[i] = strings.Replace(l, ">", "<", 1)
+		default:
+			continue
+		}
+		return lines, true
+	}
+	return lines, false
+}
+
+func (m *Mutator) tweakNumber(lines []string, _ Input) ([]string, bool) {
+	for i, l := range lines {
+		j := strings.IndexAny(l, "0123456789")
+		if j < 0 || strings.Contains(l, "#") {
+			continue
+		}
+		lines[i] = l[:j] + fmt.Sprint(m.r.Intn(100)) + l[j+1:]
+		return lines, true
+	}
+	return lines, false
+}
+
+func (m *Mutator) cloneLine(lines []string, _ Input) ([]string, bool) {
+	if len(lines) == 0 {
+		return lines, false
+	}
+	i := m.r.Intn(len(lines))
+	out := append([]string(nil), lines[:i+1]...)
+	out = append(out, lines[i])
+	return append(out, lines[i+1:]...), true
+}
+
+func (m *Mutator) deleteLine(lines []string, _ Input) ([]string, bool) {
+	if len(lines) < 2 {
+		return lines, false
+	}
+	i := m.r.Intn(len(lines))
+	return append(lines[:i], lines[i+1:]...), true
+}
+
+// spliceLines copies a random run of lines from the same-named file of
+// the splice partner (or any of its files when names differ) into a
+// random position — cross-entry recombination.
+func (m *Mutator) spliceLines(lines []string, splice Input) ([]string, bool) {
+	files := splice.Files()
+	if len(files) == 0 {
+		return lines, false
+	}
+	donor := strings.Split(splice.Sources[files[m.r.Intn(len(files))]], "\n")
+	if len(donor) == 0 {
+		return lines, false
+	}
+	start := m.r.Intn(len(donor))
+	end := start + 1 + m.r.Intn(6)
+	if end > len(donor) {
+		end = len(donor)
+	}
+	i := 0
+	if len(lines) > 0 {
+		i = m.r.Intn(len(lines))
+	}
+	out := append([]string(nil), lines[:i]...)
+	out = append(out, donor[start:end]...)
+	return append(out, lines[i:]...), true
+}
+
+func (m *Mutator) truncate(lines []string, _ Input) ([]string, bool) {
+	if len(lines) < 4 {
+		return lines, false
+	}
+	return lines[:len(lines)/2+m.r.Intn(len(lines)/2)], true
+}

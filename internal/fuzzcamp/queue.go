@@ -1,0 +1,72 @@
+// The corpus queue: which input mutates next. The shape follows the
+// syzkaller courier queues — entries carry an energy score, selection
+// is a seeded weighted draw, and energy decays as an entry is
+// scheduled so the frontier keeps rotating — but stays single-threaded:
+// campaign determinism is an oracle here, so the scheduler must be a
+// pure function of the seed.
+
+package fuzzcamp
+
+import "math/rand"
+
+// queueEntry is one corpus member under scheduling.
+type queueEntry struct {
+	in     Input
+	energy int // remaining scheduling weight (≥1 while queued)
+	execs  int // times this entry has been chosen as a mutation base
+}
+
+// Queue is the weighted scheduling pool over the live corpus.
+type Queue struct {
+	r       *rand.Rand
+	entries []*queueEntry
+	total   int // sum of energies, maintained incrementally
+}
+
+// initialEnergy is the scheduling weight a fresh corpus entry starts
+// with; it halves each time the entry is drawn, flooring at 1 so old
+// entries stay reachable (splice partners) without dominating.
+const initialEnergy = 16
+
+// NewQueue returns an empty queue drawing from the given seeded rng.
+func NewQueue(r *rand.Rand) *Queue { return &Queue{r: r} }
+
+// Add enqueues a new corpus input at full energy.
+func (q *Queue) Add(in Input) {
+	q.entries = append(q.entries, &queueEntry{in: in, energy: initialEnergy})
+	q.total += initialEnergy
+}
+
+// Len is the number of queued corpus entries.
+func (q *Queue) Len() int { return len(q.entries) }
+
+// Choose draws one entry with probability proportional to its energy
+// and decays the winner. It returns the zero Input when the queue is
+// empty.
+func (q *Queue) Choose() Input {
+	if len(q.entries) == 0 {
+		return Input{}
+	}
+	n := q.r.Intn(q.total)
+	for _, e := range q.entries {
+		n -= e.energy
+		if n < 0 {
+			e.execs++
+			if e.energy > 1 {
+				q.total -= e.energy / 2
+				e.energy -= e.energy / 2
+			}
+			return e.in
+		}
+	}
+	return q.entries[len(q.entries)-1].in
+}
+
+// Splice draws a second, independent entry to serve as a splice
+// partner (no energy decay: being copied from is free).
+func (q *Queue) Splice() (Input, bool) {
+	if len(q.entries) == 0 {
+		return Input{}, false
+	}
+	return q.entries[q.r.Intn(len(q.entries))].in, true
+}

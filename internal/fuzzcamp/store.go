@@ -1,0 +1,156 @@
+// On-disk persistence: the evolving corpus and the crasher archive.
+//
+// Corpus layout (one campaign directory):
+//
+//	<dir>/corpus/<hash12>.json   — one Input per file, content-addressed
+//
+// Crasher layout (testdata/crashers in this repository):
+//
+//	<dir>/<oracle>-<hash12>/crasher.json   — Crasher metadata + sources
+//
+// Entries are plain JSON with sorted keys (encoding/json sorts map
+// keys), written atomically via rename, so a store is reproducible
+// byte-for-byte from the inputs it holds and survives interrupted
+// campaigns.
+
+package fuzzcamp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// CorpusStore persists the live corpus under dir. A zero-value store
+// (empty dir) keeps the corpus in memory only.
+type CorpusStore struct {
+	dir string
+}
+
+// OpenCorpus opens (creating if needed) the corpus store under dir;
+// dir == "" yields a memory-only store.
+func OpenCorpus(dir string) (*CorpusStore, error) {
+	if dir == "" {
+		return &CorpusStore{}, nil
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "corpus"), 0o755); err != nil {
+		return nil, fmt.Errorf("fuzzcamp: corpus dir: %w", err)
+	}
+	return &CorpusStore{dir: dir}, nil
+}
+
+// Load returns every persisted input, sorted by content hash so a
+// reloaded campaign seeds its queue in a deterministic order.
+func (s *CorpusStore) Load() ([]Input, error) {
+	if s.dir == "" {
+		return nil, nil
+	}
+	glob, err := filepath.Glob(filepath.Join(s.dir, "corpus", "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(glob)
+	var out []Input
+	for _, path := range glob {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var in Input
+		if err := json.Unmarshal(data, &in); err != nil {
+			// A torn or hand-damaged entry must not kill the campaign:
+			// skip it; the fuzzer will regrow the coverage it carried.
+			continue
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+// Save persists one input (no-op for memory-only stores).
+func (s *CorpusStore) Save(in Input) error {
+	if s.dir == "" {
+		return nil
+	}
+	return writeJSONAtomic(filepath.Join(s.dir, "corpus", in.ShortHash()+".json"), in)
+}
+
+// Crasher is one minimized oracle-violating input plus the metadata
+// needed to replay it.
+type Crasher struct {
+	Input
+	Oracle string `json:"oracle"`
+	Detail string `json:"detail"`
+	// CampaignSeed is the -seed of the campaign that found it.
+	CampaignSeed int64 `json:"campaign_seed"`
+}
+
+// Dir returns the crasher's directory name: oracle plus content hash,
+// so re-finding the same minimized input is idempotent.
+func (c Crasher) Dir() string { return fmt.Sprintf("%s-%s", c.Oracle, c.ShortHash()) }
+
+// WriteCrasher persists the crasher under dir and returns its path.
+func WriteCrasher(dir string, c Crasher) (string, error) {
+	path := filepath.Join(dir, c.Dir())
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return "", err
+	}
+	if err := writeJSONAtomic(filepath.Join(path, "crasher.json"), c); err != nil {
+		return "", err
+	}
+	// Also spell the sources out as plain files, for humans bisecting
+	// the crasher; crasher.json stays the replay source of truth.
+	for _, name := range c.Files() {
+		if strings.ContainsAny(name, "/\\") {
+			continue
+		}
+		if err := os.WriteFile(filepath.Join(path, name), []byte(c.Sources[name]), 0o644); err != nil {
+			return "", err
+		}
+	}
+	return path, nil
+}
+
+// LoadCrashers reads every crasher under dir, sorted by directory
+// name. A missing dir is an empty archive.
+func LoadCrashers(dir string) ([]Crasher, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []Crasher
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name(), "crasher.json"))
+		if err != nil {
+			return nil, fmt.Errorf("fuzzcamp: crasher %s: %w", e.Name(), err)
+		}
+		var c Crasher
+		if err := json.Unmarshal(data, &c); err != nil {
+			return nil, fmt.Errorf("fuzzcamp: crasher %s: %w", e.Name(), err)
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dir() < out[j].Dir() })
+	return out, nil
+}
+
+func writeJSONAtomic(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
