@@ -27,6 +27,11 @@
 //	               units and converged summaries are reused across
 //	               process restarts, with every entry integrity-checked
 //	               on read
+//	-watch         keep the session open after the initial report and
+//	               incrementally re-analyze on every source change,
+//	               printing per-update latency and the findings delta
+//	               (directory target only)
+//	-interval d    poll interval for -watch (default 500ms)
 //
 // By default the front end recovers from per-unit failures: a translation
 // unit that fails to preprocess, lex, parse, or type-check is skipped and
@@ -49,6 +54,7 @@ import (
 	"os"
 	"runtime/pprof"
 	"runtime/trace"
+	"time"
 
 	"safeflow/internal/corpus"
 	"safeflow/internal/report"
@@ -85,6 +91,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cpuprofile  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		tracefile   = fs.String("trace", "", "write a runtime execution trace to this file")
 		cacheDir    = fs.String("cachedir", "", "persistent cache directory shared across runs (\"auto\" = the per-user cache dir; default: no disk cache)")
+		watch       = fs.Bool("watch", false, "keep the session open and incrementally re-analyze on every source change (directory target only)")
+		interval    = fs.Duration("interval", 500*time.Millisecond, "poll interval for -watch")
 		roots       stringList
 	)
 	fs.Var(&roots, "root", "analysis entry function (repeatable)")
@@ -165,6 +173,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		defer trace.Stop()
+	}
+
+	if *watch {
+		if *corpusName != "" || *format == "json" {
+			fmt.Fprintln(stderr, "safeflow: -watch is incompatible with -corpus and -format json")
+			return 2
+		}
+		target := fs.Arg(0)
+		info, statErr := os.Stat(target)
+		if statErr != nil || !info.IsDir() {
+			fmt.Fprintln(stderr, "safeflow: -watch requires a directory target")
+			return 2
+		}
+		sysName := *name
+		if sysName == "" {
+			sysName = target
+		}
+		return runWatch(ctx, sysName, dirLoader(target), opts, *interval, 0, stdout, stderr)
 	}
 
 	var rep *safeflow.Report

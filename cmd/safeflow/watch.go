@@ -1,0 +1,264 @@
+// Watch mode: keep the analyzed system open as an incremental session
+// and re-analyze on every source change. The watcher polls (mtime first,
+// then contents — no OS-specific notification dependencies), ships only
+// the changed files to the session, and prints the per-update latency
+// plus the findings delta, not the whole report again.
+
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"safeflow/pkg/safeflow"
+)
+
+// watchLoader returns one snapshot of the watched inputs. changedHint
+// is false when the loader is certain nothing changed since the last
+// call (mtime fast path), letting the poll loop skip the content diff.
+type watchLoader func() (sources map[string]string, cFiles []string, changedHint bool, err error)
+
+// dirLoader snapshots all .c/.h files of a directory, the same set
+// AnalyzeDir reads. File modification times short-circuit re-reading:
+// contents are only loaded when some stat changed.
+func dirLoader(dir string) watchLoader {
+	type stamp struct {
+		mtime time.Time
+		size  int64
+	}
+	var (
+		lastStamps  map[string]stamp
+		lastSources map[string]string
+		lastCFiles  []string
+	)
+	return func() (map[string]string, []string, bool, error) {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		stamps := map[string]stamp{}
+		var names []string
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			ext := filepath.Ext(e.Name())
+			if ext != ".c" && ext != ".h" {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil {
+				return nil, nil, false, err
+			}
+			stamps[e.Name()] = stamp{mtime: info.ModTime(), size: info.Size()}
+			names = append(names, e.Name())
+		}
+		if lastStamps != nil && len(stamps) == len(lastStamps) {
+			same := true
+			for n, st := range stamps {
+				if prev, ok := lastStamps[n]; !ok || prev != st {
+					same = false
+					break
+				}
+			}
+			if same {
+				return lastSources, lastCFiles, false, nil
+			}
+		}
+		sources := map[string]string{}
+		var cFiles []string
+		sort.Strings(names)
+		for _, n := range names {
+			data, err := os.ReadFile(filepath.Join(dir, n))
+			if err != nil {
+				return nil, nil, false, err
+			}
+			sources[n] = string(data)
+			if filepath.Ext(n) == ".c" {
+				cFiles = append(cFiles, n)
+			}
+		}
+		lastStamps, lastSources, lastCFiles = stamps, sources, cFiles
+		return sources, cFiles, true, nil
+	}
+}
+
+// findingLines renders every finding of a report as one line each, in
+// the report's own order, prefixed by its section. The watch loop diffs
+// consecutive reports on these lines.
+func findingLines(rep *safeflow.Report) []string {
+	var lines []string
+	for _, e := range rep.AnnotationErrors {
+		lines = append(lines, fmt.Sprintf("annotation error: %v", e))
+	}
+	for _, d := range rep.Diagnostics {
+		lines = append(lines, fmt.Sprintf("diagnostic: %s", d))
+	}
+	for _, v := range rep.Violations {
+		lines = append(lines, fmt.Sprintf("violation: %s", v))
+	}
+	for _, s := range rep.Warnings {
+		lines = append(lines, fmt.Sprintf("warning: %s", s))
+	}
+	for _, e := range rep.ErrorsData {
+		lines = append(lines, fmt.Sprintf("error dependency: %s", e))
+	}
+	for _, e := range rep.ErrorsControlOnly {
+		lines = append(lines, fmt.Sprintf("control-dependence report: %s", e))
+	}
+	return lines
+}
+
+// diffLines returns the lines removed from prev and added in cur,
+// multiset-style (a finding reported twice then once shows one removal).
+func diffLines(prev, cur []string) (removed, added []string) {
+	count := map[string]int{}
+	for _, l := range prev {
+		count[l]++
+	}
+	for _, l := range cur {
+		if count[l] > 0 {
+			count[l]--
+		} else {
+			added = append(added, l)
+		}
+	}
+	for _, l := range prev {
+		if count[l] > 0 {
+			count[l]--
+			removed = append(removed, l)
+		}
+	}
+	return removed, added
+}
+
+// changedFiles diffs two source snapshots into the session's Update
+// arguments.
+func changedFiles(prev, cur map[string]string) (changed map[string]string, removed []string) {
+	changed = map[string]string{}
+	for name, text := range cur {
+		if old, ok := prev[name]; !ok || old != text {
+			changed[name] = text
+		}
+	}
+	for name := range prev {
+		if _, ok := cur[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	return changed, removed
+}
+
+// runWatch opens the session and re-analyzes on every change until ctx
+// ends (or maxUpdates updates have been printed — the test harness's
+// exit condition; 0 means unbounded). Returns the CLI exit code of the
+// most recent report.
+func runWatch(ctx context.Context, name string, load watchLoader, opts safeflow.Options, interval time.Duration, maxUpdates int, stdout, stderr io.Writer) int {
+	sources, cFiles, _, err := load()
+	if err != nil {
+		fmt.Fprintf(stderr, "safeflow: -watch: %v\n", err)
+		return 2
+	}
+	start := time.Now()
+	sess, rep, err := safeflow.OpenContext(ctx, name, sources, cFiles, opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "safeflow: %v\n", err)
+		return 2
+	}
+	safeflow.WriteReport(stdout, rep)
+	fmt.Fprintf(stdout, "\nwatch: initial analysis in %s; polling every %s (ctrl-c to stop)\n",
+		fmtLatency(time.Since(start)), interval)
+	prevLines := findingLines(rep)
+	prevSources := sources
+
+	updates := 0
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return exitStatus(rep)
+		case <-ticker.C:
+		}
+		cur, _, changedHint, err := load()
+		if err != nil {
+			fmt.Fprintf(stderr, "safeflow: -watch: %v\n", err)
+			continue
+		}
+		if !changedHint {
+			continue
+		}
+		changed, removed := changedFiles(prevSources, cur)
+		if len(changed) == 0 && len(removed) == 0 {
+			continue
+		}
+		t0 := time.Now()
+		newRep, stats, err := sess.UpdateContext(ctx, changed, removed...)
+		latency := time.Since(t0)
+		if err != nil {
+			if ctx.Err() != nil {
+				return exitStatus(rep)
+			}
+			fmt.Fprintf(stderr, "safeflow: -watch: update failed: %v\n", err)
+			continue
+		}
+		rep = newRep
+		prevSources = cur
+		updates++
+
+		var files []string
+		for f := range changed {
+			files = append(files, f)
+		}
+		files = append(files, removed...)
+		sort.Strings(files)
+		mode := "incremental"
+		if !stats.Incremental {
+			mode = "from scratch"
+		}
+		fmt.Fprintf(stdout, "\nwatch: %s changed; re-analyzed in %s (%s, %d functions invalidated, %d reused)\n",
+			strings.Join(files, ", "), fmtLatency(latency), mode, stats.FuncsInvalidated, stats.FuncsReused)
+		lines := findingLines(rep)
+		gone, added := diffLines(prevLines, lines)
+		for _, l := range gone {
+			fmt.Fprintf(stdout, "  - %s\n", l)
+		}
+		for _, l := range added {
+			fmt.Fprintf(stdout, "  + %s\n", l)
+		}
+		if len(gone) == 0 && len(added) == 0 {
+			fmt.Fprintf(stdout, "  findings unchanged (%d total)\n", len(lines))
+		}
+		prevLines = lines
+		if maxUpdates > 0 && updates >= maxUpdates {
+			return exitStatus(rep)
+		}
+		// Collect while idle: an update allocates a report's worth of
+		// garbage, and paying it off now keeps the collector's assist tax
+		// out of the next update's latency.
+		runtime.GC()
+	}
+}
+
+func fmtLatency(d time.Duration) string {
+	return fmt.Sprintf("%.1fms", float64(d.Nanoseconds())/1e6)
+}
+
+// exitStatus mirrors run()'s exit-code mapping.
+func exitStatus(rep *safeflow.Report) int {
+	switch {
+	case rep.Degraded:
+		return 3
+	case rep.Clean():
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"safeflow/internal/corpus"
+	"safeflow/pkg/safeflow"
+)
+
+// sequenceLoader feeds runWatch a scripted series of snapshots: the
+// initial load returns the first, each later poll advances until the
+// last, which then repeats.
+type sequenceLoader struct {
+	snaps []map[string]string
+	calls int
+}
+
+func (l *sequenceLoader) load() (map[string]string, []string, bool, error) {
+	i := l.calls
+	if i >= len(l.snaps) {
+		i = len(l.snaps) - 1
+	}
+	l.calls++
+	snap := l.snaps[i]
+	var cFiles []string
+	for name := range snap {
+		if strings.HasSuffix(name, ".c") {
+			cFiles = append(cFiles, name)
+		}
+	}
+	// The generator's canonical unit order.
+	order := []string{"init.c", "monitors.c", "stages.c", "main.c"}
+	var ordered []string
+	for _, n := range order {
+		if _, ok := snap[n]; ok {
+			ordered = append(ordered, n)
+		}
+	}
+	if len(ordered) == len(cFiles) {
+		cFiles = ordered
+	}
+	return snap, cFiles, true, nil
+}
+
+// TestWatchLoopIncrementalUpdates drives the watch loop through a
+// scripted edit and checks it prints the update latency, the
+// incremental path marker, and only the findings delta.
+func TestWatchLoopIncrementalUpdates(t *testing.T) {
+	g := corpus.Generate(9, corpus.GenConfig{})
+	edited := map[string]string{}
+	for k, v := range g.Sources {
+		edited[k] = v
+	}
+	// Remove the core annotation from monitor0: its region read becomes
+	// unmonitored, so new warnings must appear in the delta.
+	mon := edited["monitors.c"]
+	annot := "/***SafeFlow Annotation assume(core(reg0, 0, sizeof(GenRegion))) /***/\n"
+	if !strings.Contains(mon, annot) {
+		t.Fatal("generated monitors.c lacks the expected annotation")
+	}
+	edited["monitors.c"] = strings.Replace(mon, annot, "", 1)
+
+	loader := &sequenceLoader{snaps: []map[string]string{g.Sources, edited}}
+
+	var out, errOut bytes.Buffer
+	code := runWatch(context.Background(), g.Name, loader.load,
+		safeflow.Options{Workers: 2}, time.Millisecond, 1, &out, &errOut)
+	if errOut.Len() != 0 {
+		t.Fatalf("watch wrote to stderr: %s", errOut.String())
+	}
+	text := out.String()
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1 (system has findings); output:\n%s", code, text)
+	}
+	if !strings.Contains(text, "watch: initial analysis in") {
+		t.Errorf("missing initial-analysis line:\n%s", text)
+	}
+	if !strings.Contains(text, "monitors.c changed; re-analyzed in") {
+		t.Errorf("missing per-update latency line:\n%s", text)
+	}
+	if !strings.Contains(text, "(incremental, ") {
+		t.Errorf("update did not report the incremental path:\n%s", text)
+	}
+	if !strings.Contains(text, "+ warning:") {
+		t.Errorf("findings delta missing the new warnings:\n%s", text)
+	}
+	// The delta must not re-print the full report.
+	if strings.Count(text, "SafeFlow report for") != 1 {
+		t.Errorf("full report printed more than once:\n%s", text)
+	}
+}
+
+// TestWatchNoChangePollsQuietly checks an unchanged snapshot produces no
+// update output and the loop exits on context cancellation.
+func TestWatchNoChangePollsQuietly(t *testing.T) {
+	g := corpus.Generate(9, corpus.GenConfig{})
+	loader := &sequenceLoader{snaps: []map[string]string{g.Sources}}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	var out, errOut bytes.Buffer
+	code := runWatch(ctx, g.Name, loader.load, safeflow.Options{Workers: 1}, time.Millisecond, 0, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if strings.Contains(out.String(), "re-analyzed in") {
+		t.Errorf("unchanged sources produced an update:\n%s", out.String())
+	}
+}
+
+// TestWatchCLIDirectory exercises the real flag path and dirLoader
+// against a directory on disk.
+func TestWatchCLIDirectory(t *testing.T) {
+	dir := t.TempDir()
+	g := corpus.Generate(13, corpus.GenConfig{})
+	for name, text := range g.Sources {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	load := dirLoader(dir)
+	sources, cFiles, changed, err := load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed || len(cFiles) != 4 || sources["gen.h"] == "" {
+		t.Fatalf("dirLoader snapshot wrong: changed=%v cFiles=%v", changed, cFiles)
+	}
+	// Unchanged directory: the mtime fast path reports no change.
+	if _, _, changed, _ = load(); changed {
+		t.Fatal("dirLoader reported change for an untouched directory")
+	}
+	// Touch one file with new contents.
+	edited := sources["monitors.c"] + "\n/* watch touch */\n"
+	if err := os.WriteFile(filepath.Join(dir, "monitors.c"), []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cur, _, _, err := load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, rm := changedFiles(sources, cur)
+	if len(rm) != 0 || len(ch) != 1 || ch["monitors.c"] != edited {
+		t.Fatalf("changedFiles = %v removed %v, want exactly monitors.c", ch, rm)
+	}
+
+	// The -watch flag path rejects non-directory targets.
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-watch", filepath.Join(dir, "main.c")}, &out, &errOut); code != 2 {
+		t.Fatalf("-watch on a file: exit %d, want 2", code)
+	}
+}

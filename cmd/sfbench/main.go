@@ -10,8 +10,12 @@
 // -trace f capture a pprof CPU profile / runtime execution trace of the
 // whole benchmark run; -json emits a machine-readable benchmark record
 // (per-system cold/warm end-to-end times, phase 1-3 ns / allocs / bytes
-// per op, cache hit rates) instead of the human-readable sections — the
+// per op, cache hit rates, daemon request latencies, and incremental
+// session-update latencies) instead of the human-readable sections — the
 // checked-in perf trajectory points (BENCH_pr3.json, …) are its output.
+// -incrsmoke runs only the incremental-update smoke gate: a quick
+// session benchmark that fails when the p95 update latency is not
+// cheaper than a cold end-to-end run.
 //
 // Measured values are printed next to the paper's, so divergence in the
 // environment-dependent columns (LoC of our reimplemented corpus) is
@@ -59,6 +63,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	all := fs.Bool("all", false, "run everything")
 	stats := fs.Bool("stats", false, "collect and print per-system run metrics with Table 1")
 	jsonOut := fs.Bool("json", false, "emit a machine-readable benchmark record and exit")
+	incrSmoke := fs.Bool("incrsmoke", false, "run the incremental-update smoke gate and exit (fails if p95 update is not cheaper than a cold run)")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	tracefile := fs.String("trace", "", "write a runtime execution trace to this file")
 	cacheDir := fs.String("cachedir", "", "disk-cache directory for the -json daemon benchmark (default: a fresh temporary dir, so cold requests are genuinely cold)")
@@ -96,6 +101,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer trace.Stop()
 	}
 
+	if *incrSmoke {
+		return runIncrSmoke(stdout)
+	}
 	if *jsonOut {
 		if err := runJSON(stdout, *cacheDir); err != nil {
 			fmt.Fprintf(stderr, "sfbench: %v\n", err)
@@ -224,6 +232,7 @@ type benchRecord struct {
 	GOMAXPROCS    int           `json:"gomaxprocs"`
 	Systems       []benchSystem `json:"systems"`
 	Daemon        []daemonBench `json:"daemon"`
+	Incremental   []incrBench   `json:"incremental"`
 }
 
 // runJSON measures every corpus system and emits one benchRecord. It must
@@ -232,8 +241,9 @@ type benchRecord struct {
 // explicitly and the summary cache starts empty.
 func runJSON(w io.Writer, cacheDir string) error {
 	const warmRuns = 5
-	// Schema v2 adds the "daemon" request-latency section.
-	rec := benchRecord{SchemaVersion: 2, GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	// Schema v2 added the "daemon" request-latency section; v3 adds the
+	// "incremental" session-update section.
+	rec := benchRecord{SchemaVersion: 3, GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	for _, sys := range corpus.All() {
 		src, err := sys.SourceMap()
 		if err != nil {
@@ -314,6 +324,11 @@ func runJSON(w io.Writer, cacheDir string) error {
 		return fmt.Errorf("daemon benchmark: %w", err)
 	}
 	rec.Daemon = daemonRows
+	incrRows, err := benchIncremental()
+	if err != nil {
+		return fmt.Errorf("incremental benchmark: %w", err)
+	}
+	rec.Incremental = incrRows
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rec)

@@ -120,6 +120,12 @@ type Options struct {
 	// behavior library callers rely on; the safeflow CLI enables it
 	// unless -strict is given.
 	Recover bool
+
+	// incrOpts, when non-nil, runs phase 3 incrementally against a
+	// previous run's captured state (Session.Update sets it). Unexported:
+	// the state is only valid for the exact module the session built, so
+	// outside callers go through Session.
+	incrOpts *vfg.IncrOptions
 }
 
 // Report is the complete analysis output for one system.
@@ -168,6 +174,13 @@ type Report struct {
 	// UnitsAnalyzed is the number of (function, context) solves phase 3
 	// performed (the A-2 ablation metric).
 	UnitsAnalyzed int
+
+	// incrState is phase 3's captured per-function state for the next
+	// incremental update; incrStats describes how much of this run was
+	// reused. Both are nil on non-session runs. Unexported: Session owns
+	// the lifecycle.
+	incrState *vfg.IncrState
+	incrStats *vfg.IncrStats
 }
 
 // TotalErrors returns all reported error dependencies (data + control).
@@ -249,6 +262,9 @@ func AnalyzeSourcesContext(ctx context.Context, name string, sources cpp.Source,
 		// not the surviving subset.
 		opts.DisableCache = true
 		opts.CacheKey = ""
+		// And it must not be analyzed incrementally either: skipped-def
+		// summaries are conservative placeholders and are never reused.
+		opts.incrOpts = nil
 	}
 	if opts.CacheKey == "" && !opts.DisableCache {
 		opts.CacheKey = fingerprintSources(name, sources, cFiles, opts)
@@ -387,6 +403,7 @@ func analyzeModuleWith(ctx context.Context, name string, res *irgen.Result, opts
 			Ctx:         ctx,
 			Metrics:     col,
 			MissingDefs: missing,
+			Incr:        opts.incrOpts,
 		})
 		return nil
 	})
@@ -401,6 +418,11 @@ func analyzeModuleWith(ctx context.Context, name string, res *irgen.Result, opts
 	}
 	rep.Internal = append(rep.Internal, v.Internal...)
 	col.SetPhase3(v.SCCs, v.Rounds, v.UnitsAnalyzed, v.CacheHits, v.CacheMisses)
+	rep.incrState = v.NextIncr
+	rep.incrStats = v.Incr
+	if v.Incr != nil {
+		col.SetIncremental(v.Incr.FuncsInvalidated, v.Incr.FuncsReused, v.Incr.UnitsReplayed, v.Incr.Restarts)
+	}
 
 	rep.Warnings = v.Warnings
 	rep.UnitsAnalyzed = v.UnitsAnalyzed

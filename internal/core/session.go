@@ -1,0 +1,306 @@
+package core
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"sync"
+
+	"safeflow/internal/cpp"
+	"safeflow/internal/frontend"
+	"safeflow/internal/irgen"
+	"safeflow/internal/metrics"
+	"safeflow/internal/vfg"
+)
+
+// Session holds a system open for incremental re-analysis. OpenSession
+// runs the full pipeline once and captures per-function state; Update
+// recompiles only the translation units whose preprocessed contents
+// changed (fragment compiler) and re-solves only the invalidated
+// functions plus their transitive caller cone (incremental vfg). The
+// patched report is byte-identical to a from-scratch analysis of the
+// edited sources at every worker count; any input the fast path cannot
+// represent exactly falls back to a from-scratch run transparently.
+//
+// A Session is safe for concurrent use; updates are serialized (the
+// fragment cache and captured state are single-writer).
+type Session struct {
+	mu      sync.Mutex
+	name    string
+	opts    Options
+	sources map[string]string
+	cFiles  []string
+	fc      *frontend.FragmentCompiler
+	fragOK  bool
+	incr    *vfg.IncrState
+	locMemo map[string]*locEntry
+	last    *Report
+	// lastRes is the linked module the last good report was computed
+	// for (or, after open, the module whose analysis the open report is
+	// byte-identical to). When an update's compile returns the same
+	// result object — every fragment reused or adopted — the previous
+	// report is still exact and the downstream phases are skipped.
+	lastRes *irgen.Result
+	stats   UpdateStats
+}
+
+// UpdateStats describes how one Update was executed.
+type UpdateStats struct {
+	// Incremental is true when the update took the fast path (fragment
+	// recompilation + incremental phase 3); false means a transparent
+	// from-scratch fallback.
+	Incremental bool
+	// FuncsInvalidated / FuncsReused partition the defined functions:
+	// the invalidation cone versus the summaries reused in place.
+	FuncsInvalidated int
+	FuncsReused      int
+	// UnitsReplayed / UnitsSolved partition the (function, context)
+	// closure of the incremental solve.
+	UnitsReplayed int
+	UnitsSolved   int
+	// Restarts counts verification-triggered cone expansions.
+	Restarts int
+}
+
+// OpenSession analyzes the system from scratch and opens it for
+// incremental updates. The sources map is copied; cFiles order is
+// preserved (it determines report identity).
+func OpenSession(ctx context.Context, name string, sources map[string]string, cFiles []string, opts Options) (*Session, *Report, error) {
+	s := &Session{
+		name:    name,
+		opts:    opts,
+		sources: make(map[string]string, len(sources)),
+		cFiles:  append([]string(nil), cFiles...),
+		locMemo: make(map[string]*locEntry),
+	}
+	for k, v := range sources {
+		s.sources[k] = v
+	}
+	// Incremental mode and the summary cache are mutually exclusive (a
+	// session replays its own records instead).
+	s.opts.DisableCache = true
+	s.opts.CacheKey = ""
+	fopts := frontend.Options{
+		Defines:           s.opts.Defines,
+		Workers:           s.opts.Workers,
+		DisableParseCache: s.opts.DisableParseCache,
+		DiskCache:         s.opts.DiskCache,
+	}
+	s.fc = frontend.NewFragmentCompiler(name, fopts, vfg.HashFunctionBody)
+
+	// Warm the fragment cache and take its body hashes as the session's
+	// fingerprint baseline, so the state captured now is comparable with
+	// the hashes later updates compute.
+	fres, hashes, fok := s.fc.Compile(ctx, cpp.MapSource(s.sources), s.cFiles)
+	s.fragOK = fok
+	if !fok {
+		hashes = nil
+	}
+
+	openOpts := s.opts
+	openOpts.incrOpts = &vfg.IncrOptions{BodyHashes: hashes}
+	rep, err := AnalyzeSourcesContext(ctx, name, cpp.MapSource(s.sources), s.cFiles, openOpts)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.incr = rep.incrState
+	s.last = rep
+	if fok && !rep.Degraded && len(rep.Internal) == 0 {
+		s.lastRes = fres
+	}
+	return s, rep, nil
+}
+
+// Update applies source edits and re-analyzes. changed maps file names
+// to new contents (new .c files are appended to the unit list in sorted
+// order); removed names files to delete. It returns the patched report —
+// byte-identical to a from-scratch analysis of the edited sources — and
+// the execution stats.
+func (s *Session) Update(ctx context.Context, changed map[string]string, removed ...string) (*Report, UpdateStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var added []string
+	for f, text := range changed {
+		if _, existed := s.sources[f]; !existed && strings.HasSuffix(f, ".c") {
+			added = append(added, f)
+		}
+		s.sources[f] = text
+	}
+	sort.Strings(added)
+	s.cFiles = append(s.cFiles, added...)
+	for _, f := range removed {
+		delete(s.sources, f)
+		for i, cf := range s.cFiles {
+			if cf == f {
+				s.cFiles = append(s.cFiles[:i], s.cFiles[i+1:]...)
+				break
+			}
+		}
+	}
+
+	rep, stats, err := s.update(ctx)
+	if err != nil {
+		return nil, UpdateStats{}, err
+	}
+	s.last = rep
+	s.stats = stats
+	return rep, stats, nil
+}
+
+func (s *Session) update(ctx context.Context) (*Report, UpdateStats, error) {
+	src := cpp.MapSource(s.sources)
+	if s.fragOK || s.incr != nil {
+		var col *metrics.Collector
+		if s.opts.Stats {
+			col = metrics.NewCollector()
+			col.SetTranslationUnits(len(s.cFiles))
+		}
+		done := col.Phase("frontend")
+		res, hashes, ok := s.fc.Compile(ctx, src, s.cFiles)
+		done()
+		if ok && res == s.lastRes && s.last != nil {
+			// Every fragment was reused or adopted: the module is the one
+			// the last report was computed for, so that report is still
+			// exact. Re-count the source stats (comments move them) and
+			// mirror a full run's metric shape — phase list and SCC count
+			// survive canonicalization and must match a fresh analysis.
+			s.fragOK = true
+			for _, ph := range []string{"shmflow", "restrict", "pointsto", "vfg"} {
+				col.Phase(ph)()
+			}
+			reused := len(hashes)
+			if col != nil {
+				if m := s.last.Metrics; m != nil {
+					col.SetPhase3(m.SCCs, 0, 0, 0, 0)
+				}
+				col.SetIncremental(0, reused, 0, 0)
+			}
+			rep := *s.last
+			rep.LinesOfCode, rep.AnnotationLines = s.countStats()
+			rep.Metrics = col.Finish()
+			return &rep, UpdateStats{Incremental: true, FuncsReused: reused}, nil
+		}
+		if ok {
+			s.fragOK = true
+			opts := s.opts
+			opts.incrOpts = &vfg.IncrOptions{Prev: s.incr, BodyHashes: hashes}
+			rep, err := analyzeModuleWith(ctx, s.name, res, opts, col, nil)
+			if err != nil {
+				return nil, UpdateStats{}, err
+			}
+			rep.LinesOfCode, rep.AnnotationLines = s.countStats()
+			rep.Metrics = col.Finish()
+			if rep.incrState != nil {
+				// A run that crashed or was cancelled captures no state;
+				// keep the last good checkpoint (the next update's
+				// fingerprint diff is taken against it, which is sound —
+				// anything changed since then is invalidated).
+				s.incr = rep.incrState
+			}
+			s.lastRes = nil
+			if !rep.Degraded && len(rep.Internal) == 0 {
+				s.lastRes = res
+			}
+			st := UpdateStats{Incremental: true}
+			if rep.incrStats != nil {
+				st.FuncsInvalidated = rep.incrStats.FuncsInvalidated
+				st.FuncsReused = rep.incrStats.FuncsReused
+				st.UnitsReplayed = rep.incrStats.UnitsReplayed
+				st.UnitsSolved = rep.incrStats.UnitsSolved
+				st.Restarts = rep.incrStats.Restarts
+			}
+			return rep, st, nil
+		}
+		if ctx.Err() != nil {
+			return nil, UpdateStats{}, ctx.Err()
+		}
+	}
+
+	// Fallback: from-scratch analysis. Capture fresh state when the run
+	// allows it (non-degraded); a degraded run keeps the old checkpoint.
+	s.fragOK = false
+	s.lastRes = nil
+	fullOpts := s.opts
+	fullOpts.incrOpts = &vfg.IncrOptions{}
+	rep, err := AnalyzeSourcesContext(ctx, s.name, src, s.cFiles, fullOpts)
+	if err != nil {
+		return nil, UpdateStats{}, err
+	}
+	if rep.incrState != nil {
+		s.incr = rep.incrState
+	}
+	return rep, UpdateStats{}, nil
+}
+
+// Last returns the most recent report (the open report until the first
+// update), and the stats of the most recent update.
+func (s *Session) Last() (*Report, UpdateStats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last, s.stats
+}
+
+// CFiles returns a copy of the current translation-unit list.
+func (s *Session) CFiles() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.cFiles...)
+}
+
+// locEntry memoizes one file's contribution to countSourceStats: its
+// line counts and the quoted includes it pulls in, keyed by content.
+type locEntry struct {
+	content  string
+	loc      int
+	annots   int
+	includes []string
+}
+
+// countStats reproduces countSourceStats over the session's sources,
+// recounting only files whose contents changed since the last update.
+func (s *Session) countStats() (loc, annots int) {
+	seen := make(map[string]bool)
+	var visit func(name string)
+	visit = func(name string) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		text, ok := s.sources[name]
+		if !ok {
+			return
+		}
+		e := s.locMemo[name]
+		if e == nil || e.content != text {
+			e = &locEntry{content: text}
+			for _, line := range strings.Split(text, "\n") {
+				trimmed := strings.TrimSpace(line)
+				if trimmed != "" {
+					e.loc++
+				}
+				if strings.Contains(line, "SafeFlow Annotation") {
+					e.annots++
+				}
+				if strings.HasPrefix(trimmed, "#include") {
+					if i := strings.IndexByte(trimmed, '"'); i >= 0 {
+						rest := trimmed[i+1:]
+						if j := strings.IndexByte(rest, '"'); j > 0 {
+							e.includes = append(e.includes, rest[:j])
+						}
+					}
+				}
+			}
+			s.locMemo[name] = e
+		}
+		loc += e.loc
+		annots += e.annots
+		for _, inc := range e.includes {
+			visit(inc)
+		}
+	}
+	for _, f := range s.cFiles {
+		visit(f)
+	}
+	return loc, annots
+}

@@ -61,6 +61,10 @@ type Config struct {
 	// read the daemon's filesystem. Off, only inline "sources" requests
 	// are accepted.
 	AllowLocalPaths bool
+	// MaxSessions bounds the incremental sessions held open for
+	// POST /v1/update; opening one beyond the bound evicts the least
+	// recently used. 0 means 8.
+	MaxSessions int
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +79,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 8
 	}
 	return c
 }
@@ -152,6 +159,16 @@ type Metrics struct {
 	CacheCorruptEvictions int64 `json:"cache_corrupt_evictions"`
 	AnalysisWallNS        int64 `json:"analysis_wall_ns"`
 
+	// Incremental-session counters: open sessions (gauge), cumulative
+	// functions invalidated/reused across updates, updates that fell back
+	// to from-scratch analysis, and cumulative update wall time.
+	IncrSessions         int64 `json:"incr_sessions"`
+	IncrSessionEvictions int64 `json:"incr_session_evictions"`
+	IncrFuncsInvalidated int64 `json:"incr_funcs_invalidated"`
+	IncrFuncsReused      int64 `json:"incr_funcs_reused"`
+	IncrFallbacks        int64 `json:"incr_fallbacks"`
+	IncrUpdateNS         int64 `json:"incr_update_ns"`
+
 	DiskStore *diskcache.Stats `json:"disk_store,omitempty"`
 }
 
@@ -167,15 +184,19 @@ type Server struct {
 
 	mu  sync.Mutex
 	agg Metrics // counter fields only; gauges are derived on read
+
+	sessMu   sync.Mutex
+	sessions map[string]*sessEntry
 }
 
 // New builds a server; call Handler to mount it.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{
-		cfg:   cfg,
-		start: time.Now(),
-		sem:   make(chan struct{}, cfg.Concurrency),
+		cfg:      cfg,
+		start:    time.Now(),
+		sem:      make(chan struct{}, cfg.Concurrency),
+		sessions: make(map[string]*sessEntry),
 	}
 }
 
@@ -184,6 +205,7 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("/v1/update", s.handleUpdate)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metricsz", s.handleMetricsz)
 	return mux
@@ -220,6 +242,9 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	m.Draining = s.draining.Load()
 	m.InFlight = s.inFlight.Load()
 	m.QueueDepth = s.queued.Load()
+	s.sessMu.Lock()
+	m.IncrSessions = int64(len(s.sessions))
+	s.sessMu.Unlock()
 	if s.cfg.Cache != nil {
 		st := s.cfg.Cache.Snapshot()
 		m.DiskStore = &st

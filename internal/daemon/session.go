@@ -1,0 +1,228 @@
+// The daemon's incremental-session surface: POST /v1/update keeps a
+// system open across requests and re-analyzes only what each edit
+// invalidated. The first request for a session id opens it (full
+// pipeline, state captured); subsequent requests ship only the changed
+// files and get back the patched report — byte-identical to what
+// POST /v1/analyze would return for the full edited system. Sessions
+// are evicted least-recently-used beyond Config.MaxSessions; a request
+// for an evicted id transparently re-opens it (the response header
+// X-Safeflow-Session says which happened, so clients that shipped only
+// a delta can detect the eviction and resend the full tree).
+
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"safeflow/pkg/safeflow"
+)
+
+// UpdateRequest is the body of POST /v1/update.
+type UpdateRequest struct {
+	// Session identifies the session (required). The first request for
+	// an id opens the session and must carry the full source tree;
+	// later requests carry only the changed files.
+	Session string `json:"session"`
+	// Name is the system name used in the report (required on open).
+	Name string `json:"name,omitempty"`
+	// Sources maps file names to contents: the full tree on open, the
+	// changed/added files on update.
+	Sources map[string]string `json:"sources,omitempty"`
+	// CFiles lists the translation units on open; empty means every
+	// ".c" key of Sources in sorted order. Ignored on updates (new .c
+	// files in Sources join the unit list automatically).
+	CFiles []string `json:"c_files,omitempty"`
+	// Removed names files to delete from the tree (updates only).
+	Removed []string `json:"removed,omitempty"`
+	// Options tune the analysis. Fixed at open; on updates only Stats
+	// (include the metrics snapshot) and TimeoutMS are honored.
+	Options AnalyzeOptions `json:"options,omitempty"`
+}
+
+// sessEntry is one open session. The entry mutex serializes updates on
+// the session (safeflow.Session also serializes internally; holding the
+// entry lock additionally keeps lastUsed and the LRU order coherent).
+type sessEntry struct {
+	id      string
+	sess    *safeflow.Session
+	created time.Time
+	// lastUsed is guarded by Server.sessMu (LRU scans read it).
+	lastUsed time.Time
+}
+
+// lookupSession returns the live entry for id, or nil.
+func (s *Server) lookupSession(id string) *sessEntry {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	e := s.sessions[id]
+	if e != nil {
+		e.lastUsed = time.Now()
+	}
+	return e
+}
+
+// storeSession registers a freshly opened session, evicting the least
+// recently used entry when the store is full.
+func (s *Server) storeSession(e *sessEntry) {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	for len(s.sessions) >= s.cfg.MaxSessions {
+		var oldest *sessEntry
+		for _, cand := range s.sessions {
+			if oldest == nil || cand.lastUsed.Before(oldest.lastUsed) {
+				oldest = cand
+			}
+		}
+		if oldest == nil {
+			break
+		}
+		delete(s.sessions, oldest.id)
+		s.count(func(m *Metrics) { m.IncrSessionEvictions++ })
+	}
+	e.lastUsed = time.Now()
+	s.sessions[e.id] = e
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	s.count(func(m *Metrics) { m.RequestsTotal++ })
+	if r.Method != http.MethodPost {
+		s.count(func(m *Metrics) { m.RequestsBadInput++ })
+		jsonError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.draining.Load() {
+		s.count(func(m *Metrics) { m.RequestsRejected++ })
+		w.Header().Set("Retry-After", "1")
+		jsonError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var req UpdateRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.count(func(m *Metrics) { m.RequestsBadInput++ })
+		jsonError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Session == "" {
+		s.count(func(m *Metrics) { m.RequestsBadInput++ })
+		jsonError(w, http.StatusBadRequest, "session is required")
+		return
+	}
+	opts, timeout, err := s.resolveOptions(req.Options)
+	if err != nil {
+		s.count(func(m *Metrics) { m.RequestsBadInput++ })
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	entry := s.lookupSession(req.Session)
+	if entry == nil {
+		// Opening: the request must carry the complete system.
+		if err := validateOpen(&req); err != nil {
+			s.count(func(m *Metrics) { m.RequestsBadInput++ })
+			jsonError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+
+	release, status := s.admit(r.Context())
+	if release == nil {
+		s.count(func(m *Metrics) { m.RequestsRejected++ })
+		w.Header().Set("Retry-After", "1")
+		jsonError(w, status, "analysis queue full, retry later")
+		return
+	}
+	defer release()
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	var (
+		rep    *safeflow.Report
+		stats  safeflow.UpdateStats
+		opened bool
+	)
+	start := time.Now()
+	if entry == nil {
+		opened = true
+		cFiles := req.CFiles
+		if len(cFiles) == 0 {
+			for name := range req.Sources {
+				if strings.HasSuffix(name, ".c") {
+					cFiles = append(cFiles, name)
+				}
+			}
+			sort.Strings(cFiles)
+		}
+		var sess *safeflow.Session
+		sess, rep, err = safeflow.OpenContext(ctx, req.Name, req.Sources, cFiles, opts)
+		if err == nil {
+			s.storeSession(&sessEntry{id: req.Session, sess: sess, created: time.Now()})
+		}
+	} else {
+		rep, stats, err = entry.sess.UpdateContext(ctx, req.Sources, req.Removed...)
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			s.count(func(m *Metrics) { m.RequestsTimeout++ })
+			jsonError(w, http.StatusGatewayTimeout, "analysis aborted after %v: %v", timeout, err)
+			return
+		}
+		s.count(func(m *Metrics) { m.RequestsFailed++ })
+		jsonError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	s.aggregate(rep.Metrics)
+	s.count(func(m *Metrics) {
+		m.IncrUpdateNS += elapsed.Nanoseconds()
+		if !opened {
+			m.IncrFuncsInvalidated += int64(stats.FuncsInvalidated)
+			m.IncrFuncsReused += int64(stats.FuncsReused)
+			if !stats.Incremental {
+				m.IncrFallbacks++
+			}
+		}
+	})
+	if !req.Options.Stats {
+		rep.Metrics = nil
+	}
+	s.count(func(m *Metrics) { m.RequestsOK++ })
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Safeflow-Exit", strconv.Itoa(exitCode(rep)))
+	if opened {
+		w.Header().Set("X-Safeflow-Session", "opened")
+	} else {
+		w.Header().Set("X-Safeflow-Session", "updated")
+		w.Header().Set("X-Safeflow-Incremental", strconv.FormatBool(stats.Incremental))
+		w.Header().Set("X-Safeflow-Funcs-Reused", strconv.Itoa(stats.FuncsReused))
+	}
+	if err := safeflow.WriteReportJSON(w, rep); err != nil {
+		s.count(func(m *Metrics) { m.RequestsFailed++ })
+	}
+}
+
+// validateOpen checks the first request of a session carries a full,
+// inline system (sessions never read the daemon's filesystem).
+func validateOpen(req *UpdateRequest) error {
+	if req.Name == "" {
+		return errors.New("name is required to open a session")
+	}
+	if len(req.Sources) == 0 {
+		return errors.New("opening a session requires the full source tree in sources (was this session evicted?)")
+	}
+	if len(req.Removed) > 0 {
+		return errors.New("removed is only meaningful on updates")
+	}
+	return nil
+}

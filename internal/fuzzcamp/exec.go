@@ -40,6 +40,10 @@ const (
 	// OracleNoPanic: no input may drive any pipeline phase to a panic
 	// (Report.Internal must stay empty in recovering mode).
 	OracleNoPanic = "no-internal-panic"
+	// OracleIncremental: a session update (incremental re-analysis of an
+	// edited input) renders byte-identically to a from-scratch analysis
+	// of the edited sources.
+	OracleIncremental = "incremental-equivalence"
 )
 
 // Violation is one oracle failure on one input.
@@ -193,6 +197,18 @@ func (e *Executor) Execute(ctx context.Context, in Input) (*ExecResult, error) {
 		}
 	}
 
+	// Oracle: incremental equivalence — patching a session must equal a
+	// from-scratch analysis of the edited sources, byte for byte.
+	if v, err := e.checkIncremental(ctx, in); err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, err
+	} else if v != nil {
+		res.Violation = v
+		return res, nil
+	}
+
 	// Dynamic taint on strictly-compiling inputs (the interpreter needs
 	// a complete module).
 	var hot map[ctoken.Pos]bool
@@ -261,6 +277,75 @@ func (e *Executor) Execute(ctx context.Context, in Input) (*ExecResult, error) {
 		return res, nil
 	}
 	return res, nil
+}
+
+// checkIncremental opens a session on the input, applies two edits — a
+// trailing comment (pure frontend churn, nothing invalidated) and a new
+// top-level function (module and callgraph change) — and requires every
+// patched report to render byte-identically to a from-scratch analysis
+// of the same edited sources. Inputs the session's fast path cannot
+// represent fall back internally; equivalence must hold either way.
+func (e *Executor) checkIncremental(ctx context.Context, in Input) (*Violation, error) {
+	if len(in.CFiles) == 0 {
+		return nil, nil
+	}
+	opts := core.Options{
+		Recover:           true,
+		Workers:           e.workers()[0],
+		DisableCache:      true,
+		DisableParseCache: true,
+	}
+	sess, _, err := core.OpenSession(ctx, in.Name, in.Sources, in.CFiles, opts)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, nil // structured rejection: nothing to compare
+	}
+	target := in.CFiles[0]
+	cur := in.Clone()
+	edits := []string{
+		"\n/* incremental-oracle touch */\n",
+		"\ndouble __incrProbe(double x)\n{\n    return x + 1.0;\n}\n",
+	}
+	for i, suffix := range edits {
+		cur.Sources[target] += suffix
+		rep, _, err := sess.Update(ctx, map[string]string{target: cur.Sources[target]})
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, nil
+		}
+		want, err := analyze(ctx, cur, cur.Sources, e.workers()[0], false)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, nil
+		}
+		repBytes, err := render(stripMetrics(rep))
+		if err != nil {
+			return nil, err
+		}
+		wantBytes, err := render(stripMetrics(want))
+		if err != nil {
+			return nil, err
+		}
+		if repBytes != wantBytes {
+			return &Violation{Oracle: OracleIncremental,
+				Detail: fmt.Sprintf("update %d: patched report differs from from-scratch analysis of the edited sources", i)}, nil
+		}
+	}
+	return nil, nil
+}
+
+// stripMetrics clears the execution-dependent metrics snapshot before a
+// byte comparison.
+func stripMetrics(rep *core.Report) *core.Report {
+	c := *rep
+	c.Metrics = nil
+	return &c
 }
 
 // checkInclusion enforces dynamic ⊆ static: every dynamically tainted

@@ -1,0 +1,60 @@
+package ir
+
+// RewriteOperands replaces instruction operands in place throughout fn:
+// every operand v becomes repl(v) when repl returns non-nil. Block
+// references (branch targets, phi predecessors) are intra-function and
+// are left untouched. The incremental frontend's fragment linker uses
+// this to rewire per-fragment function and global references onto the
+// linked module's canonical objects.
+func RewriteOperands(fn *Function, repl func(Value) Value) {
+	sub := func(v Value) Value {
+		if v == nil {
+			return nil
+		}
+		if n := repl(v); n != nil {
+			return n
+		}
+		return v
+	}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			switch x := in.(type) {
+			case *Load:
+				x.Addr = sub(x.Addr)
+			case *Store:
+				x.Val = sub(x.Val)
+				x.Addr = sub(x.Addr)
+			case *GEP:
+				x.Base = sub(x.Base)
+				for i := range x.Indices {
+					if x.Indices[i].Index != nil {
+						x.Indices[i].Index = sub(x.Indices[i].Index)
+					}
+				}
+			case *BinOp:
+				x.X = sub(x.X)
+				x.Y = sub(x.Y)
+			case *Cmp:
+				x.X = sub(x.X)
+				x.Y = sub(x.Y)
+			case *Cast:
+				x.X = sub(x.X)
+			case *Call:
+				if nf, ok := sub(x.Callee).(*Function); ok {
+					x.Callee = nf
+				}
+				for i := range x.Args {
+					x.Args[i] = sub(x.Args[i])
+				}
+			case *Phi:
+				for i := range x.Edges {
+					x.Edges[i].Val = sub(x.Edges[i].Val)
+				}
+			case *Ret:
+				x.X = sub(x.X)
+			case *Br:
+				x.Cond = sub(x.Cond)
+			}
+		}
+	}
+}

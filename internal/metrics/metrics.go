@@ -55,7 +55,16 @@ type RunMetrics struct {
 	// recomputed instead of poisoning the run. Omitted from JSON when
 	// zero.
 	CacheCorruptEvictions int `json:"cache_corrupt_evictions,omitempty"`
-	PeakGoroutines        int `json:"peak_goroutines"`
+	// Incremental re-analysis counters (set only on session updates;
+	// omitted from JSON when zero): how many functions the dependency
+	// graph invalidated versus reused, how many solved units were
+	// replayed from the previous run's records, and how many verify
+	// restarts the run needed.
+	IncrFuncsInvalidated int `json:"incr_funcs_invalidated,omitempty"`
+	IncrFuncsReused      int `json:"incr_funcs_reused,omitempty"`
+	IncrUnitsReplayed    int `json:"incr_units_replayed,omitempty"`
+	IncrRestarts         int `json:"incr_restarts,omitempty"`
+	PeakGoroutines       int `json:"peak_goroutines"`
 }
 
 // Canonicalize zeroes every execution-dependent field — wall times, the
@@ -82,6 +91,10 @@ func (m *RunMetrics) Canonicalize() {
 	m.DiskCacheHits = 0
 	m.DiskCacheMisses = 0
 	m.CacheCorruptEvictions = 0
+	m.IncrFuncsInvalidated = 0
+	m.IncrFuncsReused = 0
+	m.IncrUnitsReplayed = 0
+	m.IncrRestarts = 0
 	m.PeakGoroutines = 0
 }
 
@@ -140,6 +153,20 @@ func (c *Collector) SetPhase3(sccs, rounds, unitsSolved, cacheHits, cacheMisses 
 	c.m.UnitsSolved = unitsSolved
 	c.m.CacheHits = cacheHits
 	c.m.CacheMisses = cacheMisses
+	c.mu.Unlock()
+}
+
+// SetIncremental records the incremental re-analysis shape counters of
+// a session update.
+func (c *Collector) SetIncremental(funcsInvalidated, funcsReused, unitsReplayed, restarts int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.m.IncrFuncsInvalidated = funcsInvalidated
+	c.m.IncrFuncsReused = funcsReused
+	c.m.IncrUnitsReplayed = unitsReplayed
+	c.m.IncrRestarts = restarts
 	c.mu.Unlock()
 }
 

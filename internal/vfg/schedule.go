@@ -110,6 +110,11 @@ func (a *analysis) solveWaves(workers int) {
 	bySCC := make(map[*callgraph.SCC]*sccUnits)
 	var tasks []*sccUnits
 	for _, u := range a.unitList {
+		if u.replayed {
+			// Installed from a previous run's record (incremental mode):
+			// the summary is final, nothing to solve.
+			continue
+		}
 		s := a.cfg.CG.SCCOf(u.fn)
 		t := bySCC[s]
 		if t == nil {

@@ -82,6 +82,13 @@ type Config struct {
 	// unknown-taint source (SrcSkippedDef), so a degraded run can only
 	// over-report, never miss, a dependency in the surviving units.
 	MissingDefs map[string]bool
+	// Incr, when non-nil, switches the run to incremental mode: the run
+	// tracks per-unit contributions and captures a replayable IncrState
+	// (Result.NextIncr); when Incr.Prev is set, unchanged functions'
+	// units are replayed instead of re-solved (see incr.go). Ignored in
+	// Exponential mode and on degraded runs (MissingDefs non-empty) —
+	// skipped-def summaries are never reused across updates.
+	Incr *IncrOptions
 }
 
 // ErrorDep is one reported error: critical data depends on unmonitored
@@ -140,18 +147,20 @@ type Result struct {
 	// affected component's results may be partial; everything else is
 	// complete.
 	Internal []error
+	// Incr reports what an incremental run invalidated and reused; nil
+	// on non-incremental runs.
+	Incr *IncrStats
+	// NextIncr is the state captured for the next incremental run; nil
+	// when incremental mode was off or the run faulted or was cancelled.
+	NextIncr *IncrState
 }
 
 // Run executes the analysis.
 func Run(cfg Config) *Result {
-	a := &analysis{
-		cfg:     cfg,
-		units:   make(map[string]*unit),
-		sources: make(map[srcKey]*Source),
-		errors:  make(map[string]*ErrorDep),
-		mem:     newMemStore(),
-		fnData:  make(map[*ir.Function]*fnData),
+	if cfg.Incr != nil && !cfg.Exponential && len(cfg.MissingDefs) == 0 {
+		return runIncremental(cfg)
 	}
+	a := newAnalysis(cfg)
 	if cfg.Exponential {
 		// Exponential units are keyed by call path, so the closure is only
 		// discoverable while solving: use the legacy sequential driver.
@@ -161,6 +170,17 @@ func Run(cfg Config) *Result {
 		a.runScheduled(workerCount(cfg.Workers))
 	}
 	return a.finish()
+}
+
+func newAnalysis(cfg Config) *analysis {
+	return &analysis{
+		cfg:     cfg,
+		units:   make(map[string]*unit),
+		sources: make(map[srcKey]*Source),
+		errors:  make(map[string]*ErrorDep),
+		mem:     newMemStore(),
+		fnData:  make(map[*ir.Function]*fnData),
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -210,6 +230,15 @@ type unit struct {
 	// core by assume(core(...)) that did not resolve to a region.
 	noncoreParams map[string]bool
 	coreLocals    map[string]bool
+	// Incremental-mode state: replayed marks a unit installed from a
+	// previous run's record (never solved); the rec* maps accumulate the
+	// unit's own contributions when tracking is on. All are touched only
+	// by the unit's (single) solver goroutine or under a.mu at creation.
+	replayed  bool
+	recWrites map[pointsto.Ref]Taint
+	recReads  map[pointsto.Ref]bool
+	recSrcs   map[recSrcKey]bool
+	recErrs   map[string]*recErrVal
 }
 
 type analysis struct {
@@ -241,6 +270,13 @@ type analysis struct {
 
 	rounds                 int
 	cacheHits, cacheMisses int
+
+	// Incremental-mode state (zero outside incremental runs): track turns
+	// on per-unit contribution recording; replay maps unit keys to the
+	// previous run's records, installed at getUnit via replayBinder.
+	track        bool
+	replay       map[string]*unitRecord
+	replayBinder *binder
 }
 
 // ctxDone reports whether the run's context (if any) has been cancelled.
@@ -316,6 +352,11 @@ func (a *analysis) getUnit(fn *ir.Function, ctx Context, callPath string) *unit 
 	}
 	u.active = ctx.with(a.resolveCoreFacts(fn, u))
 	u.activeKey = u.active.Key()
+	if a.replay != nil {
+		if rec, ok := a.replay[key]; ok {
+			a.installReplay(u, rec)
+		}
+	}
 	a.units[key] = u
 	a.unitList = append(a.unitList, u)
 	a.mu.Unlock()
@@ -425,12 +466,16 @@ func (a *analysis) fnDataOf(fn *ir.Function) *fnData {
 	return d
 }
 
-func (a *analysis) sourceFor(in ir.Instr, region *shmflow.Region, fn *ir.Function, kind SourceKind, detail, ctxKey string) *Source {
+func (a *analysis) sourceFor(u *unit, in ir.Instr, region *shmflow.Region, kind SourceKind, detail string) *Source {
+	fn, ctxKey := u.fn, u.activeKey
 	regionName := ""
 	if region != nil {
 		regionName = region.Name
 	}
 	k := srcKey{pos: in.Pos(), kind: kind, region: regionName, detail: detail}
+	if a.track {
+		u.recSrc(k, fn.Name, ctxKey)
+	}
 	a.srcMu.Lock()
 	defer a.srcMu.Unlock()
 	s, ok := a.sources[k]
@@ -499,13 +544,16 @@ func (a *analysis) transfer(u *unit, in ir.Instr, get func(ir.Value) Taint, loca
 		if !fact.Empty() {
 			for region, iv := range fact {
 				if region.NonCore && !u.active.covers(region, iv, x.Type().Size()) {
-					src := a.sourceFor(x, region, fn, SrcUnmonitoredRead, iv.String(), u.activeKey)
+					src := a.sourceFor(u, x, region, SrcUnmonitoredRead, iv.String())
 					t.addSource(src.id, KindData)
 				}
 			}
 			return t, true
 		}
 		for _, ref := range a.cfg.PTS.PointsTo(x.Addr) {
+			if a.track {
+				u.recRead(ref)
+			}
 			t = joinTaint(t, local.read(ref))
 			t = joinTaint(t, a.mem.read(ref))
 		}
@@ -555,7 +603,7 @@ func (a *analysis) transferCall(u *unit, call *ir.Call, get func(ir.Value) Taint
 			if len(call.Args) > 1 && a.bufferAssumedCore(u, call.Args[1]) {
 				return Taint{}, true
 			}
-			src := a.sourceFor(call, nil, u.fn, SrcNonCoreRecv, callee.Name+" on noncore descriptor", u.activeKey)
+			src := a.sourceFor(u, call, nil, SrcNonCoreRecv, callee.Name+" on noncore descriptor")
 			t := Taint{}
 			t.addSource(src.id, KindData)
 			return t, true
@@ -572,7 +620,7 @@ func (a *analysis) transferCall(u *unit, call *ir.Call, get func(ir.Value) Taint
 			// The callee's defining unit was skipped by the recovering
 			// front end: its behavior is unknown, so the result carries an
 			// unknown-taint source in addition to the argument deps.
-			src := a.sourceFor(call, nil, u.fn, SrcSkippedDef, callee.Name, u.activeKey)
+			src := a.sourceFor(u, call, nil, SrcSkippedDef, callee.Name)
 			t.addSource(src.id, KindData)
 		}
 		return t, true
@@ -666,9 +714,7 @@ func (a *analysis) applyEffectsPass(u *unit, facts dataflow.Facts[Taint], local 
 					if local.write(ref, t) {
 						localChanged = true
 					}
-					if a.mem.write(ref, t.sourcesOnly()) {
-						a.changed.Store(true)
-					}
+					a.memWrite(u, ref, t.sourcesOnly())
 					if t.hasParams() {
 						sum.effects = append(sum.effects, effect{ref: ref, par: t.par})
 					}
@@ -699,7 +745,7 @@ func (a *analysis) applyCallEffects(u *unit, call *ir.Call, get func(ir.Value) T
 		t := get(call.Args[0])
 		vbl := a.cfg.AssertVars[call]
 		if t.HasSources() {
-			a.recordError(call.Pos(), u.fn.Name, vbl, t)
+			a.recordError(u, call.Pos(), u.fn.Name, vbl, t)
 		}
 		if t.hasParams() {
 			sum.asserts = append(sum.asserts, obligation{
@@ -714,7 +760,7 @@ func (a *analysis) applyCallEffects(u *unit, call *ir.Call, get func(ir.Value) T
 		// the argument's value taint.
 		t := joinTaint(get(call.Args[0]), ctrl)
 		if t.HasSources() {
-			a.recordError(call.Pos(), u.fn.Name, "kill.pid", t)
+			a.recordError(u, call.Pos(), u.fn.Name, "kill.pid", t)
 		}
 		if t.hasParams() {
 			sum.asserts = append(sum.asserts, obligation{
@@ -728,23 +774,21 @@ func (a *analysis) applyCallEffects(u *unit, call *ir.Call, get func(ir.Value) T
 		if a.bufferAssumedCore(u, call.Args[1]) {
 			return false
 		}
-		src := a.sourceFor(call, nil, u.fn, SrcNonCoreRecv, callee.Name+" buffer", u.activeKey)
+		src := a.sourceFor(u, call, nil, SrcNonCoreRecv, callee.Name+" buffer")
 		t := Taint{}
 		t.addSource(src.id, KindData)
 		for _, ref := range a.cfg.PTS.PointsTo(call.Args[1]) {
 			if local.write(ref, t) {
 				localChanged = true
 			}
-			if a.mem.write(ref, t) {
-				a.changed.Store(true)
-			}
+			a.memWrite(u, ref, t)
 		}
 		return localChanged
 	case callee.IsDecl || a.cfg.SF.InitFuncs[callee]:
 		if a.cfg.MissingDefs[callee.Name] {
 			// The callee's defining unit was skipped: assume it may write
 			// unknown values through every pointer argument.
-			src := a.sourceFor(call, nil, u.fn, SrcSkippedDef, callee.Name, u.activeKey)
+			src := a.sourceFor(u, call, nil, SrcSkippedDef, callee.Name)
 			t := Taint{}
 			t.addSource(src.id, KindData)
 			for _, arg := range call.Args {
@@ -752,9 +796,7 @@ func (a *analysis) applyCallEffects(u *unit, call *ir.Call, get func(ir.Value) T
 					if local.write(ref, t) {
 						localChanged = true
 					}
-					if a.mem.write(ref, t) {
-						a.changed.Store(true)
-					}
+					a.memWrite(u, ref, t)
 				}
 			}
 			return localChanged
@@ -786,9 +828,7 @@ func (a *analysis) applyCallEffects(u *unit, call *ir.Call, get func(ir.Value) T
 		if local.write(eff.ref, t) {
 			localChanged = true
 		}
-		if a.mem.write(eff.ref, t.sourcesOnly()) {
-			a.changed.Store(true)
-		}
+		a.memWrite(u, eff.ref, t.sourcesOnly())
 		if t.hasParams() {
 			sum.effects = append(sum.effects, effect{ref: eff.ref, par: t.par})
 		}
@@ -796,7 +836,7 @@ func (a *analysis) applyCallEffects(u *unit, call *ir.Call, get func(ir.Value) T
 	for _, ob := range s.asserts {
 		t := resolve(ob.par)
 		if t.HasSources() {
-			a.recordError(ob.pos, ob.fnName, ob.vbl, t)
+			a.recordError(u, ob.pos, ob.fnName, ob.vbl, t)
 		}
 		if t.hasParams() {
 			sum.asserts = append(sum.asserts, obligation{
@@ -824,10 +864,24 @@ func (a *analysis) bufferAssumedCore(u *unit, buf ir.Value) bool {
 	return false
 }
 
+// memWrite joins t into the global memory store, recording the write on
+// the unit when incremental tracking is on.
+func (a *analysis) memWrite(u *unit, ref pointsto.Ref, t Taint) {
+	if a.track {
+		u.recWrite(ref, t)
+	}
+	if a.mem.write(ref, t) {
+		a.changed.Store(true)
+	}
+}
+
 // recordError merges the taint's concrete sources into the error keyed by
 // (position, variable). Ids resolve through srcList first (srcMu), then
 // the error map is updated (errMu) — the lock order every path uses.
-func (a *analysis) recordError(pos ctoken.Pos, fnName, vbl string, t Taint) {
+func (a *analysis) recordError(u *unit, pos ctoken.Pos, fnName, vbl string, t Taint) {
+	if a.track {
+		u.recError(pos, fnName, vbl, t)
+	}
 	type srcKind struct {
 		s *Source
 		k Kind
