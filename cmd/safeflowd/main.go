@@ -21,6 +21,16 @@
 //	-workers n       per-analysis pipeline workers (0 = GOMAXPROCS)
 //	-local-paths     allow requests to name files on this host
 //	-drain-timeout d grace period for in-flight requests on shutdown
+//	-remote-cache u  base URL of a shared sfcached tier; the disk cache
+//	                 becomes the local fallback tier behind it
+//	-remote-timeout d per-op timeout against the remote tier
+//
+// With -remote-cache, every analysis reads and writes the shared
+// sfcached store through a fault-isolated client: per-op timeouts,
+// bounded retry with exponential backoff and jitter, and a circuit
+// breaker that trips to the local disk tier on sustained failure.
+// Remote-cache outage, slowness, or corruption never fails a request
+// and never changes a byte of any response — it only costs cache hits.
 //
 // Endpoints:
 //
@@ -52,6 +62,8 @@ import (
 	"time"
 
 	"safeflow/internal/daemon"
+	"safeflow/internal/diskcache"
+	"safeflow/internal/remotecache"
 	"safeflow/pkg/safeflow"
 )
 
@@ -66,16 +78,18 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 	fs := flag.NewFlagSet("safeflowd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr         = fs.String("addr", "127.0.0.1:8787", "listen address")
-		cacheDir     = fs.String("cachedir", "", "persistent cache directory (default: per-user cache dir; \"off\" disables)")
-		cacheSize    = fs.Int64("cache-size", 0, "disk-cache size budget in bytes (0 = default)")
-		concurrency  = fs.Int("concurrency", 0, "max analyses running at once (0 = GOMAXPROCS)")
-		queue        = fs.Int("queue", 0, "max requests waiting for a slot (0 = 2×concurrency)")
-		timeout      = fs.Duration("timeout", 60*time.Second, "default per-request analysis timeout")
-		maxTimeout   = fs.Duration("max-timeout", 5*time.Minute, "cap on request-supplied timeouts")
-		workers      = fs.Int("workers", 0, "per-analysis pipeline workers (0 = GOMAXPROCS)")
-		localPaths   = fs.Bool("local-paths", false, "allow requests to name files on this host")
-		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+		addr          = fs.String("addr", "127.0.0.1:8787", "listen address")
+		cacheDir      = fs.String("cachedir", "", "persistent cache directory (default: per-user cache dir; \"off\" disables)")
+		cacheSize     = fs.Int64("cache-size", 0, "disk-cache size budget in bytes (0 = default)")
+		concurrency   = fs.Int("concurrency", 0, "max analyses running at once (0 = GOMAXPROCS)")
+		queue         = fs.Int("queue", 0, "max requests waiting for a slot (0 = 2×concurrency)")
+		timeout       = fs.Duration("timeout", 60*time.Second, "default per-request analysis timeout")
+		maxTimeout    = fs.Duration("max-timeout", 5*time.Minute, "cap on request-supplied timeouts")
+		workers       = fs.Int("workers", 0, "per-analysis pipeline workers (0 = GOMAXPROCS)")
+		localPaths    = fs.Bool("local-paths", false, "allow requests to name files on this host")
+		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+		remoteCache   = fs.String("remote-cache", "", "base URL of a shared sfcached tier (e.g. http://10.0.0.7:8788)")
+		remoteTimeout = fs.Duration("remote-timeout", 2*time.Second, "per-op timeout against the remote cache tier")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -111,6 +125,22 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		}
 		cfg.Cache = dc
 		cacheDesc = dc.Dir()
+	}
+	if *remoteCache != "" {
+		client, err := remotecache.New(remotecache.Config{
+			BaseURL:   *remoteCache,
+			OpTimeout: *remoteTimeout,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "safeflowd: -remote-cache: %v\n", err)
+			return 2
+		}
+		var local diskcache.CacheBackend
+		if cfg.Cache != nil {
+			local = cfg.Cache
+		}
+		cfg.Remote = remotecache.NewTiered(client, local)
+		cacheDesc += " + remote " + *remoteCache
 	}
 
 	srv := daemon.New(cfg)
@@ -152,6 +182,15 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(stderr, "safeflowd: drain incomplete: %v\n", err)
 		return 1
+	}
+	// The listener is quiet: close every open incremental session so no
+	// session state is abandoned mid-update (Close waits for in-flight
+	// updates, bounded by what is left of the drain budget).
+	if n, err := srv.CloseSessions(ctx); err != nil {
+		fmt.Fprintf(stderr, "safeflowd: session close incomplete after %d session(s): %v\n", n, err)
+		return 1
+	} else if n > 0 {
+		fmt.Fprintf(stdout, "safeflowd: closed %d incremental session(s)\n", n)
 	}
 	fmt.Fprintln(stdout, "safeflowd: drained")
 	return 0

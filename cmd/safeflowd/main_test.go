@@ -114,3 +114,62 @@ func TestServeAnalyzeDrain(t *testing.T) {
 		t.Errorf("stdout missing drain confirmation: %q", out.String())
 	}
 }
+
+// A drain must also close open incremental sessions: open one via
+// /v1/update, stop the daemon, and expect the close to be reported
+// before the drain confirmation.
+func TestServeDrainClosesSessions(t *testing.T) {
+	src, err := os.ReadFile("../../testdata/figure2.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	done := make(chan int, 1)
+	var out, errOut bytes.Buffer
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-cachedir", "off"},
+			&out, &errOut, ready, stop)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon did not come up; stderr: %s", errOut.String())
+	}
+	base := "http://" + addr
+
+	body, err := json.Marshal(map[string]any{
+		"session": "s1", "name": "figure2",
+		"sources": map[string]string{"figure2.c": string(src)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/update", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("open session: %d", resp.StatusCode)
+	}
+
+	close(stop)
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Errorf("drain exit %d; stderr: %s", code, errOut.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+	if !strings.Contains(out.String(), "closed 1 incremental session(s)") {
+		t.Errorf("stdout missing session-close report: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Errorf("stdout missing drain confirmation: %q", out.String())
+	}
+}

@@ -1,0 +1,132 @@
+// Command sfcached serves a shared SafeFlow cache tier over HTTP: a
+// content-addressed store (the same integrity-checked, size-bounded,
+// LRU-evicting diskcache that backs a single process) that a fleet of
+// safeflowd replicas and CLI runs can share, so a translation unit
+// parsed or a module summary solved anywhere is a hit everywhere.
+//
+// Usage:
+//
+//	sfcached [flags]
+//
+// Flags:
+//
+//	-addr a          listen address (default 127.0.0.1:8788)
+//	-dir d           store directory (default: <user cache dir>/safeflow-shared)
+//	-cache-size n    store size budget in bytes (0 = default 256 MiB)
+//	-drain-timeout d grace period for in-flight requests on shutdown
+//
+// Endpoints:
+//
+//	GET  /v1/e/{ns}/{version}/{key}  one entry; 404 on miss (a corrupt
+//	                                 entry is evicted server-side and
+//	                                 reported as a miss), payload
+//	                                 checksum in X-Safeflow-Sum
+//	PUT  /v1/e/{ns}/{version}/{key}  store one entry; a body that fails
+//	                                 its declared checksum is refused
+//	GET  /healthz                    liveness
+//	GET  /metricsz                   request counters + store statistics
+//
+// sfcached is an accelerator, never a source of record: clients
+// (internal/remotecache) treat any sfcached failure as a cache miss and
+// fall back to their local tier, so killing this process can slow a
+// fleet down but can never fail a request or change a report.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"safeflow/internal/diskcache"
+	"safeflow/internal/remotecache"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil, nil))
+}
+
+// run is the testable entry point, mirroring safeflowd's: ready (when
+// non-nil) receives the bound address once the server accepts; closing
+// stop triggers the same graceful drain as SIGTERM.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-chan struct{}) int {
+	fs := flag.NewFlagSet("sfcached", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8788", "listen address")
+		dir          = fs.String("dir", "", "store directory (default: <user cache dir>/safeflow-shared)")
+		cacheSize    = fs.Int64("cache-size", 0, "store size budget in bytes (0 = default)")
+		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "sfcached: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+
+	root := *dir
+	if root == "" {
+		base, err := os.UserCacheDir()
+		if err != nil {
+			fmt.Fprintf(stderr, "sfcached: resolving default -dir: %v\n", err)
+			return 2
+		}
+		root = filepath.Join(base, "safeflow-shared")
+	}
+	store, err := diskcache.Open(root, *cacheSize)
+	if err != nil {
+		fmt.Fprintf(stderr, "sfcached: opening -dir: %v\n", err)
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "sfcached: listen on -addr %s: %v\n", *addr, err)
+		return 2
+	}
+	httpSrv := &http.Server{Handler: remotecache.NewServer(store).Handler()}
+
+	fmt.Fprintf(stdout, "sfcached listening on %s (store: %s)\n", ln.Addr(), store.Dir())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(stdout, "sfcached: %v received, draining\n", sig)
+	case <-stop:
+		fmt.Fprintln(stdout, "sfcached: stop requested, draining")
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(stderr, "sfcached: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(stderr, "sfcached: drain incomplete: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "sfcached: drained")
+	return 0
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"strings"
+	"testing"
+	"time"
+
+	"safeflow/internal/remotecache"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errOut, nil, nil); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	errOut.Reset()
+	if code := run([]string{"stray"}, &out, &errOut, nil, nil); code != 2 {
+		t.Errorf("stray arg: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unexpected argument") {
+		t.Errorf("stray arg stderr: %q", errOut.String())
+	}
+}
+
+// TestServeRoundTripDrain boots sfcached on an ephemeral port, drives
+// it through the remotecache client, and drains it via the stop channel.
+func TestServeRoundTripDrain(t *testing.T) {
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	done := make(chan int, 1)
+	var out, errOut bytes.Buffer
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-dir", t.TempDir()},
+			&out, &errOut, ready, stop)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("sfcached did not come up; stderr: %s", errOut.String())
+	}
+
+	c, err := remotecache.New(remotecache.Config{BaseURL: "http://" + addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var key [sha256.Size]byte
+	key[0] = 7
+	if _, ok, _ := c.Get("parse", 1, key); ok {
+		t.Fatal("cold get hit")
+	}
+	c.Put("parse", 1, key, []byte("shared entry"))
+	data, ok, corrupt := c.Get("parse", 1, key)
+	if !ok || corrupt || string(data) != "shared entry" {
+		t.Fatalf("get = (%q,%v,%v)", data, ok, corrupt)
+	}
+
+	close(stop)
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Errorf("drain exit %d; stderr: %s", code, errOut.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("sfcached did not drain")
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Errorf("stdout missing drain confirmation: %q", out.String())
+	}
+}

@@ -1,0 +1,103 @@
+package main
+
+// sfload end-to-end against an in-process daemon: a short stampede run
+// must complete with zero invariant violations, record full wave
+// collapse in the dedup accounting, and merge its report into -out.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"safeflow/internal/daemon"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "chaos"},
+		{"-concurrency", "0"},
+		{"-duration", "-1s"},
+		{"positional"},
+		{"-addr", "http://127.0.0.1:1"}, // nothing listening
+	}
+	for _, args := range cases {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr: %s)", args, code, errOut.String())
+		}
+	}
+}
+
+func TestStampedeRunCollapsesAndMerges(t *testing.T) {
+	ts := httptest.NewServer(daemon.New(daemon.Config{Concurrency: 2, QueueDepth: 64}).Handler())
+	defer ts.Close()
+
+	outFile := filepath.Join(t.TempDir(), "bench.json")
+	for i := 0; i < 2; i++ { // twice: the second run must merge, not clobber
+		var out, errOut bytes.Buffer
+		code := run([]string{
+			"-addr", ts.URL, "-mode", "stampede",
+			"-concurrency", "6", "-duration", "300ms",
+			"-systems", "1", "-seed", "7", "-out", outFile,
+		}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("run %d: exit %d; stderr: %s", i, code, errOut.String())
+		}
+
+		var rep Report
+		if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+			t.Fatalf("run %d: stdout not a report: %v\n%s", i, err, out.String())
+		}
+		if rep.RequestsTotal == 0 || rep.RequestsFailed != 0 {
+			t.Fatalf("run %d: total=%d failed=%d", i, rep.RequestsTotal, rep.RequestsFailed)
+		}
+		if rep.Stampede == nil || rep.Stampede.Waves == 0 {
+			t.Fatalf("run %d: no stampede accounting: %+v", i, rep.Stampede)
+		}
+		if rep.Stampede.BodyMismatches != 0 {
+			t.Errorf("run %d: %d body mismatches within waves", i, rep.Stampede.BodyMismatches)
+		}
+		if rep.Stampede.DedupHits == 0 {
+			t.Errorf("run %d: stampede produced no dedup hits", i)
+		}
+	}
+
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mf mergeFile
+	if err := json.Unmarshal(data, &mf); err != nil {
+		t.Fatalf("-out not a merge file: %v", err)
+	}
+	if len(mf.Runs) != 2 {
+		t.Fatalf("merge file holds %d runs, want 2", len(mf.Runs))
+	}
+}
+
+func TestMixedRun(t *testing.T) {
+	ts := httptest.NewServer(daemon.New(daemon.Config{Concurrency: 2, QueueDepth: 64}).Handler())
+	defer ts.Close()
+
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-addr", ts.URL, "-mode", "mixed",
+		"-concurrency", "4", "-duration", "300ms", "-systems", "2",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, errOut.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout not a report: %v", err)
+	}
+	if rep.RequestsTotal == 0 || rep.RequestsFailed != 0 {
+		t.Fatalf("total=%d failed=%d", rep.RequestsTotal, rep.RequestsFailed)
+	}
+	if rep.LatencyMS.Max <= 0 || rep.ThroughputRPS <= 0 {
+		t.Errorf("missing latency/throughput: %+v", rep)
+	}
+}

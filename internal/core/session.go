@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"sort"
 	"strings"
 	"sync"
@@ -26,6 +27,7 @@ import (
 // fragment cache and captured state are single-writer).
 type Session struct {
 	mu      sync.Mutex
+	closed  bool
 	name    string
 	opts    Options
 	sources map[string]string
@@ -119,6 +121,9 @@ func OpenSession(ctx context.Context, name string, sources map[string]string, cF
 func (s *Session) Update(ctx context.Context, changed map[string]string, removed ...string) (*Report, UpdateStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return nil, UpdateStats{}, ErrSessionClosed
+	}
 
 	var added []string
 	for f, text := range changed {
@@ -231,6 +236,28 @@ func (s *Session) update(ctx context.Context) (*Report, UpdateStats, error) {
 		s.incr = rep.incrState
 	}
 	return rep, UpdateStats{}, nil
+}
+
+// ErrSessionClosed is returned by Update on a session Close has torn
+// down.
+var ErrSessionClosed = errors.New("safeflow: session is closed")
+
+// Close tears the session down: it waits for any in-flight Update to
+// finish — a session is never interrupted mid-update — then marks the
+// session closed and releases the captured per-function state. Further
+// Updates fail with ErrSessionClosed; Last and CFiles keep answering
+// from the final state. Closing twice is a no-op.
+func (s *Session) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.fc = nil
+	s.incr = nil
+	s.lastRes = nil
+	s.locMemo = nil
 }
 
 // Last returns the most recent report (the open report until the first

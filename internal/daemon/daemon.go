@@ -21,20 +21,23 @@
 package daemon
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"sort"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"safeflow/internal/diskcache"
 	"safeflow/internal/metrics"
+	"safeflow/internal/remotecache"
 	"safeflow/pkg/safeflow"
 )
 
@@ -43,6 +46,12 @@ type Config struct {
 	// Cache, when non-nil, is the persistent cache every analysis reads
 	// and writes (shared with CLI processes pointed at the same dir).
 	Cache *diskcache.Store
+	// Remote, when non-nil, is the tiered remote+local cache backend
+	// analyses use instead of Cache alone (Cache is normally the tier's
+	// local side and still feeds the /metricsz disk statistics). A
+	// failing remote tier degrades to Cache behavior — never to an
+	// error — and its breaker/retry counters appear in /metricsz.
+	Remote *remotecache.Tiered
 	// Concurrency bounds simultaneously running analyses. 0 means
 	// runtime.GOMAXPROCS(0).
 	Concurrency int
@@ -147,6 +156,17 @@ type Metrics struct {
 	InFlight   int64 `json:"in_flight"`
 	QueueDepth int64 `json:"queue_depth"`
 
+	// Single-flight dedup: DedupHits counts requests served from
+	// another identical request's in-flight analysis (a stampede of N
+	// identical requests runs the pipeline once and records N−1 here).
+	DedupHits int64 `json:"dedup_hits"`
+
+	// Load-shedding detail under the RequestsRejected umbrella:
+	// queue-full rejections versus predictive sheds (the estimated
+	// queue wait already exceeded the request's own timeout).
+	ShedQueueFull int64 `json:"shed_queue_full"`
+	ShedPredicted int64 `json:"shed_predicted"`
+
 	// Aggregated run-metrics counters summed over completed analyses.
 	TranslationUnits      int64 `json:"translation_units"`
 	UnitsSolved           int64 `json:"units_solved"`
@@ -169,7 +189,8 @@ type Metrics struct {
 	IncrFallbacks        int64 `json:"incr_fallbacks"`
 	IncrUpdateNS         int64 `json:"incr_update_ns"`
 
-	DiskStore *diskcache.Stats `json:"disk_store,omitempty"`
+	DiskStore   *diskcache.Stats          `json:"disk_store,omitempty"`
+	RemoteCache *metrics.RemoteCacheStats `json:"remote_cache,omitempty"`
 }
 
 // Server is one safeflowd instance.
@@ -184,6 +205,9 @@ type Server struct {
 
 	mu  sync.Mutex
 	agg Metrics // counter fields only; gauges are derived on read
+
+	flightMu sync.Mutex
+	flights  map[[sha256.Size]byte]*flight
 
 	sessMu   sync.Mutex
 	sessions map[string]*sessEntry
@@ -249,6 +273,10 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 		st := s.cfg.Cache.Snapshot()
 		m.DiskStore = &st
 	}
+	if s.cfg.Remote != nil {
+		rc := s.cfg.Remote.Snapshot()
+		m.RemoteCache = &rc
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -261,20 +289,75 @@ func (s *Server) count(f func(*Metrics)) {
 	s.mu.Unlock()
 }
 
-// admit acquires a worker-pool slot, waiting in the bounded queue if the
-// pool is busy. It returns a release function, or an HTTP status when
-// the request cannot be admitted.
-func (s *Server) admit(ctx context.Context) (release func(), status int) {
+// meanAnalysisSeconds is the observed mean analysis wall time across
+// completed requests, or 0 when nothing has completed yet.
+func (s *Server) meanAnalysisSeconds() float64 {
+	s.mu.Lock()
+	ok := s.agg.RequestsOK
+	wall := s.agg.AnalysisWallNS
+	s.mu.Unlock()
+	if ok <= 0 || wall <= 0 {
+		return 0
+	}
+	return float64(wall) / float64(ok) / float64(time.Second)
+}
+
+// retryAfterSecs derives the Retry-After hint from the load actually
+// ahead of a new arrival: the queued requests form ceil(q/concurrency)
+// scheduling waves, each lasting about one mean analysis, plus the wave
+// running now. A cold daemon (no completed request yet) hints 1s.
+// Clamped to [1, 60] so the hint stays a backoff, not a ban.
+func (s *Server) retryAfterSecs() int {
+	mean := s.meanAnalysisSeconds()
+	if mean <= 0 {
+		return 1
+	}
+	waves := float64(s.queued.Load())/float64(s.cfg.Concurrency) + 1
+	secs := int(math.Ceil(waves * mean))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+func (s *Server) retryAfter() string { return fmt.Sprintf("%d", s.retryAfterSecs()) }
+
+// shedStatus classifies one rejection for the shed counters.
+type shedReason int
+
+const (
+	shedNone shedReason = iota
+	shedQueueFull
+	shedPredicted
+)
+
+// admit acquires a worker-pool slot, waiting in the bounded queue if
+// the pool is busy. timeout is the request's analysis budget: a request
+// whose estimated queue wait already exceeds it is shed immediately
+// (predictive shedding — it would only time out in line and waste a
+// queue position doing so). It returns a release function, or an HTTP
+// status when the request cannot be admitted.
+func (s *Server) admit(ctx context.Context, timeout time.Duration) (release func(), status int, reason shedReason) {
 	select {
 	case s.sem <- struct{}{}:
-		return func() { <-s.sem }, 0
+		return func() { <-s.sem }, 0, shedNone
 	default:
 	}
-	// Pool busy: take a queue position if one is free.
+	// Pool busy: shed if the line ahead is already longer than the
+	// request's own deadline, otherwise take a queue position.
+	if mean := s.meanAnalysisSeconds(); mean > 0 {
+		waves := float64(s.queued.Load()) / float64(s.cfg.Concurrency)
+		if time.Duration(waves*mean*float64(time.Second)) > timeout {
+			return nil, http.StatusTooManyRequests, shedPredicted
+		}
+	}
 	for {
 		q := s.queued.Load()
 		if q >= int64(s.cfg.QueueDepth) {
-			return nil, http.StatusTooManyRequests
+			return nil, http.StatusTooManyRequests, shedQueueFull
 		}
 		if s.queued.CompareAndSwap(q, q+1) {
 			break
@@ -283,11 +366,23 @@ func (s *Server) admit(ctx context.Context) (release func(), status int) {
 	defer s.queued.Add(-1)
 	select {
 	case s.sem <- struct{}{}:
-		return func() { <-s.sem }, 0
+		return func() { <-s.sem }, 0, shedNone
 	case <-ctx.Done():
 		// Client went away or the request deadline passed while queued.
-		return nil, http.StatusServiceUnavailable
+		return nil, http.StatusServiceUnavailable, shedNone
 	}
+}
+
+// countShed folds one rejection into the shed-detail counters.
+func (s *Server) countShed(reason shedReason) {
+	s.count(func(m *Metrics) {
+		switch reason {
+		case shedQueueFull:
+			m.ShedQueueFull++
+		case shedPredicted:
+			m.ShedPredicted++
+		}
+	})
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
@@ -299,7 +394,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.draining.Load() {
 		s.count(func(m *Metrics) { m.RequestsRejected++ })
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter())
 		jsonError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
@@ -321,30 +416,66 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	release, status := s.admit(r.Context())
-	if release == nil {
-		s.count(func(m *Metrics) { m.RequestsRejected++ })
-		w.Header().Set("Retry-After", "1")
-		jsonError(w, status, "analysis queue full, retry later")
+	key := analyzeKey(&req)
+	f, leader := s.joinFlight(key)
+	if !leader {
+		// An identical request is already executing: wait for its
+		// result and replay the exact bytes. No worker slot, no queue
+		// position — the stampede costs one admission.
+		s.count(func(m *Metrics) { m.DedupHits++ })
+		select {
+		case <-f.done:
+			s.countFlightStatus(&f.res)
+			f.res.write(w)
+		case <-r.Context().Done():
+			f.dropWaiter()
+		}
 		return
+	}
+
+	// Leader: run detached from any one connection. The flight context
+	// cancels only when every client wanting this result is gone, so a
+	// leader disconnect never fails the followers behind it.
+	ctx, cancel := context.WithCancel(context.Background())
+	f.cancel = cancel
+	defer cancel()
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-r.Context().Done():
+			f.dropWaiter()
+		case <-watchDone:
+		}
+	}()
+	res := s.runAnalyze(ctx, &req, opts, timeout)
+	close(watchDone)
+	s.leaveFlight(key, f, res)
+	s.countFlightStatus(&res)
+	res.write(w)
+}
+
+// runAnalyze admits and executes one analysis, rendering the complete
+// response — status, headers, body bytes — as a replayable result.
+func (s *Server) runAnalyze(ctx context.Context, req *AnalyzeRequest, opts safeflow.Options, timeout time.Duration) flightResult {
+	release, status, reason := s.admit(ctx, timeout)
+	if release == nil {
+		s.countShed(reason)
+		return errorResult(status, s.retryAfter(), "analysis queue full, retry later")
 	}
 	defer release()
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
 
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
-	rep, err := s.analyze(ctx, &req, opts)
+	rep, err := s.analyze(ctx, req, opts)
 	if err != nil {
 		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
-			s.count(func(m *Metrics) { m.RequestsTimeout++ })
-			jsonError(w, http.StatusGatewayTimeout, "analysis aborted after %v: %v", timeout, err)
-			return
+			return errorResult(http.StatusGatewayTimeout, "",
+				fmt.Sprintf("analysis aborted after %v: %v", timeout, err))
 		}
-		s.count(func(m *Metrics) { m.RequestsFailed++ })
-		jsonError(w, http.StatusUnprocessableEntity, "%v", err)
-		return
+		return errorResult(http.StatusUnprocessableEntity, "", err.Error())
 	}
 	s.aggregate(rep.Metrics)
 	if !req.Options.Stats {
@@ -352,13 +483,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		// them so the body matches `safeflow -json` without -stats.
 		rep.Metrics = nil
 	}
-	s.count(func(m *Metrics) { m.RequestsOK++ })
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Safeflow-Exit", strconv.Itoa(exitCode(rep)))
-	if err := safeflow.WriteReportJSON(w, rep); err != nil {
-		// Headers are gone; nothing to do beyond accounting.
-		s.count(func(m *Metrics) { m.RequestsFailed++ })
+	var buf bytes.Buffer
+	if err := safeflow.WriteReportJSON(&buf, rep); err != nil {
+		return errorResult(http.StatusInternalServerError, "", err.Error())
 	}
+	return okResult(exitCode(rep), buf.Bytes())
 }
 
 // resolveOptions maps the request options onto pipeline options, exactly
@@ -375,7 +504,10 @@ func (s *Server) resolveOptions(ro AnalyzeOptions) (safeflow.Options, time.Durat
 		Stats:     true,
 		DiskCache: nil,
 	}
-	if s.cfg.Cache != nil {
+	switch {
+	case s.cfg.Remote != nil:
+		opts.DiskCache = s.cfg.Remote
+	case s.cfg.Cache != nil:
 		opts.DiskCache = s.cfg.Cache
 	}
 	if opts.Workers == 0 {

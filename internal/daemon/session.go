@@ -90,6 +90,36 @@ func (s *Server) storeSession(e *sessEntry) {
 	s.sessions[e.id] = e
 }
 
+// CloseSessions closes every open incremental session, waiting for any
+// in-flight update to finish first (Session.Close blocks until the
+// session is quiescent, so no session is ever torn down mid-update).
+// It returns how many sessions it closed; when ctx expires first the
+// remaining closes keep completing in the background and ctx.Err() is
+// returned. The daemon calls this on drain, after the HTTP listener
+// has stopped accepting work.
+func (s *Server) CloseSessions(ctx context.Context) (int, error) {
+	s.sessMu.Lock()
+	entries := make([]*sessEntry, 0, len(s.sessions))
+	for id, e := range s.sessions {
+		delete(s.sessions, id)
+		entries = append(entries, e)
+	}
+	s.sessMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		for _, e := range entries {
+			e.sess.Close()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+		return len(entries), nil
+	case <-ctx.Done():
+		return len(entries), ctx.Err()
+	}
+}
+
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	s.count(func(m *Metrics) { m.RequestsTotal++ })
 	if r.Method != http.MethodPost {
@@ -99,7 +129,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.draining.Load() {
 		s.count(func(m *Metrics) { m.RequestsRejected++ })
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter())
 		jsonError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
@@ -133,10 +163,11 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	release, status := s.admit(r.Context())
+	release, status, reason := s.admit(r.Context(), timeout)
 	if release == nil {
 		s.count(func(m *Metrics) { m.RequestsRejected++ })
-		w.Header().Set("Retry-After", "1")
+		s.countShed(reason)
+		w.Header().Set("Retry-After", s.retryAfter())
 		jsonError(w, status, "analysis queue full, retry later")
 		return
 	}
@@ -174,6 +205,14 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	elapsed := time.Since(start)
 	if err != nil {
+		if errors.Is(err, safeflow.ErrSessionClosed) {
+			// The session was torn down (drain) between lookup and
+			// update: the client should reopen against a live daemon.
+			s.count(func(m *Metrics) { m.RequestsRejected++ })
+			w.Header().Set("Retry-After", s.retryAfter())
+			jsonError(w, http.StatusServiceUnavailable, "session closed; reopen with the full source tree")
+			return
+		}
 		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
 			s.count(func(m *Metrics) { m.RequestsTimeout++ })
 			jsonError(w, http.StatusGatewayTimeout, "analysis aborted after %v: %v", timeout, err)

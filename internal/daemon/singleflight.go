@@ -1,0 +1,150 @@
+// Single-flight deduplication for POST /v1/analyze: when N identical
+// requests are in flight at once — the cache-stampede shape, a fleet of
+// CI jobs analyzing the same commit — exactly one runs the pipeline and
+// every other request waits for that result and receives byte-identical
+// response bytes. The pipeline's byte determinism is what makes this
+// sound: the response the leader computes IS the response every
+// follower would have computed.
+//
+// Followers hold no worker slot and no queue position, so a stampede of
+// N identical requests costs one admission, not N — the dedup layer is
+// itself a load shedder. The flight's analysis context is detached from
+// any single client connection and reference-counted instead: it is
+// cancelled only when every waiting client has disconnected, so a
+// leader that gives up early does not fail the followers that still
+// want the answer.
+
+package daemon
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+)
+
+// flightResult is one completed analysis response, replayable to any
+// number of waiters.
+type flightResult struct {
+	status     int
+	exit       string // X-Safeflow-Exit value; "" omits the header
+	retryAfter string // Retry-After value; "" omits the header
+	body       []byte
+}
+
+// flight is one in-flight analyze execution.
+type flight struct {
+	done   chan struct{} // closed once res is set
+	res    flightResult
+	cancel context.CancelFunc
+	// waiters counts clients (leader included) still wanting the
+	// result; at zero the flight's context is cancelled. A flight with
+	// zero waiters is dying and can no longer be joined.
+	waiters atomic.Int64
+}
+
+// analyzeKey fingerprints a request for dedup. Every field that can
+// influence the response bytes participates: json.Marshal renders
+// struct fields in declaration order and map keys sorted, so two
+// requests marshal equal iff they are the same request.
+func analyzeKey(req *AnalyzeRequest) [sha256.Size]byte {
+	b, err := json.Marshal(req)
+	if err != nil {
+		// Unmarshalable requests never get here (they failed decode);
+		// treat a marshal failure as a never-matching key.
+		return sha256.Sum256([]byte(err.Error()))
+	}
+	return sha256.Sum256(b)
+}
+
+// joinFlight returns the flight for key, creating it when none is
+// joinable; leader reports whether the caller must run the analysis.
+func (s *Server) joinFlight(key [sha256.Size]byte) (f *flight, leader bool) {
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	if f := s.flights[key]; f != nil {
+		// Join unless the flight is dying (every waiter disconnected and
+		// its context is being cancelled): a dying flight's result would
+		// be a cancellation artifact, not an answer.
+		for {
+			w := f.waiters.Load()
+			if w == 0 {
+				break
+			}
+			if f.waiters.CompareAndSwap(w, w+1) {
+				return f, false
+			}
+		}
+	}
+	f = &flight{done: make(chan struct{})}
+	f.waiters.Store(1)
+	if s.flights == nil {
+		s.flights = make(map[[sha256.Size]byte]*flight)
+	}
+	s.flights[key] = f
+	return f, true
+}
+
+// leaveFlight removes a completed flight from the index and publishes
+// its result to every waiter.
+func (s *Server) leaveFlight(key [sha256.Size]byte, f *flight, res flightResult) {
+	s.flightMu.Lock()
+	if s.flights[key] == f {
+		delete(s.flights, key)
+	}
+	s.flightMu.Unlock()
+	f.res = res
+	close(f.done)
+}
+
+// dropWaiter records one waiter disconnecting before the flight
+// finished; the last one out cancels the analysis.
+func (f *flight) dropWaiter() {
+	if f.waiters.Add(-1) == 0 && f.cancel != nil {
+		f.cancel()
+	}
+}
+
+// write replays a flight result onto one response.
+func (res *flightResult) write(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	if res.exit != "" {
+		w.Header().Set("X-Safeflow-Exit", res.exit)
+	}
+	if res.retryAfter != "" {
+		w.Header().Set("Retry-After", res.retryAfter)
+	}
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+// errorResult renders the {"error": ...} body jsonError would have
+// written, as a replayable result.
+func errorResult(status int, retryAfter string, msg string) flightResult {
+	body, _ := json.Marshal(map[string]string{"error": msg})
+	return flightResult{status: status, retryAfter: retryAfter, body: append(body, '\n')}
+}
+
+// okResult wraps a rendered report body.
+func okResult(exit int, body []byte) flightResult {
+	return flightResult{status: http.StatusOK, exit: strconv.Itoa(exit), body: body}
+}
+
+// countFlightStatus folds a replayed (or fresh) result into the
+// request-class counters, so followers account like leaders.
+func (s *Server) countFlightStatus(res *flightResult) {
+	s.count(func(m *Metrics) {
+		switch {
+		case res.status == http.StatusOK:
+			m.RequestsOK++
+		case res.status == http.StatusTooManyRequests || res.status == http.StatusServiceUnavailable:
+			m.RequestsRejected++
+		case res.status == http.StatusGatewayTimeout:
+			m.RequestsTimeout++
+		default:
+			m.RequestsFailed++
+		}
+	})
+}

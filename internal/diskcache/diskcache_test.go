@@ -270,3 +270,80 @@ func TestConcurrentProcessesSimulated(t *testing.T) {
 	default:
 	}
 }
+
+// LRU eviction racing Get/Put traffic on the same keys, for -race runs:
+// a store small enough that every writer triggers evictOver, hammered
+// by readers and writers sharing one hot key set. The invariant is the
+// atomic-entry contract under eviction pressure — every hit returns the
+// exact stored bytes (no torn reads, no cross-key payloads, no spurious
+// corruption), an evicted entry reads as a clean miss, and the store
+// never exceeds its budget once the dust settles.
+func TestLRUEvictionRacesGetPut(t *testing.T) {
+	// Budget fits ~3 payloads, with 8 hot keys: eviction churns
+	// constantly while readers chase the same entries.
+	const payloadSize = 1024
+	s := open(t, 3*(payloadSize+headerSize))
+
+	const keys = 8
+	payloads := make([][]byte, keys)
+	for i := range payloads {
+		payloads[i] = bytes.Repeat([]byte{byte('a' + i)}, payloadSize)
+	}
+	kid := func(i int) [sha256.Size]byte { return key(fmt.Sprintf("hot%d", i)) }
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Put("parse", 1, kid((i+w)%keys), payloads[(i+w)%keys])
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				idx := (i + r) % keys
+				data, ok, corrupt := s.Get("parse", 1, kid(idx))
+				if corrupt {
+					t.Error("racing eviction surfaced as corruption")
+					return
+				}
+				if ok && !bytes.Equal(data, payloads[idx]) {
+					t.Errorf("key %d returned wrong payload (len %d)", idx, len(data))
+					return
+				}
+			}
+		}(r)
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	st := s.Snapshot()
+	if st.LRUEvictions == 0 {
+		t.Fatal("race exercised no LRU evictions")
+	}
+	if st.BytesInUse > 3*(payloadSize+headerSize) {
+		t.Fatalf("store over budget after churn: %d bytes", st.BytesInUse)
+	}
+	// The store must still work after the churn.
+	s.Put("parse", 1, kid(0), payloads[0])
+	if data, ok, corrupt := s.Get("parse", 1, kid(0)); !ok || corrupt || !bytes.Equal(data, payloads[0]) {
+		t.Fatalf("store broken after churn: ok=%v corrupt=%v", ok, corrupt)
+	}
+}

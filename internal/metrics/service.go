@@ -1,0 +1,54 @@
+// Service-tier counters: the fleet-facing counterpart of RunMetrics.
+// RunMetrics instruments one analysis; the types here instrument the
+// long-lived processes around it — the remote-cache client's circuit
+// breaker and retry discipline, the daemon's single-flight dedup and
+// load shedding. They share this package so every metrics surface
+// (/metricsz on safeflowd and sfcached, sfload reports) speaks one
+// schema.
+
+package metrics
+
+// Circuit-breaker states as they appear in metrics snapshots. The
+// breaker protects callers from a failing remote dependency: closed is
+// normal operation, open short-circuits every call to the local
+// fallback tier, and half-open admits one probe at a time to test
+// recovery.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
+// RemoteCacheStats is a point-in-time snapshot of a remote-cache
+// client's counters: tier outcomes (remote hits/misses, local fallback
+// traffic), the retry/backoff discipline, and every circuit-breaker
+// state transition since the client was built. Cumulative except for
+// BreakerState, which is the state at snapshot time.
+type RemoteCacheStats struct {
+	// BreakerState is one of BreakerClosed, BreakerOpen, BreakerHalfOpen.
+	BreakerState string `json:"breaker_state"`
+	// Breaker transition counters: closed→open trips, open→half-open
+	// probes admitted, half-open→closed recoveries. A half-open probe
+	// that fails counts as another BreakerOpens.
+	BreakerOpens     int64 `json:"breaker_opens"`
+	BreakerHalfOpens int64 `json:"breaker_half_opens"`
+	BreakerCloses    int64 `json:"breaker_closes"`
+
+	// Remote-op outcomes. RemoteCorrupt counts payloads whose checksum
+	// failed after every retry (treated as a miss, never decoded).
+	RemoteHits    int64 `json:"remote_hits"`
+	RemoteMisses  int64 `json:"remote_misses"`
+	RemoteCorrupt int64 `json:"remote_corrupt"`
+	RemotePuts    int64 `json:"remote_puts"`
+
+	// Retries counts individual re-attempts after a failed attempt;
+	// Failures counts ops that exhausted their attempts; ShortCircuits
+	// counts ops skipped entirely because the breaker was open.
+	Retries       int64 `json:"retries"`
+	Failures      int64 `json:"failures"`
+	ShortCircuits int64 `json:"short_circuits"`
+
+	// Local fallback-tier outcomes observed by the tiered backend.
+	LocalHits   int64 `json:"local_hits"`
+	LocalMisses int64 `json:"local_misses"`
+}

@@ -1,0 +1,133 @@
+package remotecache
+
+import (
+	"sync"
+	"time"
+
+	"safeflow/internal/metrics"
+)
+
+// breaker is the client's circuit breaker. Closed, every remote op
+// proceeds and consecutive failures are counted; at the failure
+// threshold the breaker opens and every op short-circuits to the local
+// tier for the cooldown interval. After the cooldown the next op is
+// admitted as a half-open probe — exactly one at a time — and its
+// outcome decides the next state: enough consecutive probe successes
+// close the breaker, any probe failure reopens it for another cooldown.
+//
+// The breaker never makes an op fail: callers that are refused fall
+// back to the local tier, so a tripped breaker converts remote latency
+// into a local cache lookup.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	probes    int // half-open successes required to close
+
+	now func() time.Time
+
+	mu          sync.Mutex
+	state       string // metrics.BreakerClosed / BreakerOpen / BreakerHalfOpen
+	consecFails int
+	openedAt    time.Time
+	probing     bool // a half-open probe is in flight
+	probeOKs    int
+
+	opens     int64
+	halfOpens int64
+	closes    int64
+}
+
+func newBreaker(threshold int, cooldown time.Duration, probes int, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		probes:    probes,
+		now:       now,
+		state:     metrics.BreakerClosed,
+	}
+}
+
+// allow reports whether a remote op may proceed right now; probe is
+// true when the op is the half-open trial whose outcome gates closing.
+func (b *breaker) allow() (proceed, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case metrics.BreakerClosed:
+		return true, false
+	case metrics.BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false, false
+		}
+		b.state = metrics.BreakerHalfOpen
+		b.halfOpens++
+		b.probing = true
+		b.probeOKs = 0
+		return true, true
+	default: // half-open
+		if b.probing {
+			return false, false
+		}
+		b.probing = true
+		return true, true
+	}
+}
+
+// record feeds one op's outcome back. probe must be the value allow
+// returned for the op.
+func (b *breaker) record(success, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+	}
+	switch b.state {
+	case metrics.BreakerClosed:
+		if success {
+			b.consecFails = 0
+			return
+		}
+		b.consecFails++
+		if b.consecFails >= b.threshold {
+			b.trip()
+		}
+	case metrics.BreakerHalfOpen:
+		if !probe {
+			// An op admitted before the trip finished late; its outcome
+			// must not decide the probe sequence.
+			return
+		}
+		if !success {
+			b.trip()
+			return
+		}
+		b.probeOKs++
+		if b.probeOKs >= b.probes {
+			b.state = metrics.BreakerClosed
+			b.consecFails = 0
+			b.closes++
+		}
+	}
+}
+
+// trip moves to open and starts the cooldown clock. Caller holds mu.
+func (b *breaker) trip() {
+	b.state = metrics.BreakerOpen
+	b.openedAt = b.now()
+	b.consecFails = 0
+	b.probeOKs = 0
+	b.opens++
+}
+
+// snapshot fills the breaker fields of a stats snapshot.
+func (b *breaker) snapshot(st *metrics.RemoteCacheStats) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st.BreakerState = b.state
+	st.BreakerOpens = b.opens
+	st.BreakerHalfOpens = b.halfOpens
+	st.BreakerCloses = b.closes
+}

@@ -1,0 +1,128 @@
+package remotecache
+
+import (
+	"testing"
+	"time"
+
+	"safeflow/internal/metrics"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerLifecycle(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(3, 5*time.Second, 1, clk.now)
+
+	// Closed: ops proceed; failures below the threshold keep it closed.
+	for i := 0; i < 2; i++ {
+		ok, probe := b.allow()
+		if !ok || probe {
+			t.Fatalf("closed allow #%d = (%v,%v)", i, ok, probe)
+		}
+		b.record(false, probe)
+	}
+	if got := state(b); got != metrics.BreakerClosed {
+		t.Fatalf("after 2 failures: %s", got)
+	}
+	// A success resets the consecutive count.
+	ok, probe := b.allow()
+	b.record(true, probe)
+	_ = ok
+	for i := 0; i < 3; i++ {
+		_, probe := b.allow()
+		b.record(false, probe)
+	}
+	if got := state(b); got != metrics.BreakerOpen {
+		t.Fatalf("after threshold failures: %s", got)
+	}
+
+	// Open: short-circuit until the cooldown elapses.
+	if ok, _ := b.allow(); ok {
+		t.Fatal("open breaker admitted an op inside the cooldown")
+	}
+	clk.advance(5 * time.Second)
+	ok, probe = b.allow()
+	if !ok || !probe {
+		t.Fatalf("post-cooldown allow = (%v,%v), want probe", ok, probe)
+	}
+	if got := state(b); got != metrics.BreakerHalfOpen {
+		t.Fatalf("post-cooldown state: %s", got)
+	}
+	// Half-open admits one probe at a time.
+	if ok, _ := b.allow(); ok {
+		t.Fatal("second concurrent probe admitted")
+	}
+	// Probe failure reopens.
+	b.record(false, probe)
+	if got := state(b); got != metrics.BreakerOpen {
+		t.Fatalf("after failed probe: %s", got)
+	}
+
+	// Recovery: cooldown, probe succeeds, breaker closes.
+	clk.advance(5 * time.Second)
+	_, probe = b.allow()
+	b.record(true, probe)
+	if got := state(b); got != metrics.BreakerClosed {
+		t.Fatalf("after successful probe: %s", got)
+	}
+
+	var st metrics.RemoteCacheStats
+	b.snapshot(&st)
+	if st.BreakerOpens != 2 || st.BreakerHalfOpens != 2 || st.BreakerCloses != 1 {
+		t.Errorf("transitions = opens %d half %d closes %d, want 2/2/1",
+			st.BreakerOpens, st.BreakerHalfOpens, st.BreakerCloses)
+	}
+}
+
+func TestBreakerHalfOpenNeedsAllProbes(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(1, time.Second, 2, clk.now)
+	_, probe := b.allow()
+	b.record(false, probe)
+	clk.advance(time.Second)
+	for i := 0; i < 2; i++ {
+		ok, probe := b.allow()
+		if !ok || !probe {
+			t.Fatalf("probe %d not admitted", i)
+		}
+		b.record(true, probe)
+		want := metrics.BreakerHalfOpen
+		if i == 1 {
+			want = metrics.BreakerClosed
+		}
+		if got := state(b); got != want {
+			t.Fatalf("after probe %d: %s, want %s", i, got, want)
+		}
+	}
+}
+
+// TestBreakerLateResultIgnored pins the half-open rule: an op admitted
+// while closed that completes after the trip must not close the breaker.
+func TestBreakerLateResultIgnored(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(1, time.Second, 1, clk.now)
+	okEarly, probeEarly := b.allow() // closed-era op, completes late
+	if !okEarly || probeEarly {
+		t.Fatal("setup")
+	}
+	_, p := b.allow()
+	b.record(false, p) // trips open
+	clk.advance(time.Second)
+	if _, probe := b.allow(); !probe {
+		t.Fatal("expected half-open probe")
+	}
+	b.record(true, probeEarly) // the stale success arrives
+	if got := state(b); got != metrics.BreakerHalfOpen {
+		t.Fatalf("stale success changed state to %s", got)
+	}
+}
+
+func state(b *breaker) string {
+	var st metrics.RemoteCacheStats
+	b.snapshot(&st)
+	return st.BreakerState
+}

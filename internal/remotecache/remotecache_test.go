@@ -1,0 +1,289 @@
+package remotecache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"safeflow/internal/diskcache"
+	"safeflow/internal/metrics"
+)
+
+// testConfig returns a config with no real sleeping and no jitter so
+// retry behavior is deterministic and fast.
+func testConfig(url string) Config {
+	return Config{
+		BaseURL: url,
+		Sleep:   func(time.Duration) {},
+		Jitter:  func(max time.Duration) time.Duration { return max },
+	}
+}
+
+func newStore(t *testing.T) *diskcache.Store {
+	t.Helper()
+	st, err := diskcache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func key(b byte) (k [sha256.Size]byte) {
+	k[0] = b
+	return k
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	srv := httptest.NewServer(NewServer(newStore(t)).Handler())
+	defer srv.Close()
+	c, err := New(testConfig(srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok, corrupt := c.Get("parse", 1, key(1)); ok || corrupt {
+		t.Fatalf("cold get = (%v,%v), want miss", ok, corrupt)
+	}
+	payload := []byte("cached payload bytes")
+	c.Put("parse", 1, key(1), payload)
+	data, ok, corrupt := c.Get("parse", 1, key(1))
+	if !ok || corrupt || !bytes.Equal(data, payload) {
+		t.Fatalf("get after put = (%q,%v,%v)", data, ok, corrupt)
+	}
+	// A different version of the same key is a miss (the server-side
+	// store evicts the stale entry).
+	if _, ok, _ := c.Get("parse", 2, key(1)); ok {
+		t.Fatal("version-mismatched get hit")
+	}
+
+	st := c.Snapshot()
+	if st.RemoteHits != 1 || st.RemotePuts != 1 || st.RemoteMisses != 2 {
+		t.Errorf("stats = %+v, want 1 hit, 1 put, 2 misses", st)
+	}
+	if st.BreakerState != metrics.BreakerClosed || st.Retries != 0 {
+		t.Errorf("healthy path touched the failure machinery: %+v", st)
+	}
+}
+
+// flakyTransport fails the first n round trips at the transport level,
+// then forwards to base.
+type flakyTransport struct {
+	remaining atomic.Int64
+	base      http.RoundTripper
+	calls     atomic.Int64
+}
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f.calls.Add(1)
+	if f.remaining.Add(-1) >= 0 {
+		return nil, &net_OpError{}
+	}
+	return f.base.RoundTrip(req)
+}
+
+// net_OpError stands in for a transport failure without importing net.
+type net_OpError struct{}
+
+func (*net_OpError) Error() string { return "injected transport failure" }
+
+func TestClientRetriesTransientFailure(t *testing.T) {
+	srv := httptest.NewServer(NewServer(newStore(t)).Handler())
+	defer srv.Close()
+	ft := &flakyTransport{base: http.DefaultTransport}
+	cfg := testConfig(srv.URL)
+	cfg.Transport = ft
+	cfg.MaxRetries = 2
+	var slept []time.Duration
+	cfg.Sleep = func(d time.Duration) { slept = append(slept, d) }
+	cfg.RetryBase = 10 * time.Millisecond
+	cfg.RetryMax = 15 * time.Millisecond
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c.Put("summary", 1, key(2), []byte("v"))
+	ft.remaining.Store(2) // next two attempts fail, third succeeds
+	data, ok, corrupt := c.Get("summary", 1, key(2))
+	if !ok || corrupt || string(data) != "v" {
+		t.Fatalf("retried get = (%q,%v,%v)", data, ok, corrupt)
+	}
+	st := c.Snapshot()
+	if st.Retries != 2 || st.Failures != 0 {
+		t.Errorf("retries=%d failures=%d, want 2/0", st.Retries, st.Failures)
+	}
+	// Jitter hook returns max, so the slept delays are the capped
+	// exponential schedule itself: base, then min(2·base, max).
+	want := []time.Duration{10 * time.Millisecond, 15 * time.Millisecond}
+	if len(slept) != 2 || slept[0] != want[0] || slept[1] != want[1] {
+		t.Errorf("backoff schedule = %v, want %v", slept, want)
+	}
+}
+
+func TestClientOutageTripsBreakerAndRecovers(t *testing.T) {
+	srv := httptest.NewServer(NewServer(newStore(t)).Handler())
+	defer srv.Close()
+	ft := &flakyTransport{base: http.DefaultTransport}
+	cfg := testConfig(srv.URL)
+	cfg.Transport = ft
+	cfg.MaxRetries = -1 // one attempt per op
+	cfg.FailureThreshold = 2
+	cfg.Cooldown = 10 * time.Millisecond
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ft.remaining.Store(1 << 30) // sustained outage
+	for i := 0; i < 2; i++ {
+		if _, ok, _ := c.Get("parse", 1, key(3)); ok {
+			t.Fatal("outage get hit")
+		}
+	}
+	st := c.Snapshot()
+	if st.BreakerState != metrics.BreakerOpen || st.BreakerOpens != 1 {
+		t.Fatalf("after outage: %+v", st)
+	}
+
+	// Open: ops short-circuit without touching the transport.
+	before := ft.calls.Load()
+	if _, ok, _ := c.Get("parse", 1, key(3)); ok {
+		t.Fatal("short-circuited get hit")
+	}
+	if ft.calls.Load() != before {
+		t.Fatal("open breaker still reached the transport")
+	}
+	if st := c.Snapshot(); st.ShortCircuits == 0 {
+		t.Fatal("short circuit not counted")
+	}
+
+	// Recovery: outage ends, cooldown passes, one probe closes it.
+	ft.remaining.Store(0)
+	time.Sleep(15 * time.Millisecond)
+	c.Put("parse", 1, key(3), []byte("healed"))
+	st = c.Snapshot()
+	if st.BreakerState != metrics.BreakerClosed || st.BreakerHalfOpens != 1 || st.BreakerCloses != 1 {
+		t.Fatalf("after recovery: %+v", st)
+	}
+	if data, ok, _ := c.Get("parse", 1, key(3)); !ok || string(data) != "healed" {
+		t.Fatalf("post-recovery get = (%q,%v)", data, ok)
+	}
+}
+
+// corruptingTransport flips a byte in every GET response body, leaving
+// the checksum header intact — corruption in transit.
+type corruptingTransport struct{ base http.RoundTripper }
+
+func (ct *corruptingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := ct.base.RoundTrip(req)
+	if err != nil || req.Method != http.MethodGet || resp.StatusCode != http.StatusOK {
+		return resp, err
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	b := buf.Bytes()
+	if len(b) > 0 {
+		b[0] ^= 0xff
+	}
+	resp.Body = readCloser{bytes.NewReader(b)}
+	return resp, nil
+}
+
+type readCloser struct{ *bytes.Reader }
+
+func (readCloser) Close() error { return nil }
+
+func TestClientDetectsTransitCorruption(t *testing.T) {
+	store := newStore(t)
+	srv := httptest.NewServer(NewServer(store).Handler())
+	defer srv.Close()
+	cfg := testConfig(srv.URL)
+	cfg.Transport = &corruptingTransport{base: http.DefaultTransport}
+	cfg.MaxRetries = 1
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("parse", 1, key(4), []byte("pristine"))
+	data, ok, corrupt := c.Get("parse", 1, key(4))
+	if ok || !corrupt || data != nil {
+		t.Fatalf("corrupted get = (%q,%v,%v), want corrupt miss", data, ok, corrupt)
+	}
+	st := c.Snapshot()
+	if st.RemoteCorrupt != 1 || st.Retries != 1 {
+		t.Errorf("corrupt=%d retries=%d, want 1/1", st.RemoteCorrupt, st.Retries)
+	}
+	// The server-side entry itself is intact: a clean transport reads it.
+	clean, err := New(testConfig(srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, ok, _ := clean.Get("parse", 1, key(4)); !ok || string(data) != "pristine" {
+		t.Fatalf("entry damaged at rest: (%q,%v)", data, ok)
+	}
+}
+
+func TestTieredLocalFirstAndBackfill(t *testing.T) {
+	store := newStore(t)
+	srv := httptest.NewServer(NewServer(store).Handler())
+	defer srv.Close()
+	ft := &flakyTransport{base: http.DefaultTransport}
+	cfg := testConfig(srv.URL)
+	cfg.Transport = ft
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := newStore(t)
+	tiered := NewTiered(c, local)
+
+	// Put writes through to both tiers.
+	tiered.Put("parse", 1, key(5), []byte("both"))
+	if n := local.Len("parse"); n != 1 {
+		t.Fatalf("local entries after put: %d", n)
+	}
+	if n := store.Len("parse"); n != 1 {
+		t.Fatalf("remote entries after put: %d", n)
+	}
+
+	// A local hit never touches the transport.
+	before := ft.calls.Load()
+	if data, ok, _ := tiered.Get("parse", 1, key(5)); !ok || string(data) != "both" {
+		t.Fatalf("tiered get = (%q,%v)", data, ok)
+	}
+	if ft.calls.Load() != before {
+		t.Error("local hit reached the remote")
+	}
+
+	// Remote-only entry: local miss, remote hit, local back-fill.
+	c.Put("parse", 1, key(6), []byte("remote-only"))
+	if data, ok, _ := tiered.Get("parse", 1, key(6)); !ok || string(data) != "remote-only" {
+		t.Fatalf("remote-backed get = (%q,%v)", data, ok)
+	}
+	if n := local.Len("parse"); n != 2 {
+		t.Fatalf("local entries after back-fill: %d", n)
+	}
+	// The refilled entry now serves without the remote.
+	ft.remaining.Store(1 << 30)
+	if data, ok, _ := tiered.Get("parse", 1, key(6)); !ok || string(data) != "remote-only" {
+		t.Fatalf("back-filled get during outage = (%q,%v)", data, ok)
+	}
+
+	st := tiered.Snapshot()
+	if st.LocalHits != 2 || st.LocalMisses != 1 {
+		t.Errorf("local hits=%d misses=%d, want 2/1", st.LocalHits, st.LocalMisses)
+	}
+}
+
+func TestNewRejectsBadURL(t *testing.T) {
+	for _, u := range []string{"", "localhost:1", "ftp://x"} {
+		if _, err := New(Config{BaseURL: u}); err == nil {
+			t.Errorf("New(%q) accepted", u)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package remotecache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func doReq(t *testing.T, h http.Handler, method, path string, body []byte, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestServerEntryLifecycle(t *testing.T) {
+	store := newStore(t)
+	h := NewServer(store).Handler()
+	keyHex := strings.Repeat("ab", sha256.Size)
+	path := "/v1/e/parse/1/" + keyHex
+	payload := []byte("entry payload")
+	sum := sha256.Sum256(payload)
+
+	if w := doReq(t, h, http.MethodGet, path, nil, nil); w.Code != http.StatusNotFound {
+		t.Fatalf("cold GET: %d", w.Code)
+	}
+	put := doReq(t, h, http.MethodPut, path, payload,
+		map[string]string{sumHeader: hex.EncodeToString(sum[:])})
+	if put.Code != http.StatusNoContent {
+		t.Fatalf("PUT: %d: %s", put.Code, put.Body)
+	}
+	got := doReq(t, h, http.MethodGet, path, nil, nil)
+	if got.Code != http.StatusOK || !bytes.Equal(got.Body.Bytes(), payload) {
+		t.Fatalf("GET: %d %q", got.Code, got.Body)
+	}
+	if got.Header().Get(sumHeader) != hex.EncodeToString(sum[:]) {
+		t.Errorf("GET sum header = %q", got.Header().Get(sumHeader))
+	}
+	if store.Len("parse") != 1 {
+		t.Errorf("store entries = %d", store.Len("parse"))
+	}
+}
+
+func TestServerRejectsBadPathsAndChecksums(t *testing.T) {
+	store := newStore(t)
+	h := NewServer(store).Handler()
+	keyHex := strings.Repeat("cd", sha256.Size)
+
+	bad := []string{
+		"/v1/e/Parse/1/" + keyHex,           // uppercase namespace
+		"/v1/e/parse/x/" + keyHex,           // non-numeric version
+		"/v1/e/parse/1/deadbeef",            // short key
+		"/v1/e/parse/99999999999/" + keyHex, // version overflows uint32
+	}
+	for _, p := range bad {
+		if w := doReq(t, h, http.MethodGet, p, nil, nil); w.Code != http.StatusBadRequest {
+			t.Errorf("GET %s: %d, want 400", p, w.Code)
+		}
+	}
+
+	// A PUT whose body does not match its declared checksum is refused
+	// and nothing is stored.
+	w := doReq(t, h, http.MethodPut, "/v1/e/parse/1/"+keyHex, []byte("torn body"),
+		map[string]string{sumHeader: strings.Repeat("00", sha256.Size)})
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("mismatched PUT: %d", w.Code)
+	}
+	if store.Len("parse") != 0 {
+		t.Fatal("mismatched PUT was stored")
+	}
+
+	var st ServerStats
+	mz := doReq(t, h, http.MethodGet, "/metricsz", nil, nil)
+	if err := json.Unmarshal(mz.Body.Bytes(), &st); err != nil {
+		t.Fatalf("metricsz: %v", err)
+	}
+	if st.BadRequests != int64(len(bad)) || st.PutRejected != 1 {
+		t.Errorf("bad=%d rejected=%d, want %d/1", st.BadRequests, st.PutRejected, len(bad))
+	}
+}

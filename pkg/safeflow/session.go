@@ -59,6 +59,17 @@ func (s *Session) UpdateContext(ctx context.Context, changed map[string]string, 
 	return s.s.Update(ctx, changed, removed...)
 }
 
+// ErrSessionClosed is returned by Update on a session Close has torn
+// down.
+var ErrSessionClosed = core.ErrSessionClosed
+
+// Close tears the session down: it waits for any in-flight update to
+// finish — a session is never interrupted mid-update — then releases
+// the captured per-function state. Further updates fail with
+// ErrSessionClosed; Last keeps answering from the final state. Closing
+// twice is a no-op.
+func (s *Session) Close() { s.s.Close() }
+
 // Last returns the most recent report (the open report until the first
 // update) and the stats of the most recent update.
 func (s *Session) Last() (*Report, UpdateStats) { return s.s.Last() }
