@@ -10,6 +10,10 @@
 // Flags:
 //
 //	-name s        system name used in the report (default: the path)
+//	-policy p      taint policy: a builtin name (simplex-shm,
+//	               credential-leak, pii-to-log), a .safeflow-policy.json
+//	               path, or "path#name" to pick one policy from a
+//	               multi-policy file (default: simplex-shm)
 //	-alias mode    alias analysis: subset (default) or unify
 //	-exponential   use the unoptimized per-call-path phase 3
 //	-root fn       analysis entry function (repeatable; default: callerless functions)
@@ -43,7 +47,10 @@
 // dependency, or restriction violation is reported, 2 on usage or
 // compilation errors (including a -timeout expiry), 3 when the analysis
 // is degraded — one or more translation units were skipped, so the
-// verdict covers only the surviving units.
+// verdict covers only the surviving units — or when -strict is set and
+// a safeflow:ignore directive references a rule id the active policy
+// does not define (the report lists it as a structured suppression
+// issue either way).
 package main
 
 import (
@@ -82,7 +89,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		aliasMode   = fs.String("alias", "subset", "alias analysis: subset or unify")
 		exponential = fs.Bool("exponential", false, "use the unoptimized per-call-path phase 3")
 		quiet       = fs.Bool("quiet", false, "print only the summary line")
-		format      = fs.String("format", "text", "output format: text or json")
+		format      = fs.String("format", "text", "output format: text, json, or sarif")
 		corpusName  = fs.String("corpus", "", "analyze an embedded evaluation system: IP, \"Generic Simplex\", or \"Double IP\"")
 		stats       = fs.Bool("stats", false, "collect and print run metrics")
 		strict      = fs.Bool("strict", false, "fail-stop on the first front-end error instead of skipping the unit")
@@ -92,6 +99,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tracefile   = fs.String("trace", "", "write a runtime execution trace to this file")
 		cacheDir    = fs.String("cachedir", "", "persistent cache directory shared across runs (\"auto\" = the per-user cache dir; default: no disk cache)")
 		watch       = fs.Bool("watch", false, "keep the session open and incrementally re-analyze on every source change (directory target only)")
+		policyArg   = fs.String("policy", "", "taint policy: builtin name, .safeflow-policy.json path, or path#name (default: simplex-shm)")
 		interval    = fs.Duration("interval", 500*time.Millisecond, "poll interval for -watch")
 		roots       stringList
 	)
@@ -106,13 +114,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	if *format != "text" && *format != "json" {
+	if *format != "text" && *format != "json" && *format != "sarif" {
 		fmt.Fprintf(stderr, "safeflow: unknown format %q\n", *format)
 		return 2
 	}
 	opts := safeflow.Options{
 		Exponential: *exponential, Roots: roots, Stats: *stats, Workers: *workers,
 		Recover: !*strict,
+	}
+	if *policyArg != "" {
+		pol, err := safeflow.LoadPolicy(*policyArg)
+		if err != nil {
+			fmt.Fprintf(stderr, "safeflow: -policy: %v\n", err)
+			return 2
+		}
+		opts.Policy = pol
 	}
 	if *cacheDir != "" {
 		dir := *cacheDir
@@ -176,8 +192,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *watch {
-		if *corpusName != "" || *format == "json" {
-			fmt.Fprintln(stderr, "safeflow: -watch is incompatible with -corpus and -format json")
+		if *corpusName != "" || *format != "text" {
+			fmt.Fprintln(stderr, "safeflow: -watch is incompatible with -corpus and non-text formats")
 			return 2
 		}
 		target := fs.Arg(0)
@@ -224,6 +240,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "safeflow: %v\n", err)
 			return 2
 		}
+	case *format == "sarif":
+		if err := safeflow.WriteReportSARIF(stdout, rep); err != nil {
+			fmt.Fprintf(stderr, "safeflow: %v\n", err)
+			return 2
+		}
 	case *quiet:
 		fmt.Fprintf(stdout, "%s: %d warnings, %d error dependencies, %d control-dependence reports, %d violations\n",
 			rep.Name, len(rep.Warnings), len(rep.ErrorsData), len(rep.ErrorsControlOnly), len(rep.Violations))
@@ -234,6 +255,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	switch {
 	case rep.Degraded:
+		return 3
+	case *strict && len(rep.SuppressionIssues) > 0:
+		// A directive naming an unknown rule id suppresses nothing; under
+		// -strict that is a hard configuration error, not a finding.
 		return 3
 	case rep.Clean():
 		return 0

@@ -212,6 +212,10 @@ type benchSystem struct {
 	// Cache hit rates observed on the last warm run.
 	FrontendCacheHitRate float64 `json:"frontend_cache_hit_rate"`
 	SummaryCacheHitRate  float64 `json:"summary_cache_hit_rate"`
+	// Report-rendering cost for the machine formats (the CI policy gate
+	// renders SARIF on every run, so regressions here are user-visible).
+	JSONRenderNSPerOp  int64 `json:"json_render_ns_per_op"`
+	SARIFRenderNSPerOp int64 `json:"sarif_render_ns_per_op"`
 }
 
 // daemonBench is one corpus system's request-latency row for the
@@ -241,9 +245,10 @@ type benchRecord struct {
 // explicitly and the summary cache starts empty.
 func runJSON(w io.Writer, cacheDir string) error {
 	const warmRuns = 5
-	// Schema v2 added the "daemon" request-latency section; v3 adds the
-	// "incremental" session-update section.
-	rec := benchRecord{SchemaVersion: 3, GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	// Schema v2 added the "daemon" request-latency section; v3 added the
+	// "incremental" session-update section; v4 adds the JSON/SARIF
+	// render-cost columns.
+	rec := benchRecord{SchemaVersion: 4, GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	for _, sys := range corpus.All() {
 		src, err := sys.SourceMap()
 		if err != nil {
@@ -309,6 +314,18 @@ func runJSON(w io.Writer, cacheDir string) error {
 			Phases13AllocsPerOp: br.AllocsPerOp(),
 			Phases13BytesPerOp:  br.AllocedBytesPerOp(),
 		}
+		renderBench := func(render func(io.Writer, *safeflow.Report) error) int64 {
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := render(io.Discard, last); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			return r.NsPerOp()
+		}
+		row.JSONRenderNSPerOp = renderBench(safeflow.WriteReportJSON)
+		row.SARIFRenderNSPerOp = renderBench(safeflow.WriteReportSARIF)
 		if m := last.Metrics; m != nil {
 			if total := m.FrontendCacheHits + m.FrontendCacheMisses; total > 0 {
 				row.FrontendCacheHitRate = float64(m.FrontendCacheHits) / float64(total)

@@ -82,8 +82,8 @@ func TestSfbenchJSONIncludesDaemonSection(t *testing.T) {
 	if err := json.Unmarshal([]byte(out.String()), &rec); err != nil {
 		t.Fatalf("output is not a benchRecord: %v", err)
 	}
-	if rec.SchemaVersion != 3 {
-		t.Errorf("schema_version = %d, want 3", rec.SchemaVersion)
+	if rec.SchemaVersion != 4 {
+		t.Errorf("schema_version = %d, want 4", rec.SchemaVersion)
 	}
 	if len(rec.Systems) != 3 || len(rec.Daemon) != 3 {
 		t.Fatalf("systems = %d, daemon rows = %d, want 3 each", len(rec.Systems), len(rec.Daemon))

@@ -1,0 +1,61 @@
+// sfsarifcheck validates SARIF 2.1.0 logs against the vendored schema
+// subset (internal/sarifschema). The CI policy gate runs it over every
+// SARIF file safeflow produces; a nonconforming log fails the build.
+//
+// Usage:
+//
+//	sfsarifcheck file.sarif [file2.sarif ...]
+//	safeflow -format=sarif prog.c | sfsarifcheck
+//
+// Exit status: 0 when every input conforms, 1 when any violation is
+// found, 2 on usage or I/O errors.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"safeflow/internal/sarifschema"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 1 && (args[0] == "-h" || args[0] == "--help") {
+		fmt.Fprintln(os.Stderr, "usage: sfsarifcheck [file.sarif ...]  (reads stdin when no files given)")
+		os.Exit(2)
+	}
+
+	bad := false
+	check := func(name string, data []byte) {
+		errs := sarifschema.ValidateSARIF(data)
+		if len(errs) == 0 {
+			fmt.Printf("%s: ok\n", name)
+			return
+		}
+		bad = true
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", name, e)
+		}
+	}
+
+	if len(args) == 0 {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sfsarifcheck: reading stdin: %v\n", err)
+			os.Exit(2)
+		}
+		check("<stdin>", data)
+	}
+	for _, f := range args {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sfsarifcheck: %v\n", err)
+			os.Exit(2)
+		}
+		check(f, data)
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

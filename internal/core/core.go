@@ -23,6 +23,7 @@ import (
 
 	"safeflow/internal/callgraph"
 	"safeflow/internal/cpp"
+	"safeflow/internal/ctoken"
 	"safeflow/internal/diag"
 	"safeflow/internal/diskcache"
 	"safeflow/internal/frontend"
@@ -31,6 +32,7 @@ import (
 	"safeflow/internal/irgen"
 	"safeflow/internal/metrics"
 	"safeflow/internal/pointsto"
+	"safeflow/internal/policy"
 	"safeflow/internal/restrict"
 	"safeflow/internal/shmflow"
 	"safeflow/internal/vfg"
@@ -111,6 +113,14 @@ type Options struct {
 	// counters, cache hit rates, peak goroutines) into Report.Metrics,
 	// which the JSON report embeds under its versioned "metrics" key.
 	Stats bool
+	// Policy selects the compiled taint policy that drives phase 3's
+	// seeding and sink checking (see internal/policy). Nil runs the
+	// default simplex-shm policy and renders reports byte-identically to
+	// builds that predate configurable policies; a non-nil policy adds
+	// per-rule attribution to the text and JSON reports. The policy's
+	// name and fingerprint join the summary-cache key, so two policies
+	// never share cache entries.
+	Policy *policy.Compiled
 	// Recover enables graceful degradation: translation units that fail
 	// to preprocess, lex, parse, or type-check are skipped with
 	// structured diagnostics (Report.Diagnostics) instead of failing the
@@ -167,6 +177,28 @@ type Report struct {
 	// nil when stats collection was off.
 	Metrics *metrics.RunMetrics
 
+	// PolicyName and PolicyFingerprint identify the taint policy the run
+	// used (the default simplex-shm policy when Options.Policy was nil).
+	PolicyName        string
+	PolicyFingerprint string
+	// PolicyExplicit marks a run with an explicitly configured policy.
+	// Rule attribution appears in the text and JSON formats only then,
+	// keeping default-run reports byte-identical to historic output;
+	// SARIF (a new format) always attributes rules.
+	PolicyExplicit bool
+	// PolicyRules is the active policy's rule metadata, in stable order
+	// (drives the SARIF rules array).
+	PolicyRules []policy.RuleMeta
+	// Suppressed is the audit trail of findings matched by inline
+	// `// safeflow:ignore <rule-id> <reason>` directives: suppressed
+	// findings move here instead of being dropped silently.
+	Suppressed []SuppressedFinding
+	// SuppressionIssues diagnoses directives that are malformed or
+	// reference a rule id the active policy does not define. A report
+	// with suppression issues is never Clean (and `safeflow -strict`
+	// exits 3 on them).
+	SuppressionIssues []SuppressionIssue
+
 	// LinesOfCode counts non-blank source lines across the analyzed files.
 	LinesOfCode int
 	// AnnotationLines counts SafeFlow annotation comments.
@@ -175,12 +207,51 @@ type Report struct {
 	// performed (the A-2 ablation metric).
 	UnitsAnalyzed int
 
+	// Raw (pre-suppression) findings, captured the first time
+	// finishReport runs so re-application — session fast paths re-run it
+	// after comment-only edits move directives — always starts from the
+	// original finding set.
+	rawCaptured          bool
+	rawWarnings          []*vfg.Source
+	rawErrorsData        []*vfg.ErrorDep
+	rawErrorsControlOnly []*vfg.ErrorDep
+
 	// incrState is phase 3's captured per-function state for the next
 	// incremental update; incrStats describes how much of this run was
 	// reused. Both are nil on non-session runs. Unexported: Session owns
 	// the lifecycle.
 	incrState *vfg.IncrState
 	incrStats *vfg.IncrStats
+}
+
+// SuppressedFinding is one finding matched by an inline safeflow:ignore
+// directive: recorded with the directive's justification instead of
+// silently dropped, so suppressions stay auditable in every format.
+type SuppressedFinding struct {
+	Rule   string
+	Reason string
+	File   string
+	Line   int
+	// Kind classifies the suppressed finding: "warning", "error" or
+	// "control-only".
+	Kind string
+	// Text is the finding's rendered one-line form.
+	Text string
+}
+
+// SuppressionIssue is a structured diagnostic for a suppression
+// directive the analysis cannot honor: a missing rule id, or a rule id
+// the active policy does not define.
+type SuppressionIssue struct {
+	File string
+	// Line is the directive's own line.
+	Line int
+	Rule string
+	Msg  string
+}
+
+func (i SuppressionIssue) String() string {
+	return fmt.Sprintf("%s:%d: %s", i.File, i.Line, i.Msg)
 }
 
 // TotalErrors returns all reported error dependencies (data + control).
@@ -191,7 +262,7 @@ func (r *Report) TotalErrors() int { return len(r.ErrorsData) + len(r.ErrorsCont
 func (r *Report) Clean() bool {
 	return len(r.AnnotationErrors) == 0 && len(r.Violations) == 0 &&
 		len(r.Warnings) == 0 && r.TotalErrors() == 0 && len(r.Internal) == 0 &&
-		!r.Degraded && len(r.Diagnostics) == 0
+		!r.Degraded && len(r.Diagnostics) == 0 && len(r.SuppressionIssues) == 0
 }
 
 // AnalyzeSources compiles and analyzes the translation units named by
@@ -276,6 +347,7 @@ func AnalyzeSourcesContext(ctx context.Context, name string, sources cpp.Source,
 	rep.Diagnostics = diags
 	rep.Degraded = degraded
 	rep.LinesOfCode, rep.AnnotationLines = countSourceStats(sources, cFiles)
+	rep.finishReport(activePolicy(opts), scanSourceSuppressions(sources, cFiles))
 	rep.Metrics = col.Finish()
 	return rep, nil
 }
@@ -308,6 +380,11 @@ func analyzeModuleWith(ctx context.Context, name string, res *irgen.Result, opts
 	}
 	m := res.Module
 	rep := &Report{Name: name, Module: m}
+	pol := activePolicy(opts)
+	rep.PolicyName = pol.Name
+	rep.PolicyFingerprint = pol.Fingerprint()
+	rep.PolicyExplicit = opts.Policy != nil
+	rep.PolicyRules = pol.Rules
 
 	// Phase 1: shared-memory regions (and the callgraph it needs).
 	var cg *callgraph.Graph
@@ -404,6 +481,7 @@ func analyzeModuleWith(ctx context.Context, name string, res *irgen.Result, opts
 			Metrics:     col,
 			MissingDefs: missing,
 			Incr:        opts.incrOpts,
+			Policy:      opts.Policy,
 		})
 		return nil
 	})
@@ -489,8 +567,13 @@ func fingerprintSources(name string, sources cpp.Source, cFiles []string, opts O
 			fmt.Fprintf(h, "%d:%s;", len(p), p)
 		}
 	}
-	put("v1", name)
+	put("v2", name)
 	put(fmt.Sprintf("mode=%d exp=%v", opts.PointsTo, opts.Exponential))
+	// The policy changes phase-3 seeding, sink checking and rule
+	// attribution, all of which are encoded in cached summaries: fold its
+	// identity in so differing policies never share entries at any tier.
+	pol := activePolicy(opts)
+	put("policy="+pol.Name, pol.Fingerprint())
 	put(opts.Roots...)
 	defs := make([]string, 0, len(opts.Defines))
 	for k, v := range opts.Defines {
@@ -567,4 +650,160 @@ func countSourceStats(sources cpp.Source, cFiles []string) (loc, annots int) {
 		visit(f)
 	}
 	return loc, annots
+}
+
+// activePolicy resolves the policy the run analyzes under: the
+// configured one, or the default simplex-shm policy when Options.Policy
+// is nil.
+func activePolicy(opts Options) *policy.Compiled {
+	if opts.Policy != nil {
+		return opts.Policy
+	}
+	return policy.Default()
+}
+
+// scanSourceSuppressions collects inline safeflow:ignore directives from
+// every file reachable through quoted includes (same traversal as
+// countSourceStats, so the scan sees exactly the analyzed program).
+func scanSourceSuppressions(sources cpp.Source, cFiles []string) []policy.Suppression {
+	var out []policy.Suppression
+	seen := make(map[string]bool)
+	var visit func(name string)
+	visit = func(name string) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		text, err := sources.ReadFile(name)
+		if err != nil {
+			return
+		}
+		out = append(out, policy.ScanSuppressions(name, text)...)
+		for _, line := range strings.Split(text, "\n") {
+			trimmed := strings.TrimSpace(line)
+			if !strings.HasPrefix(trimmed, "#include") {
+				continue
+			}
+			if i := strings.IndexByte(trimmed, '"'); i >= 0 {
+				rest := trimmed[i+1:]
+				if j := strings.IndexByte(rest, '"'); j > 0 {
+					visit(rest[:j])
+				}
+			}
+		}
+	}
+	for _, f := range cFiles {
+		visit(f)
+	}
+	return out
+}
+
+// finishReport applies the scanned suppression directives to the
+// report: findings whose position and rule id match a directive move
+// from Warnings/Errors to the Suppressed audit trail, and directives
+// with a missing or unknown rule id become SuppressionIssues. It is
+// idempotent — the pre-suppression finding slices are captured on first
+// call and every application restarts from them — because session fast
+// paths re-run it after comment-only edits move directives around.
+func (r *Report) finishReport(pol *policy.Compiled, sups []policy.Suppression) {
+	if !r.rawCaptured {
+		r.rawCaptured = true
+		r.rawWarnings = r.Warnings
+		r.rawErrorsData = r.ErrorsData
+		r.rawErrorsControlOnly = r.ErrorsControlOnly
+	}
+	r.Warnings = r.rawWarnings
+	r.ErrorsData = r.rawErrorsData
+	r.ErrorsControlOnly = r.rawErrorsControlOnly
+	r.Suppressed = nil
+	r.SuppressionIssues = nil
+
+	// Index valid directives by file:line:rule; diagnose the rest.
+	type supKey struct {
+		file string
+		line int
+		rule string
+	}
+	byKey := make(map[supKey]policy.Suppression, len(sups))
+	for _, s := range sups {
+		switch {
+		case s.Rule == "":
+			r.SuppressionIssues = append(r.SuppressionIssues, SuppressionIssue{
+				File: s.File, Line: s.CommentLine,
+				Msg: "safeflow:ignore directive is missing a rule id",
+			})
+		case !pol.KnownRule(s.Rule):
+			r.SuppressionIssues = append(r.SuppressionIssues, SuppressionIssue{
+				File: s.File, Line: s.CommentLine, Rule: s.Rule,
+				Msg: fmt.Sprintf("safeflow:ignore references rule %q, which policy %q does not define", s.Rule, pol.Name),
+			})
+		default:
+			byKey[supKey{s.File, s.Line, s.Rule}] = s
+		}
+	}
+	sort.Slice(r.SuppressionIssues, func(i, j int) bool {
+		a, b := r.SuppressionIssues[i], r.SuppressionIssues[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Rule < b.Rule
+	})
+	if len(byKey) == 0 {
+		return
+	}
+
+	match := func(pos ctoken.Pos, rule string) (policy.Suppression, bool) {
+		s, ok := byKey[supKey{pos.File, pos.Line, rule}]
+		return s, ok
+	}
+	suppress := func(s policy.Suppression, kind, text string) {
+		r.Suppressed = append(r.Suppressed, SuppressedFinding{
+			Rule: s.Rule, Reason: s.Reason, File: s.File, Line: s.Line,
+			Kind: kind, Text: text,
+		})
+	}
+
+	var warns []*vfg.Source
+	for _, w := range r.rawWarnings {
+		if s, ok := match(w.Pos, w.Rule); ok {
+			suppress(s, "warning", w.String())
+			continue
+		}
+		warns = append(warns, w)
+	}
+	r.Warnings = warns
+	var errsData []*vfg.ErrorDep
+	for _, e := range r.rawErrorsData {
+		if s, ok := match(e.Pos, e.Rule); ok {
+			suppress(s, "error", e.String())
+			continue
+		}
+		errsData = append(errsData, e)
+	}
+	r.ErrorsData = errsData
+	var errsCtrl []*vfg.ErrorDep
+	for _, e := range r.rawErrorsControlOnly {
+		if s, ok := match(e.Pos, e.Rule); ok {
+			suppress(s, "control-only", e.String())
+			continue
+		}
+		errsCtrl = append(errsCtrl, e)
+	}
+	r.ErrorsControlOnly = errsCtrl
+	sort.Slice(r.Suppressed, func(i, j int) bool {
+		a, b := r.Suppressed[i], r.Suppressed[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Text < b.Text
+	})
 }

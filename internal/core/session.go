@@ -183,6 +183,11 @@ func (s *Session) update(ctx context.Context) (*Report, UpdateStats, error) {
 			}
 			rep := *s.last
 			rep.LinesOfCode, rep.AnnotationLines = s.countStats()
+			// Comment-only edits can move safeflow:ignore directives
+			// without changing the module: re-apply suppression from the
+			// raw findings so the patched report stays byte-identical to a
+			// from-scratch run.
+			rep.finishReport(activePolicy(s.opts), scanSourceSuppressions(src, s.cFiles))
 			rep.Metrics = col.Finish()
 			return &rep, UpdateStats{Incremental: true, FuncsReused: reused}, nil
 		}
@@ -195,6 +200,7 @@ func (s *Session) update(ctx context.Context) (*Report, UpdateStats, error) {
 				return nil, UpdateStats{}, err
 			}
 			rep.LinesOfCode, rep.AnnotationLines = s.countStats()
+			rep.finishReport(activePolicy(s.opts), scanSourceSuppressions(src, s.cFiles))
 			rep.Metrics = col.Finish()
 			if rep.incrState != nil {
 				// A run that crashed or was cancelled captures no state;

@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -137,6 +138,15 @@ type AnalyzeOptions struct {
 	// TimeoutMS bounds this request's analysis; 0 uses the daemon
 	// default, and values above the daemon's -max-timeout are clamped.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Format selects the response rendering: "" or "json" (the CLI's
+	// -format json), or "sarif" for SARIF 2.1.0 (Content-Type
+	// application/sarif+json). The `?format=` query parameter on
+	// /v1/analyze sets the same field.
+	Format string `json:"format,omitempty"`
+	// Policy names a builtin taint policy (simplex-shm, credential-leak,
+	// pii-to-log); "" runs the default simplex-shm policy. The policy
+	// participates in single-flight dedup and in every cache tier's key.
+	Policy string `json:"policy,omitempty"`
 }
 
 // Metrics is the /metricsz payload: request counters, admission gauges,
@@ -406,6 +416,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
+	// Fold the query parameter into the request BEFORE single-flight
+	// keying: the format changes the response bytes, so two requests
+	// differing only in ?format= must never share a flight.
+	if qf := r.URL.Query().Get("format"); qf != "" {
+		req.Options.Format = qf
+	}
 	opts, timeout, err := s.resolveOptions(req.Options)
 	if err == nil {
 		err = validateInput(&req, s.cfg.AllowLocalPaths)
@@ -484,10 +500,20 @@ func (s *Server) runAnalyze(ctx context.Context, req *AnalyzeRequest, opts safef
 		rep.Metrics = nil
 	}
 	var buf bytes.Buffer
-	if err := safeflow.WriteReportJSON(&buf, rep); err != nil {
-		return errorResult(http.StatusInternalServerError, "", err.Error())
+	contentType := "application/json"
+	var werr error
+	if req.Options.Format == "sarif" {
+		contentType = "application/sarif+json"
+		werr = safeflow.WriteReportSARIF(&buf, rep)
+	} else {
+		werr = safeflow.WriteReportJSON(&buf, rep)
 	}
-	return okResult(exitCode(rep), buf.Bytes())
+	if werr != nil {
+		return errorResult(http.StatusInternalServerError, "", werr.Error())
+	}
+	res := okResult(exitCode(rep, req.Options.Strict), buf.Bytes())
+	res.contentType = contentType
+	return res
 }
 
 // resolveOptions maps the request options onto pipeline options, exactly
@@ -520,6 +546,18 @@ func (s *Server) resolveOptions(ro AnalyzeOptions) (safeflow.Options, time.Durat
 		opts.PointsTo = safeflow.ModeUnify
 	default:
 		return opts, 0, fmt.Errorf("unknown alias mode %q", ro.Alias)
+	}
+	switch ro.Format {
+	case "", "json", "sarif":
+	default:
+		return opts, 0, fmt.Errorf("unknown format %q (want json or sarif)", ro.Format)
+	}
+	if ro.Policy != "" {
+		pol, ok := safeflow.BuiltinPolicy(ro.Policy)
+		if !ok {
+			return opts, 0, fmt.Errorf("unknown policy %q (have: %s)", ro.Policy, strings.Join(safeflow.BuiltinPolicyNames(), ", "))
+		}
+		opts.Policy = pol
 	}
 	timeout := s.cfg.DefaultTimeout
 	if ro.TimeoutMS > 0 {
@@ -602,10 +640,13 @@ func (s *Server) aggregate(rm *metrics.RunMetrics) {
 }
 
 // exitCode mirrors the CLI's exit-status mapping for the
-// X-Safeflow-Exit response header: 0 clean, 1 findings, 3 degraded.
-func exitCode(rep *safeflow.Report) int {
+// X-Safeflow-Exit response header: 0 clean, 1 findings, 3 degraded (or,
+// under strict, a suppression directive naming an unknown rule id).
+func exitCode(rep *safeflow.Report, strict bool) int {
 	switch {
 	case rep.Degraded:
+		return 3
+	case strict && len(rep.SuppressionIssues) > 0:
 		return 3
 	case rep.Clean():
 		return 0

@@ -238,7 +238,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.count(func(m *Metrics) { m.RequestsOK++ })
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Safeflow-Exit", strconv.Itoa(exitCode(rep)))
+	w.Header().Set("X-Safeflow-Exit", strconv.Itoa(exitCode(rep, req.Options.Strict)))
 	if opened {
 		w.Header().Set("X-Safeflow-Session", "opened")
 	} else {

@@ -31,7 +31,10 @@ type flightResult struct {
 	status     int
 	exit       string // X-Safeflow-Exit value; "" omits the header
 	retryAfter string // Retry-After value; "" omits the header
-	body       []byte
+	// contentType overrides the Content-Type header; "" means
+	// application/json (error bodies and the default report format).
+	contentType string
+	body        []byte
 }
 
 // flight is one in-flight analyze execution.
@@ -109,7 +112,11 @@ func (f *flight) dropWaiter() {
 
 // write replays a flight result onto one response.
 func (res *flightResult) write(w http.ResponseWriter) {
-	w.Header().Set("Content-Type", "application/json")
+	ct := res.contentType
+	if ct == "" {
+		ct = "application/json"
+	}
+	w.Header().Set("Content-Type", ct)
 	if res.exit != "" {
 		w.Header().Set("X-Safeflow-Exit", res.exit)
 	}

@@ -1,0 +1,397 @@
+// Package policy defines SafeFlow's configurable taint policies: named
+// sets of source, sink, sanitizer and propagator rules that drive the
+// phase-3 value-flow engine instead of (or in addition to) the paper's
+// hard-wired Simplex shared-memory policy.
+//
+// A policy arrives either as a built-in (simplex-shm, credential-leak,
+// pii-to-log) or as a versioned `.safeflow-policy.json` file validated
+// with precise error positions (see schema.go). Compile turns the
+// declarative form into a Compiled policy with O(1) rule lookups and a
+// content-hashed fingerprint; the fingerprint joins the analysis cache
+// keys so two runs under different policies can never share summaries.
+//
+// The engine's own findings keep stable rule ids (RuleShmRead and
+// friends), so suppression comments and SARIF attribution work uniformly
+// across built-in and configured rules.
+package policy
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Engine rule ids: the findings the phase-3 engine produces on its own.
+// RuleAssertSafe and RuleSkippedDef are active under every policy;
+// the other three belong to the Simplex shared-memory policy (Shm).
+const (
+	// RuleShmRead flags an unmonitored read of non-core shared memory.
+	RuleShmRead = "shm-unmonitored-read"
+	// RuleNonCoreRecv flags data received on a noncore socket descriptor.
+	RuleNonCoreRecv = "noncore-recv"
+	// RuleSkippedDef flags conservative taint from a call into a function
+	// whose defining translation unit was skipped by the recovering
+	// front end.
+	RuleSkippedDef = "skipped-def"
+	// RuleAssertSafe flags critical data (assert(safe(x))) depending on
+	// tainted values.
+	RuleAssertSafe = "assert-safe"
+	// RuleKillPid flags a kill() whose pid argument depends on tainted
+	// values (the paper's implicit critical system-call argument).
+	RuleKillPid = "kill-pid"
+)
+
+// Version is the config format version accepted by Parse.
+const Version = 1
+
+// File is the top level of a .safeflow-policy.json document.
+type File struct {
+	Version  int
+	Policies []Policy
+}
+
+// Policy is one named taint policy in declarative form.
+type Policy struct {
+	Name        string
+	Description string
+	// Shm enables the built-in Simplex shared-memory rules (unmonitored
+	// region reads, noncore receives, the kill-pid sink).
+	Shm         bool
+	Sources     []SourceRule
+	Sinks       []SinkRule
+	Sanitizers  []SanitizerRule
+	Propagators []PropagatorRule
+}
+
+// SourceRule marks values produced by a function as tainted. Kind "call"
+// taints the function's return value at every call site; kind "param"
+// taints the named function's parameter with index Param when that
+// function is analyzed.
+type SourceRule struct {
+	ID       string
+	Kind     string // "call" | "param"
+	Function string
+	Param    int
+	Message  string
+}
+
+// SinkRule checks taint arriving at a function call's arguments. Args
+// lists the argument indices to check; empty checks every argument.
+type SinkRule struct {
+	ID       string
+	Function string
+	Args     []int
+	Message  string
+}
+
+// SanitizerRule declares a function whose result (and effects) are clean
+// regardless of its arguments' taint.
+type SanitizerRule struct {
+	Function string
+}
+
+// PropagatorRule models a declared function that copies taint from the
+// From argument indices into the memory reachable through argument To.
+type PropagatorRule struct {
+	Function string
+	From     []int
+	To       int
+}
+
+// RuleMeta is one rule's reporting metadata (SARIF rules array, report
+// attribution).
+type RuleMeta struct {
+	ID          string
+	Description string
+}
+
+// Compiled is a policy compiled for the engine: O(1) rule lookups plus a
+// content-hashed identity.
+type Compiled struct {
+	Name        string
+	Description string
+	Shm         bool
+	// Rules lists every rule id the policy can attribute a finding to,
+	// in stable order (engine rules first, then configured rules sorted
+	// by id).
+	Rules []RuleMeta
+
+	sourceCalls map[string]SourceRule
+	paramSrcs   map[string][]SourceRule
+	sinks       map[string]SinkRule
+	sanitizers  map[string]bool
+	propagators map[string]PropagatorRule
+	known       map[string]bool
+	fingerprint string
+}
+
+// Compile validates the declarative policy (duplicate rule ids, bad rule
+// kinds, argument indices) and builds the lookup tables.
+func Compile(p Policy) (*Compiled, error) {
+	if p.Name == "" {
+		return nil, fmt.Errorf("policy: policy has no name")
+	}
+	c := &Compiled{
+		Name:        p.Name,
+		Description: p.Description,
+		Shm:         p.Shm,
+		sourceCalls: make(map[string]SourceRule),
+		paramSrcs:   make(map[string][]SourceRule),
+		sinks:       make(map[string]SinkRule),
+		sanitizers:  make(map[string]bool),
+		propagators: make(map[string]PropagatorRule),
+		known:       make(map[string]bool),
+	}
+	addMeta := func(id, desc string) error {
+		if c.known[id] {
+			return fmt.Errorf("policy %s: duplicate rule id %q", p.Name, id)
+		}
+		c.known[id] = true
+		c.Rules = append(c.Rules, RuleMeta{ID: id, Description: desc})
+		return nil
+	}
+	// Engine rules first: always-on, then the shm family when enabled.
+	addMeta(RuleAssertSafe, "critical data depends on unmonitored non-core values")
+	addMeta(RuleSkippedDef, "conservative taint from a skipped translation unit")
+	if p.Shm {
+		addMeta(RuleShmRead, "unmonitored read of non-core shared memory")
+		addMeta(RuleNonCoreRecv, "unmonitored message data received on a noncore descriptor")
+		addMeta(RuleKillPid, "kill() pid argument depends on unmonitored non-core values")
+	}
+	var cfgMeta []RuleMeta
+	for _, r := range p.Sources {
+		if r.ID == "" || r.Function == "" {
+			return nil, fmt.Errorf("policy %s: source rule needs id and function", p.Name)
+		}
+		switch r.Kind {
+		case "call":
+			if _, dup := c.sourceCalls[r.Function]; dup {
+				return nil, fmt.Errorf("policy %s: duplicate call-source rule for function %q", p.Name, r.Function)
+			}
+			c.sourceCalls[r.Function] = r
+		case "param":
+			if r.Param < 0 {
+				return nil, fmt.Errorf("policy %s: source rule %s: negative param index", p.Name, r.ID)
+			}
+			c.paramSrcs[r.Function] = append(c.paramSrcs[r.Function], r)
+		default:
+			return nil, fmt.Errorf("policy %s: source rule %s: unknown kind %q (want \"call\" or \"param\")", p.Name, r.ID, r.Kind)
+		}
+		if c.known[r.ID] {
+			return nil, fmt.Errorf("policy %s: duplicate rule id %q", p.Name, r.ID)
+		}
+		c.known[r.ID] = true
+		cfgMeta = append(cfgMeta, RuleMeta{ID: r.ID, Description: ruleDesc(r.Message, "tainted value from "+r.Function)})
+	}
+	for _, r := range p.Sinks {
+		if r.ID == "" || r.Function == "" {
+			return nil, fmt.Errorf("policy %s: sink rule needs id and function", p.Name)
+		}
+		if _, dup := c.sinks[r.Function]; dup {
+			return nil, fmt.Errorf("policy %s: duplicate sink rule for function %q", p.Name, r.Function)
+		}
+		for _, i := range r.Args {
+			if i < 0 {
+				return nil, fmt.Errorf("policy %s: sink rule %s: negative argument index", p.Name, r.ID)
+			}
+		}
+		c.sinks[r.Function] = r
+		if c.known[r.ID] {
+			return nil, fmt.Errorf("policy %s: duplicate rule id %q", p.Name, r.ID)
+		}
+		c.known[r.ID] = true
+		cfgMeta = append(cfgMeta, RuleMeta{ID: r.ID, Description: ruleDesc(r.Message, "tainted value reaches "+r.Function)})
+	}
+	for _, r := range p.Sanitizers {
+		if r.Function == "" {
+			return nil, fmt.Errorf("policy %s: sanitizer rule needs a function", p.Name)
+		}
+		c.sanitizers[r.Function] = true
+	}
+	for _, r := range p.Propagators {
+		if r.Function == "" {
+			return nil, fmt.Errorf("policy %s: propagator rule needs a function", p.Name)
+		}
+		if r.To < 0 {
+			return nil, fmt.Errorf("policy %s: propagator %s: negative \"to\" index", p.Name, r.Function)
+		}
+		for _, i := range r.From {
+			if i < 0 {
+				return nil, fmt.Errorf("policy %s: propagator %s: negative \"from\" index", p.Name, r.Function)
+			}
+		}
+		if _, dup := c.propagators[r.Function]; dup {
+			return nil, fmt.Errorf("policy %s: duplicate propagator rule for function %q", p.Name, r.Function)
+		}
+		c.propagators[r.Function] = r
+	}
+	// A function cannot be both sanitizer and source/sink/propagator: the
+	// engine would have to pick one silently.
+	for fn := range c.sanitizers {
+		if _, ok := c.sourceCalls[fn]; ok {
+			return nil, fmt.Errorf("policy %s: function %q is both a sanitizer and a source", p.Name, fn)
+		}
+		if _, ok := c.sinks[fn]; ok {
+			return nil, fmt.Errorf("policy %s: function %q is both a sanitizer and a sink", p.Name, fn)
+		}
+		if _, ok := c.propagators[fn]; ok {
+			return nil, fmt.Errorf("policy %s: function %q is both a sanitizer and a propagator", p.Name, fn)
+		}
+	}
+	sort.Slice(cfgMeta, func(i, j int) bool { return cfgMeta[i].ID < cfgMeta[j].ID })
+	c.Rules = append(c.Rules, cfgMeta...)
+	c.fingerprint = c.computeFingerprint(p)
+	return c, nil
+}
+
+func ruleDesc(msg, fallback string) string {
+	if msg != "" {
+		return msg
+	}
+	return fallback
+}
+
+// computeFingerprint hashes a canonical rendering of the policy: every
+// field of every rule, in sorted order, length-prefixed. Two policies
+// with equal fingerprints drive the engine identically.
+func (c *Compiled) computeFingerprint(p Policy) string {
+	h := sha256.New()
+	put := func(parts ...string) {
+		for _, s := range parts {
+			fmt.Fprintf(h, "%d:%s;", len(s), s)
+		}
+	}
+	ints := func(xs []int) string {
+		parts := make([]string, len(xs))
+		for i, x := range xs {
+			parts[i] = strconv.Itoa(x)
+		}
+		return strings.Join(parts, ",")
+	}
+	put("policy-v1", p.Name, strconv.FormatBool(p.Shm))
+	var lines []string
+	for _, r := range p.Sources {
+		lines = append(lines, strings.Join([]string{"source", r.ID, r.Kind, r.Function, strconv.Itoa(r.Param), r.Message}, "\x00"))
+	}
+	for _, r := range p.Sinks {
+		lines = append(lines, strings.Join([]string{"sink", r.ID, r.Function, ints(r.Args), r.Message}, "\x00"))
+	}
+	for _, r := range p.Sanitizers {
+		lines = append(lines, "sanitizer\x00"+r.Function)
+	}
+	for _, r := range p.Propagators {
+		lines = append(lines, strings.Join([]string{"propagator", r.Function, ints(r.From), strconv.Itoa(r.To)}, "\x00"))
+	}
+	sort.Strings(lines)
+	put(lines...)
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// Fingerprint returns the policy's content hash (hex sha256).
+func (c *Compiled) Fingerprint() string { return c.fingerprint }
+
+// SourceCall returns the call-source rule for a callee, if any.
+func (c *Compiled) SourceCall(fn string) (SourceRule, bool) {
+	r, ok := c.sourceCalls[fn]
+	return r, ok
+}
+
+// ParamSources returns the param-source rules targeting a function.
+func (c *Compiled) ParamSources(fn string) []SourceRule { return c.paramSrcs[fn] }
+
+// Sink returns the sink rule for a callee, if any.
+func (c *Compiled) Sink(fn string) (SinkRule, bool) {
+	r, ok := c.sinks[fn]
+	return r, ok
+}
+
+// IsSanitizer reports whether calls to fn launder their arguments clean.
+func (c *Compiled) IsSanitizer(fn string) bool { return c.sanitizers[fn] }
+
+// Propagator returns the propagator rule for a callee, if any.
+func (c *Compiled) Propagator(fn string) (PropagatorRule, bool) {
+	r, ok := c.propagators[fn]
+	return r, ok
+}
+
+// KnownRule reports whether id names a rule this policy can produce
+// (suppression comments referencing anything else are diagnosed).
+func (c *Compiled) KnownRule(id string) bool { return c.known[id] }
+
+// ---------------------------------------------------------------------------
+// Built-ins
+
+var builtins = []Policy{
+	{
+		Name:        "simplex-shm",
+		Description: "the paper's Simplex shared-memory policy: unmonitored non-core shared memory must not reach critical data",
+		Shm:         true,
+	},
+	{
+		Name:        "credential-leak",
+		Description: "credentials read from secret stores must not reach network sends or the log",
+		Sources: []SourceRule{
+			{ID: "cred-source-getpass", Kind: "call", Function: "getpass", Message: "credential returned by getpass"},
+			{ID: "cred-source-read-secret", Kind: "call", Function: "read_secret", Message: "credential returned by read_secret"},
+		},
+		Sinks: []SinkRule{
+			{ID: "cred-leak-send", Function: "net_send", Args: []int{1}, Message: "credential reaches a network send"},
+			{ID: "cred-leak-log", Function: "log_msg", Message: "credential reaches the log"},
+		},
+		Sanitizers: []SanitizerRule{
+			{Function: "hash_secret"},
+			{Function: "redact"},
+		},
+	},
+	{
+		Name:        "pii-to-log",
+		Description: "personally identifiable record data must be anonymized before it reaches the log",
+		Sources: []SourceRule{
+			{ID: "pii-source-record", Kind: "call", Function: "read_user_record", Message: "PII returned by read_user_record"},
+			{ID: "pii-source-request", Kind: "param", Function: "handle_request", Param: 0, Message: "PII arriving in the request parameter"},
+		},
+		Sinks: []SinkRule{
+			{ID: "pii-to-log", Function: "log_msg", Message: "PII reaches the log"},
+		},
+		Sanitizers: []SanitizerRule{
+			{Function: "anonymize"},
+		},
+		Propagators: []PropagatorRule{
+			{Function: "copy_buf", From: []int{1}, To: 0},
+		},
+	},
+}
+
+var compiledBuiltins = func() map[string]*Compiled {
+	out := make(map[string]*Compiled, len(builtins))
+	for _, p := range builtins {
+		c, err := Compile(p)
+		if err != nil {
+			panic("policy: bad builtin " + p.Name + ": " + err.Error())
+		}
+		out[p.Name] = c
+	}
+	return out
+}()
+
+// Default returns the compiled simplex-shm policy — the behavior every
+// analysis gets when no policy is configured.
+func Default() *Compiled { return compiledBuiltins["simplex-shm"] }
+
+// Builtin returns a compiled built-in policy by name.
+func Builtin(name string) (*Compiled, bool) {
+	c, ok := compiledBuiltins[name]
+	return c, ok
+}
+
+// BuiltinNames lists the built-in policy names, sorted.
+func BuiltinNames() []string {
+	names := make([]string, 0, len(compiledBuiltins))
+	for n := range compiledBuiltins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

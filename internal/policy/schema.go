@@ -1,0 +1,544 @@
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// A SchemaError is a config-file validation failure with the exact
+// position (1-based line and column) of the offending token.
+type SchemaError struct {
+	File string
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *SchemaError) Error() string {
+	return fmt.Sprintf("%s:%d:%d: %s", e.File, e.Line, e.Col, e.Msg)
+}
+
+// Parse validates and decodes a .safeflow-policy.json document. Every
+// rejection — wrong type, unknown key, missing required field, bad
+// version, duplicate name — carries the line:column of the token that
+// caused it.
+//
+// The format (version 1):
+//
+//	{
+//	  "version": 1,
+//	  "policies": [
+//	    {
+//	      "name": "credential-leak",
+//	      "description": "...",            // optional
+//	      "shm": false,                    // optional; enable Simplex shm rules
+//	      "sources": [
+//	        {"id": "r1", "kind": "call", "function": "getpass", "message": "..."},
+//	        {"id": "r2", "kind": "param", "function": "handler", "param": 0}
+//	      ],
+//	      "sinks": [
+//	        {"id": "r3", "function": "send", "args": [1], "message": "..."}
+//	      ],
+//	      "sanitizers": [{"function": "redact"}],
+//	      "propagators": [{"function": "copy_buf", "from": [1], "to": 0}]
+//	    }
+//	  ]
+//	}
+func Parse(filename string, data []byte) (*File, error) {
+	p := &parser{
+		file: filename,
+		data: data,
+		dec:  json.NewDecoder(strings.NewReader(string(data))),
+	}
+	f, err := p.parseFile()
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ParseFile reads and parses the config file at path.
+func ParseFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("policy: %w", err)
+	}
+	return Parse(path, data)
+}
+
+// Select returns the named policy from a parsed file; an empty name
+// selects the file's single policy and is an error when it defines more
+// than one.
+func Select(f *File, name string) (Policy, error) {
+	if name == "" {
+		if len(f.Policies) == 1 {
+			return f.Policies[0], nil
+		}
+		names := make([]string, len(f.Policies))
+		for i, p := range f.Policies {
+			names[i] = p.Name
+		}
+		return Policy{}, fmt.Errorf("policy: file defines %d policies (%s); select one by name", len(f.Policies), strings.Join(names, ", "))
+	}
+	for _, p := range f.Policies {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Policy{}, fmt.Errorf("policy: no policy named %q in file", name)
+}
+
+// Load resolves a -policy argument: a built-in policy name, a config
+// file path, or "path#name" to pick one policy out of a multi-policy
+// file — parsed, validated, and compiled.
+func Load(arg string) (*Compiled, error) {
+	if c, ok := Builtin(arg); ok {
+		return c, nil
+	}
+	path, name := arg, ""
+	if i := strings.LastIndex(arg, "#"); i >= 0 {
+		path, name = arg[:i], arg[i+1:]
+	}
+	if _, err := os.Stat(path); err != nil {
+		return nil, fmt.Errorf("policy: %q is neither a built-in policy (%s) nor a readable config file: %w",
+			arg, strings.Join(BuiltinNames(), ", "), err)
+	}
+	f, err := ParseFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := Select(f, name)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(p)
+}
+
+// ---------------------------------------------------------------------------
+// Token-walking parser with position tracking.
+
+type parser struct {
+	file string
+	data []byte
+	dec  *json.Decoder
+	// pos of the most recently read token's first byte.
+	line, col int
+}
+
+// next reads one token and records its position. json.Decoder reports
+// the offset *after* the token, so the token start is found by skipping
+// JSON whitespace and separators forward from the offset recorded
+// before the read.
+func (p *parser) next() (json.Token, error) {
+	pre := p.dec.InputOffset()
+	tok, err := p.dec.Token()
+	if err != nil {
+		p.line, p.col = offsetPos(p.data, pre)
+		return nil, err
+	}
+	start := pre
+	for start < int64(len(p.data)) {
+		switch p.data[start] {
+		case ' ', '\t', '\n', '\r', ',', ':':
+			start++
+			continue
+		}
+		break
+	}
+	p.line, p.col = offsetPos(p.data, start)
+	return tok, nil
+}
+
+func offsetPos(data []byte, off int64) (line, col int) {
+	line, col = 1, 1
+	for i := int64(0); i < off && i < int64(len(data)); i++ {
+		if data[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &SchemaError{File: p.file, Line: p.line, Col: p.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func tokenDesc(tok json.Token) string {
+	switch v := tok.(type) {
+	case json.Delim:
+		return fmt.Sprintf("%q", v.String())
+	case string:
+		return fmt.Sprintf("string %q", v)
+	case float64:
+		return fmt.Sprintf("number %v", v)
+	case bool:
+		return fmt.Sprintf("boolean %v", v)
+	case nil:
+		return "null"
+	}
+	return fmt.Sprintf("%v", tok)
+}
+
+func (p *parser) expectDelim(d rune, what string) error {
+	tok, err := p.next()
+	if err != nil {
+		return p.errf("%s: expected %q, got %v", what, string(d), err)
+	}
+	if delim, ok := tok.(json.Delim); !ok || rune(delim) != d {
+		return p.errf("%s: expected %q, got %s", what, string(d), tokenDesc(tok))
+	}
+	return nil
+}
+
+// object walks {"key": value, ...}, dispatching each key to field.
+// Unknown keys are rejected with the key token's position.
+func (p *parser) object(what string, known []string, field func(key string) error) error {
+	if err := p.expectDelim('{', what); err != nil {
+		return err
+	}
+	for p.dec.More() {
+		tok, err := p.next()
+		if err != nil {
+			return p.errf("%s: %v", what, err)
+		}
+		key, ok := tok.(string)
+		if !ok {
+			return p.errf("%s: expected object key, got %s", what, tokenDesc(tok))
+		}
+		found := false
+		for _, k := range known {
+			if k == key {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return p.errf("%s: unknown key %q (known keys: %s)", what, key, strings.Join(known, ", "))
+		}
+		if err := field(key); err != nil {
+			return err
+		}
+	}
+	return p.expectDelim('}', what)
+}
+
+// array walks [elem, ...], calling elem for each element.
+func (p *parser) array(what string, elem func() error) error {
+	if err := p.expectDelim('[', what); err != nil {
+		return err
+	}
+	for p.dec.More() {
+		if err := elem(); err != nil {
+			return err
+		}
+	}
+	return p.expectDelim(']', what)
+}
+
+func (p *parser) stringVal(what string) (string, error) {
+	tok, err := p.next()
+	if err != nil {
+		return "", p.errf("%s: %v", what, err)
+	}
+	s, ok := tok.(string)
+	if !ok {
+		return "", p.errf("%s: expected string, got %s", what, tokenDesc(tok))
+	}
+	return s, nil
+}
+
+func (p *parser) intVal(what string) (int, error) {
+	tok, err := p.next()
+	if err != nil {
+		return 0, p.errf("%s: %v", what, err)
+	}
+	f, ok := tok.(float64)
+	if !ok {
+		return 0, p.errf("%s: expected number, got %s", what, tokenDesc(tok))
+	}
+	n := int(f)
+	if float64(n) != f {
+		return 0, p.errf("%s: expected integer, got %v", what, f)
+	}
+	return n, nil
+}
+
+func (p *parser) boolVal(what string) (bool, error) {
+	tok, err := p.next()
+	if err != nil {
+		return false, p.errf("%s: %v", what, err)
+	}
+	b, ok := tok.(bool)
+	if !ok {
+		return false, p.errf("%s: expected boolean, got %s", what, tokenDesc(tok))
+	}
+	return b, nil
+}
+
+func (p *parser) intArray(what string) ([]int, error) {
+	var out []int
+	err := p.array(what, func() error {
+		n, err := p.intVal(what + " element")
+		if err != nil {
+			return err
+		}
+		out = append(out, n)
+		return nil
+	})
+	return out, err
+}
+
+func (p *parser) parseFile() (*File, error) {
+	f := &File{Version: -1}
+	err := p.object("policy file", []string{"version", "policies"}, func(key string) error {
+		switch key {
+		case "version":
+			v, err := p.intVal(`"version"`)
+			if err != nil {
+				return err
+			}
+			if v != Version {
+				return p.errf(`"version": unsupported config version %d (this build supports %d)`, v, Version)
+			}
+			f.Version = v
+		case "policies":
+			return p.array(`"policies"`, func() error {
+				pol, err := p.parsePolicy()
+				if err != nil {
+					return err
+				}
+				for _, prev := range f.Policies {
+					if prev.Name == pol.Name {
+						return p.errf("duplicate policy name %q", pol.Name)
+					}
+				}
+				f.Policies = append(f.Policies, pol)
+				return nil
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Trailing garbage after the document is a config error too.
+	if tok, err := p.next(); err != io.EOF {
+		if err == nil {
+			return nil, p.errf("unexpected %s after end of document", tokenDesc(tok))
+		}
+		return nil, p.errf("%v", err)
+	}
+	if f.Version == -1 {
+		p.line, p.col = 1, 1
+		return nil, p.errf(`missing required key "version"`)
+	}
+	if len(f.Policies) == 0 {
+		p.line, p.col = 1, 1
+		return nil, p.errf(`missing or empty "policies"`)
+	}
+	return f, nil
+}
+
+func (p *parser) parsePolicy() (Policy, error) {
+	var pol Policy
+	nameLine, nameCol := 0, 0
+	err := p.object("policy", []string{"name", "description", "shm", "sources", "sinks", "sanitizers", "propagators"}, func(key string) error {
+		var err error
+		switch key {
+		case "name":
+			pol.Name, err = p.stringVal(`"name"`)
+			nameLine, nameCol = p.line, p.col
+			if err == nil && pol.Name == "" {
+				return p.errf(`"name": must not be empty`)
+			}
+		case "description":
+			pol.Description, err = p.stringVal(`"description"`)
+		case "shm":
+			pol.Shm, err = p.boolVal(`"shm"`)
+		case "sources":
+			err = p.array(`"sources"`, func() error {
+				r, err := p.parseSource()
+				if err != nil {
+					return err
+				}
+				pol.Sources = append(pol.Sources, r)
+				return nil
+			})
+		case "sinks":
+			err = p.array(`"sinks"`, func() error {
+				r, err := p.parseSink()
+				if err != nil {
+					return err
+				}
+				pol.Sinks = append(pol.Sinks, r)
+				return nil
+			})
+		case "sanitizers":
+			err = p.array(`"sanitizers"`, func() error {
+				r, err := p.parseSanitizer()
+				if err != nil {
+					return err
+				}
+				pol.Sanitizers = append(pol.Sanitizers, r)
+				return nil
+			})
+		case "propagators":
+			err = p.array(`"propagators"`, func() error {
+				r, err := p.parsePropagator()
+				if err != nil {
+					return err
+				}
+				pol.Propagators = append(pol.Propagators, r)
+				return nil
+			})
+		}
+		return err
+	})
+	if err != nil {
+		return Policy{}, err
+	}
+	if pol.Name == "" {
+		return Policy{}, p.errf(`policy: missing required key "name"`)
+	}
+	// Validate cross-field constraints through Compile so the position
+	// of the policy's name anchors the diagnostic.
+	if _, cerr := Compile(pol); cerr != nil {
+		p.line, p.col = nameLine, nameCol
+		return Policy{}, p.errf("%v", strings.TrimPrefix(cerr.Error(), "policy: "))
+	}
+	return pol, nil
+}
+
+func (p *parser) parseSource() (SourceRule, error) {
+	var r SourceRule
+	r.Param = -1
+	seenParam := false
+	err := p.object("source rule", []string{"id", "kind", "function", "param", "message"}, func(key string) error {
+		var err error
+		switch key {
+		case "id":
+			r.ID, err = p.stringVal(`"id"`)
+		case "kind":
+			r.Kind, err = p.stringVal(`"kind"`)
+			if err == nil && r.Kind != "call" && r.Kind != "param" {
+				return p.errf(`"kind": expected "call" or "param", got %q`, r.Kind)
+			}
+		case "function":
+			r.Function, err = p.stringVal(`"function"`)
+		case "param":
+			r.Param, err = p.intVal(`"param"`)
+			seenParam = err == nil
+			if err == nil && r.Param < 0 {
+				return p.errf(`"param": must be a non-negative argument index`)
+			}
+		case "message":
+			r.Message, err = p.stringVal(`"message"`)
+		}
+		return err
+	})
+	if err != nil {
+		return SourceRule{}, err
+	}
+	if r.ID == "" {
+		return SourceRule{}, p.errf(`source rule: missing required key "id"`)
+	}
+	if r.Kind == "" {
+		return SourceRule{}, p.errf(`source rule %s: missing required key "kind"`, r.ID)
+	}
+	if r.Function == "" {
+		return SourceRule{}, p.errf(`source rule %s: missing required key "function"`, r.ID)
+	}
+	if r.Kind == "param" && !seenParam {
+		return SourceRule{}, p.errf(`source rule %s: kind "param" requires a "param" index`, r.ID)
+	}
+	if r.Kind == "call" {
+		r.Param = 0
+	}
+	return r, nil
+}
+
+func (p *parser) parseSink() (SinkRule, error) {
+	var r SinkRule
+	err := p.object("sink rule", []string{"id", "function", "args", "message"}, func(key string) error {
+		var err error
+		switch key {
+		case "id":
+			r.ID, err = p.stringVal(`"id"`)
+		case "function":
+			r.Function, err = p.stringVal(`"function"`)
+		case "args":
+			r.Args, err = p.intArray(`"args"`)
+			if err == nil {
+				for _, i := range r.Args {
+					if i < 0 {
+						return p.errf(`"args": must be non-negative argument indices`)
+					}
+				}
+			}
+		case "message":
+			r.Message, err = p.stringVal(`"message"`)
+		}
+		return err
+	})
+	if err != nil {
+		return SinkRule{}, err
+	}
+	if r.ID == "" {
+		return SinkRule{}, p.errf(`sink rule: missing required key "id"`)
+	}
+	if r.Function == "" {
+		return SinkRule{}, p.errf(`sink rule %s: missing required key "function"`, r.ID)
+	}
+	return r, nil
+}
+
+func (p *parser) parseSanitizer() (SanitizerRule, error) {
+	var r SanitizerRule
+	err := p.object("sanitizer rule", []string{"function"}, func(key string) error {
+		var err error
+		r.Function, err = p.stringVal(`"function"`)
+		return err
+	})
+	if err != nil {
+		return SanitizerRule{}, err
+	}
+	if r.Function == "" {
+		return SanitizerRule{}, p.errf(`sanitizer rule: missing required key "function"`)
+	}
+	return r, nil
+}
+
+func (p *parser) parsePropagator() (PropagatorRule, error) {
+	r := PropagatorRule{To: -1}
+	err := p.object("propagator rule", []string{"function", "from", "to"}, func(key string) error {
+		var err error
+		switch key {
+		case "function":
+			r.Function, err = p.stringVal(`"function"`)
+		case "from":
+			r.From, err = p.intArray(`"from"`)
+		case "to":
+			r.To, err = p.intVal(`"to"`)
+		}
+		return err
+	})
+	if err != nil {
+		return PropagatorRule{}, err
+	}
+	if r.Function == "" {
+		return PropagatorRule{}, p.errf(`propagator rule: missing required key "function"`)
+	}
+	if len(r.From) == 0 {
+		return PropagatorRule{}, p.errf(`propagator rule %s: missing required key "from"`, r.Function)
+	}
+	if r.To < 0 {
+		return PropagatorRule{}, p.errf(`propagator rule %s: missing required key "to"`, r.Function)
+	}
+	return r, nil
+}

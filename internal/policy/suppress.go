@@ -1,0 +1,63 @@
+package policy
+
+import (
+	"strings"
+)
+
+// A Suppression is one inline `// safeflow:ignore <rule-id> <reason>`
+// directive found in a source file. A directive on a line of its own
+// targets the next line; a trailing directive targets its own line.
+// Suppressed findings are never dropped silently — they move to the
+// report's audit trail with the directive's reason.
+type Suppression struct {
+	File string
+	// Line is the source line the directive targets (the line whose
+	// findings it suppresses).
+	Line int
+	// CommentLine is the line the directive itself appears on.
+	CommentLine int
+	Rule        string
+	Reason      string
+}
+
+const ignoreMarker = "safeflow:ignore"
+
+// ScanSuppressions extracts every safeflow:ignore directive from one
+// source file. Malformed directives (no rule id after the marker) are
+// returned with an empty Rule so the caller can diagnose them instead
+// of ignoring them.
+func ScanSuppressions(file, src string) []Suppression {
+	var out []Suppression
+	lines := strings.Split(src, "\n")
+	for i, line := range lines {
+		idx := strings.Index(line, "//")
+		if idx < 0 {
+			continue
+		}
+		comment := line[idx+2:]
+		m := strings.Index(comment, ignoreMarker)
+		if m < 0 {
+			continue
+		}
+		rest := strings.TrimSpace(comment[m+len(ignoreMarker):])
+		rule, reason := rest, ""
+		if sp := strings.IndexAny(rest, " \t"); sp >= 0 {
+			rule, reason = rest[:sp], strings.TrimSpace(rest[sp+1:])
+		}
+		s := Suppression{
+			File:        file,
+			CommentLine: i + 1,
+			Rule:        rule,
+			Reason:      reason,
+		}
+		if strings.TrimSpace(line[:idx]) == "" {
+			// Directive-only line: targets the following line.
+			s.Line = i + 2
+		} else {
+			// Trailing directive: targets its own line.
+			s.Line = i + 1
+		}
+		out = append(out, s)
+	}
+	return out
+}

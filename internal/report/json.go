@@ -16,20 +16,57 @@ import (
 // "metrics" key is present only when the analysis ran with
 // Options.Stats; its shape is versioned by metrics.SchemaVersion.
 type JSONReport struct {
-	Name            string              `json:"name"`
-	LinesOfCode     int                 `json:"lines_of_code"`
-	AnnotationLines int                 `json:"annotation_lines"`
-	Regions         []JSONRegion        `json:"regions"`
-	InternalErrs    []string            `json:"internal_errors,omitempty"`
-	Degraded        bool                `json:"degraded,omitempty"`
-	Diagnostics     []JSONDiagnostic    `json:"diagnostics,omitempty"`
-	AnnotationErrs  []string            `json:"annotation_errors,omitempty"`
-	Violations      []JSONViolation     `json:"violations,omitempty"`
-	Warnings        []JSONWarning       `json:"warnings,omitempty"`
-	Errors          []JSONError         `json:"errors,omitempty"`
-	ControlReports  []JSONError         `json:"control_reports,omitempty"`
-	Clean           bool                `json:"clean"`
-	Metrics         *metrics.RunMetrics `json:"metrics,omitempty"`
+	Name              string                 `json:"name"`
+	LinesOfCode       int                    `json:"lines_of_code"`
+	AnnotationLines   int                    `json:"annotation_lines"`
+	Regions           []JSONRegion           `json:"regions"`
+	InternalErrs      []string               `json:"internal_errors,omitempty"`
+	Degraded          bool                   `json:"degraded,omitempty"`
+	Diagnostics       []JSONDiagnostic       `json:"diagnostics,omitempty"`
+	AnnotationErrs    []string               `json:"annotation_errors,omitempty"`
+	Violations        []JSONViolation        `json:"violations,omitempty"`
+	Warnings          []JSONWarning          `json:"warnings,omitempty"`
+	Errors            []JSONError            `json:"errors,omitempty"`
+	ControlReports    []JSONError            `json:"control_reports,omitempty"`
+	Suppressed        []JSONSuppressed       `json:"suppressed,omitempty"`
+	SuppressionIssues []JSONSuppressionIssue `json:"suppression_issues,omitempty"`
+	Clean             bool                   `json:"clean"`
+	Policy            *JSONPolicy            `json:"policy,omitempty"`
+	Metrics           *metrics.RunMetrics    `json:"metrics,omitempty"`
+}
+
+// JSONPolicy identifies the taint policy a run analyzed under. Present
+// only when the policy was explicitly configured, keeping default-run
+// JSON byte-identical to historic output.
+type JSONPolicy struct {
+	Name        string         `json:"name"`
+	Fingerprint string         `json:"fingerprint"`
+	Rules       []JSONRuleMeta `json:"rules"`
+}
+
+// JSONRuleMeta is one policy rule's metadata.
+type JSONRuleMeta struct {
+	ID          string `json:"id"`
+	Description string `json:"description"`
+}
+
+// JSONSuppressed is one audit-trail entry for a finding matched by an
+// inline safeflow:ignore directive.
+type JSONSuppressed struct {
+	Rule   string `json:"rule"`
+	Reason string `json:"reason,omitempty"`
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Kind   string `json:"kind"`
+	Text   string `json:"text"`
+}
+
+// JSONSuppressionIssue is one directive the analysis could not honor.
+type JSONSuppressionIssue struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Rule string `json:"rule,omitempty"`
+	Msg  string `json:"msg"`
 }
 
 // JSONDiagnostic is one recovering-front-end failure: the translation
@@ -56,12 +93,15 @@ type JSONViolation struct {
 	Message  string `json:"message"`
 }
 
-// JSONWarning is one unmonitored non-core access.
+// JSONWarning is one unmonitored non-core access (or, under a
+// configured policy, a policy-source-tainted value). Rule is populated
+// only for explicitly configured policies.
 type JSONWarning struct {
 	Pos      string `json:"pos"`
 	Function string `json:"function"`
 	Region   string `json:"region,omitempty"`
 	Detail   string `json:"detail,omitempty"`
+	Rule     string `json:"rule,omitempty"`
 }
 
 // JSONError is one critical-data dependency.
@@ -69,6 +109,7 @@ type JSONError struct {
 	Pos         string       `json:"pos"`
 	Function    string       `json:"function"`
 	Var         string       `json:"var"`
+	Rule        string       `json:"rule,omitempty"`
 	ControlOnly bool         `json:"control_only"`
 	Sources     []JSONSource `json:"sources"`
 }
@@ -116,18 +157,42 @@ func ToJSON(rep *core.Report) *JSONReport {
 		if w.Region != nil {
 			jw.Region = w.Region.Name
 		}
+		if rep.PolicyExplicit {
+			jw.Rule = w.Rule
+		}
 		out.Warnings = append(out.Warnings, jw)
 	}
-	out.Errors = jsonErrors(rep.ErrorsData)
-	out.ControlReports = jsonErrors(rep.ErrorsControlOnly)
+	out.Errors = jsonErrors(rep.ErrorsData, rep.PolicyExplicit)
+	out.ControlReports = jsonErrors(rep.ErrorsControlOnly, rep.PolicyExplicit)
+	for _, sf := range rep.Suppressed {
+		out.Suppressed = append(out.Suppressed, JSONSuppressed{
+			Rule: sf.Rule, Reason: sf.Reason, File: sf.File, Line: sf.Line,
+			Kind: sf.Kind, Text: sf.Text,
+		})
+	}
+	for _, is := range rep.SuppressionIssues {
+		out.SuppressionIssues = append(out.SuppressionIssues, JSONSuppressionIssue{
+			File: is.File, Line: is.Line, Rule: is.Rule, Msg: is.Msg,
+		})
+	}
+	if rep.PolicyExplicit {
+		jp := &JSONPolicy{Name: rep.PolicyName, Fingerprint: rep.PolicyFingerprint}
+		for _, r := range rep.PolicyRules {
+			jp.Rules = append(jp.Rules, JSONRuleMeta{ID: r.ID, Description: r.Description})
+		}
+		out.Policy = jp
+	}
 	return out
 }
 
-func jsonErrors(errs []*vfg.ErrorDep) []JSONError {
+func jsonErrors(errs []*vfg.ErrorDep, attributeRule bool) []JSONError {
 	var out []JSONError
 	for _, e := range errs {
 		je := JSONError{
 			Pos: e.Pos.String(), Function: e.FnName, Var: e.Var, ControlOnly: e.ControlOnly,
+		}
+		if attributeRule {
+			je.Rule = e.Rule
 		}
 		for _, s := range e.SortedSources() {
 			js := JSONSource{Pos: s.Pos.String(), Kind: e.Sources[s].String()}

@@ -21,6 +21,9 @@ func Write(w io.Writer, rep *core.Report) {
 	fmt.Fprintf(w, "SafeFlow report for %s\n", rep.Name)
 	fmt.Fprintf(w, "%s\n", strings.Repeat("=", 20+len(rep.Name)))
 	fmt.Fprintf(w, "source lines: %d   annotation lines: %d\n", rep.LinesOfCode, rep.AnnotationLines)
+	if rep.PolicyExplicit {
+		fmt.Fprintf(w, "policy: %s (fingerprint %s)\n", rep.PolicyName, shortFingerprint(rep.PolicyFingerprint))
+	}
 
 	fmt.Fprintf(w, "\nShared-memory regions (%d):\n", len(rep.Regions))
 	for _, r := range rep.Regions {
@@ -65,13 +68,34 @@ func Write(w io.Writer, rep *core.Report) {
 
 	fmt.Fprintf(w, "\nError dependencies (%d):\n", len(rep.ErrorsData))
 	for _, e := range rep.ErrorsData {
-		writeError(w, e)
+		writeError(w, e, rep.PolicyExplicit)
 	}
 
 	fmt.Fprintf(w, "\nControl-dependence reports — manual inspection required (%d):\n",
 		len(rep.ErrorsControlOnly))
 	for _, e := range rep.ErrorsControlOnly {
-		writeError(w, e)
+		writeError(w, e, rep.PolicyExplicit)
+	}
+
+	if len(rep.Suppressed) > 0 {
+		fmt.Fprintf(w, "\nSuppressed findings — audit trail of safeflow:ignore directives (%d):\n",
+			len(rep.Suppressed))
+		for _, sf := range rep.Suppressed {
+			reason := sf.Reason
+			if reason == "" {
+				reason = "(no reason given)"
+			}
+			fmt.Fprintf(w, "  %s:%d: [%s] %s suppressed: %s\n", sf.File, sf.Line, sf.Rule, sf.Kind, reason)
+			fmt.Fprintf(w, "      was: %s\n", sf.Text)
+		}
+	}
+
+	if len(rep.SuppressionIssues) > 0 {
+		fmt.Fprintf(w, "\nSuppression issues — directives the analysis cannot honor (%d):\n",
+			len(rep.SuppressionIssues))
+		for _, is := range rep.SuppressionIssues {
+			fmt.Fprintf(w, "  %s\n", is)
+		}
 	}
 
 	switch {
@@ -82,10 +106,25 @@ func Write(w io.Writer, rep *core.Report) {
 	}
 }
 
+// shortFingerprint truncates a policy fingerprint for the human-facing
+// header line (the JSON and SARIF forms carry the full digest).
+func shortFingerprint(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12]
+	}
+	return fp
+}
+
 // writeError prints one error with its value-flow witness: the unsafe
 // sources the critical data depends on and the dependency kind of each.
-func writeError(w io.Writer, e *vfg.ErrorDep) {
-	fmt.Fprintf(w, "  %s\n", e)
+// Rule attribution is shown only for explicitly configured policies, so
+// default-policy reports stay byte-identical to historic output.
+func writeError(w io.Writer, e *vfg.ErrorDep, attributeRule bool) {
+	if attributeRule {
+		fmt.Fprintf(w, "  %s [rule %s]\n", e, e.Rule)
+	} else {
+		fmt.Fprintf(w, "  %s\n", e)
+	}
 	for _, s := range e.SortedSources() {
 		kind := e.Sources[s]
 		fmt.Fprintf(w, "      via %s flow from %s\n", kind, s)

@@ -1,0 +1,281 @@
+// SARIF 2.1.0 rendering of SafeFlow reports, for code-scanning
+// integrations (GitHub code scanning, CI policy gates). The output is
+// byte-deterministic for a given report — field order is fixed by the
+// struct definitions and every collection is emitted in the report's
+// stable order — so golden-file diffs are meaningful at every worker
+// count and cache temperature.
+
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"safeflow/internal/core"
+	"safeflow/internal/ctoken"
+	"safeflow/internal/vfg"
+)
+
+// SARIFSchemaURI is the canonical SARIF 2.1.0 schema location recorded
+// in the log's $schema key.
+const SARIFSchemaURI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+// SARIFLog is the top-level SARIF 2.1.0 document.
+type SARIFLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []SARIFRun `json:"runs"`
+}
+
+// SARIFRun is one analysis run.
+type SARIFRun struct {
+	Tool        SARIFTool         `json:"tool"`
+	Invocations []SARIFInvocation `json:"invocations"`
+	Results     []SARIFResult     `json:"results"`
+	Properties  map[string]any    `json:"properties,omitempty"`
+}
+
+// SARIFTool wraps the driver description.
+type SARIFTool struct {
+	Driver SARIFDriver `json:"driver"`
+}
+
+// SARIFDriver describes the analyzer and its rule metadata.
+type SARIFDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []SARIFRule `json:"rules"`
+}
+
+// SARIFRule is one reporting rule's metadata.
+type SARIFRule struct {
+	ID               string       `json:"id"`
+	ShortDescription SARIFMessage `json:"shortDescription"`
+}
+
+// SARIFMessage is SARIF's message object.
+type SARIFMessage struct {
+	Text string `json:"text"`
+}
+
+// SARIFInvocation records execution status and tool-level notifications
+// (internal errors, degraded-mode diagnostics, suppression issues).
+type SARIFInvocation struct {
+	ExecutionSuccessful        bool                `json:"executionSuccessful"`
+	ToolExecutionNotifications []SARIFNotification `json:"toolExecutionNotifications,omitempty"`
+}
+
+// SARIFNotification is one tool-level notification.
+type SARIFNotification struct {
+	Level   string       `json:"level"`
+	Message SARIFMessage `json:"message"`
+}
+
+// SARIFResult is one finding.
+type SARIFResult struct {
+	RuleID       string             `json:"ruleId"`
+	Level        string             `json:"level"`
+	Message      SARIFMessage       `json:"message"`
+	Locations    []SARIFLocation    `json:"locations,omitempty"`
+	Suppressions []SARIFSuppression `json:"suppressions,omitempty"`
+}
+
+// SARIFLocation wraps a physical location.
+type SARIFLocation struct {
+	PhysicalLocation SARIFPhysicalLocation `json:"physicalLocation"`
+}
+
+// SARIFPhysicalLocation names a file region.
+type SARIFPhysicalLocation struct {
+	ArtifactLocation SARIFArtifactLocation `json:"artifactLocation"`
+	Region           *SARIFRegion          `json:"region,omitempty"`
+}
+
+// SARIFArtifactLocation names a file.
+type SARIFArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+// SARIFRegion is a line/column range start.
+type SARIFRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// SARIFSuppression records why a result is suppressed.
+type SARIFSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// sarifLoc builds the single-element locations array for a position.
+func sarifLoc(pos ctoken.Pos) []SARIFLocation {
+	if !pos.IsValid() {
+		return nil
+	}
+	return []SARIFLocation{{PhysicalLocation: SARIFPhysicalLocation{
+		ArtifactLocation: SARIFArtifactLocation{URI: pos.File},
+		Region:           &SARIFRegion{StartLine: pos.Line, StartColumn: pos.Col},
+	}}}
+}
+
+// errorMessage renders an error with its value-flow witness, mirroring
+// the text format's per-error block.
+func errorMessage(e *vfg.ErrorDep) string {
+	msg := e.String()
+	for _, s := range e.SortedSources() {
+		msg += fmt.Sprintf("\nvia %s flow from %s", e.Sources[s], s)
+	}
+	return msg
+}
+
+// ToSARIF converts a report to a SARIF 2.1.0 log. Unlike the text and
+// JSON formats, SARIF always attributes findings to rule ids — it is a
+// new format with no byte-compatibility constraint, and code-scanning
+// consumers key everything off ruleId.
+func ToSARIF(rep *core.Report) *SARIFLog {
+	usedRules := map[string]string{} // id -> description
+	ruleDesc := map[string]string{}
+	for _, r := range rep.PolicyRules {
+		ruleDesc[r.ID] = r.Description
+	}
+	use := func(id string) string {
+		if id == "" {
+			id = "unattributed"
+		}
+		if _, ok := usedRules[id]; !ok {
+			desc := ruleDesc[id]
+			if desc == "" {
+				desc = id
+			}
+			usedRules[id] = desc
+		}
+		return id
+	}
+
+	var results []SARIFResult
+	for _, e := range rep.AnnotationErrors {
+		results = append(results, SARIFResult{
+			RuleID:  use("annotation-error"),
+			Level:   "error",
+			Message: SARIFMessage{Text: e.Error()},
+		})
+	}
+	for _, v := range rep.Violations {
+		ruleDesc["restrict-"+string(v.Rule)] = "restriction violation (" + string(v.Rule) + ")"
+		results = append(results, SARIFResult{
+			RuleID:    use("restrict-" + string(v.Rule)),
+			Level:     "error",
+			Message:   SARIFMessage{Text: v.String()},
+			Locations: sarifLoc(v.Pos),
+		})
+	}
+	for _, e := range rep.ErrorsData {
+		results = append(results, SARIFResult{
+			RuleID:    use(e.Rule),
+			Level:     "error",
+			Message:   SARIFMessage{Text: errorMessage(e)},
+			Locations: sarifLoc(e.Pos),
+		})
+	}
+	for _, e := range rep.ErrorsControlOnly {
+		results = append(results, SARIFResult{
+			RuleID:    use(e.Rule),
+			Level:     "warning",
+			Message:   SARIFMessage{Text: errorMessage(e)},
+			Locations: sarifLoc(e.Pos),
+		})
+	}
+	for _, w := range rep.Warnings {
+		results = append(results, SARIFResult{
+			RuleID:    use(w.Rule),
+			Level:     "note",
+			Message:   SARIFMessage{Text: w.String()},
+			Locations: sarifLoc(w.Pos),
+		})
+	}
+	for _, sf := range rep.Suppressed {
+		level := "error"
+		switch sf.Kind {
+		case "warning":
+			level = "note"
+		case "control-only":
+			level = "warning"
+		}
+		justification := sf.Reason
+		if justification == "" {
+			justification = "(no reason given)"
+		}
+		results = append(results, SARIFResult{
+			RuleID:  use(sf.Rule),
+			Level:   level,
+			Message: SARIFMessage{Text: sf.Text},
+			Locations: []SARIFLocation{{PhysicalLocation: SARIFPhysicalLocation{
+				ArtifactLocation: SARIFArtifactLocation{URI: sf.File},
+				Region:           &SARIFRegion{StartLine: sf.Line},
+			}}},
+			Suppressions: []SARIFSuppression{{Kind: "inSource", Justification: justification}},
+		})
+	}
+
+	var notes []SARIFNotification
+	for _, e := range rep.Internal {
+		notes = append(notes, SARIFNotification{Level: "error", Message: SARIFMessage{Text: e.Error()}})
+	}
+	for _, d := range rep.Diagnostics {
+		notes = append(notes, SARIFNotification{Level: "warning", Message: SARIFMessage{Text: d.String()}})
+	}
+	for _, is := range rep.SuppressionIssues {
+		notes = append(notes, SARIFNotification{Level: "error", Message: SARIFMessage{Text: is.String()}})
+	}
+
+	// Rules: every id in the active policy, plus any dynamic ids the
+	// results used (restrict-*, annotation-error), sorted for stability.
+	for _, r := range rep.PolicyRules {
+		use(r.ID)
+	}
+	ids := make([]string, 0, len(usedRules))
+	for id := range usedRules {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	rules := make([]SARIFRule, 0, len(ids))
+	for _, id := range ids {
+		rules = append(rules, SARIFRule{ID: id, ShortDescription: SARIFMessage{Text: usedRules[id]}})
+	}
+
+	if results == nil {
+		results = []SARIFResult{}
+	}
+	return &SARIFLog{
+		Schema:  SARIFSchemaURI,
+		Version: "2.1.0",
+		Runs: []SARIFRun{{
+			Tool: SARIFTool{Driver: SARIFDriver{
+				Name:           "safeflow",
+				InformationURI: "https://example.org/safeflow",
+				Rules:          rules,
+			}},
+			Invocations: []SARIFInvocation{{
+				ExecutionSuccessful:        len(rep.Internal) == 0 && !rep.Degraded,
+				ToolExecutionNotifications: notes,
+			}},
+			Results: results,
+			Properties: map[string]any{
+				"policy":            rep.PolicyName,
+				"policyFingerprint": rep.PolicyFingerprint,
+				"degraded":          rep.Degraded,
+				"system":            rep.Name,
+			},
+		}},
+	}
+}
+
+// WriteSARIF renders the report as indented SARIF 2.1.0 JSON.
+func WriteSARIF(w io.Writer, rep *core.Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ToSARIF(rep))
+}

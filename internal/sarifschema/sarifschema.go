@@ -1,0 +1,215 @@
+// Package sarifschema validates SARIF 2.1.0 logs against a vendored
+// subset of the official JSON schema. The build environment has no
+// network access, so instead of the 200KB upstream schema we vendor a
+// trimmed schema covering exactly the object slice safeflow emits —
+// every property name and type in it matches the official schema — and
+// interpret it with a small JSON-Schema-subset checker.
+//
+// Supported keywords: type (single or list; "integer" requires an
+// integral number), enum, properties, required, additionalProperties
+// (boolean form), items, minItems, and $ref into #/definitions. That is
+// the full vocabulary the vendored schema uses.
+package sarifschema
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+//go:embed sarif-2.1.0-subset.json
+var subsetSchema []byte
+
+// Schema is a compiled schema document.
+type Schema struct {
+	root map[string]any
+	defs map[string]any
+}
+
+// Compile parses a schema document.
+func Compile(data []byte) (*Schema, error) {
+	var root map[string]any
+	if err := json.Unmarshal(data, &root); err != nil {
+		return nil, fmt.Errorf("sarifschema: parsing schema: %w", err)
+	}
+	s := &Schema{root: root, defs: map[string]any{}}
+	if d, ok := root["definitions"].(map[string]any); ok {
+		s.defs = d
+	}
+	return s, nil
+}
+
+// Subset returns the vendored SARIF 2.1.0 subset schema.
+func Subset() *Schema {
+	s, err := Compile(subsetSchema)
+	if err != nil {
+		panic(err) // embedded schema is validated by tests
+	}
+	return s
+}
+
+// Validate checks a decoded JSON document (as produced by
+// json.Unmarshal into any) against the schema. It returns every
+// violation found, each prefixed with the JSON path of the offending
+// value; an empty slice means the document conforms.
+func (s *Schema) Validate(doc any) []string {
+	var errs []string
+	s.validate("$", s.root, doc, &errs)
+	return errs
+}
+
+// ValidateBytes parses raw JSON and validates it.
+func (s *Schema) ValidateBytes(data []byte) []string {
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return []string{fmt.Sprintf("$: invalid JSON: %v", err)}
+	}
+	return s.Validate(doc)
+}
+
+// ValidateSARIF validates raw JSON against the vendored SARIF 2.1.0
+// subset schema.
+func ValidateSARIF(data []byte) []string {
+	return Subset().ValidateBytes(data)
+}
+
+func (s *Schema) resolve(node map[string]any) (map[string]any, string) {
+	ref, ok := node["$ref"].(string)
+	if !ok {
+		return node, ""
+	}
+	const prefix = "#/definitions/"
+	if !strings.HasPrefix(ref, prefix) {
+		return nil, fmt.Sprintf("unsupported $ref %q", ref)
+	}
+	name := strings.TrimPrefix(ref, prefix)
+	target, ok := s.defs[name].(map[string]any)
+	if !ok {
+		return nil, fmt.Sprintf("$ref to undefined definition %q", name)
+	}
+	return target, ""
+}
+
+func typeName(v any) string {
+	switch v.(type) {
+	case nil:
+		return "null"
+	case bool:
+		return "boolean"
+	case float64:
+		return "number"
+	case string:
+		return "string"
+	case []any:
+		return "array"
+	case map[string]any:
+		return "object"
+	}
+	return reflect.TypeOf(v).String()
+}
+
+func typeMatches(want string, v any) bool {
+	switch want {
+	case "integer":
+		f, ok := v.(float64)
+		return ok && f == math.Trunc(f)
+	case "number":
+		_, ok := v.(float64)
+		return ok
+	default:
+		return typeName(v) == want
+	}
+}
+
+func (s *Schema) validate(path string, schema map[string]any, v any, errs *[]string) {
+	schema, refErr := s.resolve(schema)
+	if refErr != "" {
+		*errs = append(*errs, path+": "+refErr)
+		return
+	}
+
+	if t, ok := schema["type"]; ok {
+		var wants []string
+		switch tt := t.(type) {
+		case string:
+			wants = []string{tt}
+		case []any:
+			for _, w := range tt {
+				if ws, ok := w.(string); ok {
+					wants = append(wants, ws)
+				}
+			}
+		}
+		matched := false
+		for _, w := range wants {
+			if typeMatches(w, v) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			*errs = append(*errs, fmt.Sprintf("%s: want type %s, got %s",
+				path, strings.Join(wants, "|"), typeName(v)))
+			return
+		}
+	}
+
+	if enum, ok := schema["enum"].([]any); ok {
+		matched := false
+		for _, e := range enum {
+			if reflect.DeepEqual(e, v) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			*errs = append(*errs, fmt.Sprintf("%s: value %v not in enum %v", path, v, enum))
+		}
+	}
+
+	if obj, ok := v.(map[string]any); ok {
+		props, _ := schema["properties"].(map[string]any)
+		if req, ok := schema["required"].([]any); ok {
+			for _, r := range req {
+				name, _ := r.(string)
+				if _, present := obj[name]; !present {
+					*errs = append(*errs, fmt.Sprintf("%s: missing required property %q", path, name))
+				}
+			}
+		}
+		addl := true
+		if ap, ok := schema["additionalProperties"].(bool); ok {
+			addl = ap
+		}
+		keys := make([]string, 0, len(obj))
+		for k := range obj {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			sub, known := props[k].(map[string]any)
+			if !known {
+				if !addl {
+					*errs = append(*errs, fmt.Sprintf("%s: unknown property %q", path, k))
+				}
+				continue
+			}
+			s.validate(path+"."+k, sub, obj[k], errs)
+		}
+	}
+
+	if arr, ok := v.([]any); ok {
+		if min, ok := schema["minItems"].(float64); ok && float64(len(arr)) < min {
+			*errs = append(*errs, fmt.Sprintf("%s: want at least %d item(s), got %d", path, int(min), len(arr)))
+		}
+		if items, ok := schema["items"].(map[string]any); ok {
+			for i, el := range arr {
+				s.validate(fmt.Sprintf("%s[%d]", path, i), items, el, errs)
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package sarifschema
+
+import (
+	"strings"
+	"testing"
+)
+
+const minimalLog = `{
+  "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+  "version": "2.1.0",
+  "runs": [
+    {
+      "tool": {"driver": {"name": "safeflow", "rules": [{"id": "r1", "shortDescription": {"text": "d"}}]}},
+      "invocations": [{"executionSuccessful": true}],
+      "results": [
+        {
+          "ruleId": "r1",
+          "level": "error",
+          "message": {"text": "m"},
+          "locations": [{"physicalLocation": {"artifactLocation": {"uri": "a.c"}, "region": {"startLine": 3, "startColumn": 7}}}],
+          "suppressions": [{"kind": "inSource", "justification": "why"}]
+        }
+      ],
+      "properties": {"policy": "p", "anything": 1}
+    }
+  ]
+}`
+
+func TestSubsetCompiles(t *testing.T) {
+	s := Subset()
+	if s == nil {
+		t.Fatal("nil subset schema")
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if errs := ValidateSARIF([]byte(minimalLog)); len(errs) != 0 {
+		t.Fatalf("minimal log rejected: %v", errs)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(string) string
+		want string
+	}{
+		{"bad version", func(s string) string { return strings.Replace(s, `"2.1.0"`, `"9.9"`, 1) },
+			"not in enum"},
+		{"missing runs", func(s string) string {
+			return `{"version": "2.1.0"}`
+		}, `missing required property "runs"`},
+		{"unknown property", func(s string) string {
+			return strings.Replace(s, `"ruleId": "r1"`, `"ruleId": "r1", "madeUp": true`, 1)
+		}, `unknown property "madeUp"`},
+		{"wrong type", func(s string) string {
+			return strings.Replace(s, `"startLine": 3`, `"startLine": "3"`, 1)
+		}, "want type integer"},
+		{"non-integral line", func(s string) string {
+			return strings.Replace(s, `"startLine": 3`, `"startLine": 3.5`, 1)
+		}, "want type integer"},
+		{"bad suppression kind", func(s string) string {
+			return strings.Replace(s, `"kind": "inSource"`, `"kind": "psychic"`, 1)
+		}, "not in enum"},
+		{"message not object", func(s string) string {
+			return strings.Replace(s, `"message": {"text": "m"}`, `"message": "m"`, 1)
+		}, "want type object"},
+		{"invalid json", func(s string) string { return s[:20] }, "invalid JSON"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := ValidateSARIF([]byte(tc.mut(minimalLog)))
+			if len(errs) == 0 {
+				t.Fatal("accepted a nonconforming log")
+			}
+			found := false
+			for _, e := range errs {
+				if strings.Contains(e, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no error containing %q in %v", tc.want, errs)
+			}
+		})
+	}
+}
+
+func TestErrorsCarryPaths(t *testing.T) {
+	bad := strings.Replace(minimalLog, `"startLine": 3`, `"startLine": "3"`, 1)
+	errs := ValidateSARIF([]byte(bad))
+	if len(errs) == 0 {
+		t.Fatal("accepted")
+	}
+	if !strings.Contains(errs[0], "$.runs[0].results[0].locations[0].physicalLocation.region.startLine") {
+		t.Errorf("error lacks a precise path: %q", errs[0])
+	}
+}

@@ -63,6 +63,7 @@ type pEffect struct {
 type pObligation struct {
 	pos         ctoken.Pos
 	fnName, vbl string
+	rule        string
 	params      map[int]Kind
 }
 
@@ -168,7 +169,7 @@ func (a *analysis) exportTaint(t Taint) pTaint {
 			regionName = s.Region.Name
 		}
 		out.srcs = append(out.srcs, pSrcTaint{
-			src: pSrc{key: srcKey{pos: s.Pos, kind: s.Kind, region: regionName, detail: s.Detail}, fn: s.FnName},
+			src: pSrc{key: srcKey{pos: s.Pos, kind: s.Kind, region: regionName, detail: s.Detail, rule: s.Rule}, fn: s.FnName},
 			k:   k,
 		})
 	}
@@ -188,7 +189,7 @@ func (a *analysis) exportSummary(s summary) pSummary {
 	}
 	for _, o := range s.asserts {
 		out.asserts = append(out.asserts, pObligation{
-			pos: o.pos, fnName: o.fnName, vbl: o.vbl, params: paramsToMap(o.par),
+			pos: o.pos, fnName: o.fnName, vbl: o.vbl, rule: o.rule, params: paramsToMap(o.par),
 		})
 	}
 	return out
@@ -389,6 +390,7 @@ func (a *analysis) sourceFromKey(p pSrc) (*Source, bool) {
 			FnName:   p.fn,
 			Region:   region,
 			Detail:   p.key.detail,
+			Rule:     p.key.rule,
 			Contexts: make(map[string]bool),
 			id:       len(a.srcList),
 		}
@@ -414,7 +416,7 @@ func (b *binder) bindSummary(p pSummary) (summary, bool) {
 	}
 	for _, o := range p.asserts {
 		s.asserts = append(s.asserts, obligation{
-			pos: o.pos, fnName: o.fnName, vbl: o.vbl, par: paramsFromMap(o.params),
+			pos: o.pos, fnName: o.fnName, vbl: o.vbl, rule: o.rule, par: paramsFromMap(o.params),
 		})
 	}
 	return s, true

@@ -31,8 +31,9 @@ const summaryDiskNS = "summary"
 // summaryDiskVersion versions the wire encoding below. Bump it whenever
 // a wire struct gains, loses, or re-types a field — the disk store
 // invalidates entries written under any other version instead of
-// decoding them with the wrong codec.
-const summaryDiskVersion = 1
+// decoding them with the wrong codec. v2 added per-rule attribution
+// (wireSrc.Rule, wireObligation.Rule).
+const summaryDiskVersion = 2
 
 // Wire mirrors of the portable summary domain (exported fields for gob).
 
@@ -41,6 +42,7 @@ type wireSrc struct {
 	Kind   SourceKind
 	Region string
 	Detail string
+	Rule   string
 	Fn     string
 }
 
@@ -75,6 +77,7 @@ type wireObligation struct {
 	Pos    ctoken.Pos
 	FnName string
 	Vbl    string
+	Rule   string
 	Params map[int]Kind
 }
 
@@ -107,6 +110,7 @@ func toWireTaint(p pTaint) wireTaint {
 				Kind:   st.src.key.kind,
 				Region: st.src.key.region,
 				Detail: st.src.key.detail,
+				Rule:   st.src.key.rule,
 				Fn:     st.src.fn,
 			},
 			K: st.k,
@@ -131,7 +135,7 @@ func toWireModule(m *cachedModule) *wireModule {
 		}
 		for _, o := range s.asserts {
 			ws.Asserts = append(ws.Asserts, wireObligation{
-				Pos: o.pos, FnName: o.fnName, Vbl: o.vbl, Params: o.params,
+				Pos: o.pos, FnName: o.fnName, Vbl: o.vbl, Rule: o.rule, Params: o.params,
 			})
 		}
 		out.Units[k] = ws
@@ -150,7 +154,7 @@ func fromWireTaint(w wireTaint) pTaint {
 	for _, st := range w.Srcs {
 		out.srcs = append(out.srcs, pSrcTaint{
 			src: pSrc{
-				key: srcKey{pos: st.Src.Pos, kind: st.Src.Kind, region: st.Src.Region, detail: st.Src.Detail},
+				key: srcKey{pos: st.Src.Pos, kind: st.Src.Kind, region: st.Src.Region, detail: st.Src.Detail, rule: st.Src.Rule},
 				fn:  st.Src.Fn,
 			},
 			k: st.K,
@@ -175,7 +179,7 @@ func fromWireModule(w *wireModule) *cachedModule {
 		}
 		for _, o := range ws.Asserts {
 			s.asserts = append(s.asserts, pObligation{
-				pos: o.Pos, fnName: o.FnName, vbl: o.Vbl, params: o.Params,
+				pos: o.Pos, fnName: o.FnName, vbl: o.Vbl, rule: o.Rule, params: o.Params,
 			})
 		}
 		out.units[k] = s

@@ -94,6 +94,7 @@ type pCtxSrc struct {
 type pError struct {
 	pos     ctoken.Pos
 	fn, vbl string
+	rule    string
 	srcs    []pSrcTaint
 }
 
@@ -473,12 +474,12 @@ func (a *analysis) replayError(pe pError) {
 		}
 		resolved = append(resolved, srcKind{s, st.k})
 	}
-	key := pe.pos.String() + "|" + pe.vbl
+	key := pe.pos.String() + "|" + pe.vbl + "|" + pe.rule
 	a.errMu.Lock()
 	defer a.errMu.Unlock()
 	e, ok := a.errors[key]
 	if !ok {
-		e = &ErrorDep{Pos: pe.pos, FnName: pe.fn, Var: pe.vbl, Sources: make(map[*Source]Kind)}
+		e = &ErrorDep{Pos: pe.pos, FnName: pe.fn, Var: pe.vbl, Rule: pe.rule, Sources: make(map[*Source]Kind)}
 		a.errors[key] = e
 	}
 	for _, r := range resolved {
@@ -499,6 +500,7 @@ type recSrcKey struct {
 type recErrVal struct {
 	pos     ctoken.Pos
 	fn, vbl string
+	rule    string
 	t       Taint
 }
 
@@ -529,16 +531,16 @@ func (u *unit) recSrc(k srcKey, fn, ctx string) {
 	u.recSrcs[recSrcKey{key: k, fn: fn, ctx: ctx}] = true
 }
 
-func (u *unit) recError(pos ctoken.Pos, fn, vbl string, t Taint) {
+func (u *unit) recError(pos ctoken.Pos, fn, vbl, rule string, t Taint) {
 	if u.recErrs == nil {
 		u.recErrs = make(map[string]*recErrVal)
 	}
-	key := pos.String() + "|" + vbl
+	key := pos.String() + "|" + vbl + "|" + rule
 	if e, ok := u.recErrs[key]; ok {
 		e.t = joinTaint(e.t, t)
 		return
 	}
-	u.recErrs[key] = &recErrVal{pos: pos, fn: fn, vbl: vbl, t: t}
+	u.recErrs[key] = &recErrVal{pos: pos, fn: fn, vbl: vbl, rule: rule, t: t}
 }
 
 // ---------------------------------------------------------------------------
@@ -644,7 +646,10 @@ func (a *analysis) captureState(fps map[string]fnFingerprint, regionFP uint64) *
 					if ki.key.region != kj.key.region {
 						return ki.key.region < kj.key.region
 					}
-					return ki.key.detail < kj.key.detail
+					if ki.key.detail != kj.key.detail {
+						return ki.key.detail < kj.key.detail
+					}
+					return ki.key.rule < kj.key.rule
 				}
 				if ki.fn != kj.fn {
 					return ki.fn < kj.fn
@@ -664,7 +669,7 @@ func (a *analysis) captureState(fps map[string]fnFingerprint, regionFP uint64) *
 			for _, k := range keys {
 				e := u.recErrs[k]
 				rec.errors = append(rec.errors, pError{
-					pos: e.pos, fn: e.fn, vbl: e.vbl, srcs: a.exportTaint(e.t).srcs,
+					pos: e.pos, fn: e.fn, vbl: e.vbl, rule: e.rule, srcs: a.exportTaint(e.t).srcs,
 				})
 			}
 		}
@@ -693,7 +698,7 @@ func canonPTaint(p pTaint) string {
 	for _, st := range p.srcs {
 		entries = append(entries, st.src.key.pos.String()+"\x01"+
 			strconv.Itoa(int(st.src.key.kind))+"\x01"+st.src.key.region+"\x01"+
-			st.src.key.detail+"\x01"+st.src.fn+"\x01"+strconv.Itoa(int(st.k)))
+			st.src.key.detail+"\x01"+st.src.key.rule+"\x01"+st.src.fn+"\x01"+strconv.Itoa(int(st.k)))
 	}
 	sort.Strings(entries)
 	var b strings.Builder

@@ -62,6 +62,7 @@ const (
 	SrcUnmonitoredRead SourceKind = iota + 1 // shared-memory read outside core assumptions
 	SrcNonCoreRecv                           // message received on a noncore socket (§3.4.3)
 	SrcSkippedDef                            // call into a function whose defining unit was skipped
+	SrcPolicy                                // value produced by a configured policy source rule
 )
 
 // Source is one unsafe-value origin — each corresponds to a SafeFlow
@@ -72,6 +73,10 @@ type Source struct {
 	FnName string
 	Region *shmflow.Region // nil for SrcNonCoreRecv
 	Detail string
+	// Rule is the id of the policy rule this source belongs to — one of
+	// the engine rule ids (policy.RuleShmRead and friends) for the
+	// built-in kinds, or a configured source rule's id for SrcPolicy.
+	Rule string
 	// Contexts records the monitored-assumption contexts in which the read
 	// is unmonitored (informational).
 	Contexts map[string]bool
@@ -89,6 +94,8 @@ func (s *Source) String() string {
 	case SrcSkippedDef:
 		return fmt.Sprintf("%s: %s: call into %s whose defining unit was skipped (conservative unknown taint)",
 			s.Pos, s.FnName, s.Detail)
+	case SrcPolicy:
+		return fmt.Sprintf("%s: %s: tainted value from %s (policy rule %s)", s.Pos, s.FnName, s.Detail, s.Rule)
 	default:
 		return fmt.Sprintf("%s: %s: unmonitored read of non-core shared memory %s%s",
 			s.Pos, s.FnName, s.Region.Name, s.Detail)

@@ -33,6 +33,7 @@ import (
 	"safeflow/internal/irgen"
 	"safeflow/internal/metrics"
 	"safeflow/internal/pointsto"
+	"safeflow/internal/policy"
 	"safeflow/internal/shmflow"
 )
 
@@ -89,6 +90,15 @@ type Config struct {
 	// Exponential mode and on degraded runs (MissingDefs non-empty) —
 	// skipped-def summaries are never reused across updates.
 	Incr *IncrOptions
+	// Policy, when non-nil, drives taint seeding and sink checking off
+	// the compiled policy's tables: configured source rules seed taint,
+	// sink rules record per-rule errors, sanitizers launder, propagators
+	// copy taint between arguments, and the built-in shared-memory rules
+	// (unmonitored reads, noncore receives, kill-pid) run only when the
+	// policy enables them. Nil behaves exactly like the default
+	// simplex-shm policy. The policy's fingerprint must be folded into
+	// CacheKey by the caller — summaries encode rule attribution.
+	Policy *policy.Compiled
 }
 
 // ErrorDep is one reported error: critical data depends on unmonitored
@@ -98,6 +108,10 @@ type ErrorDep struct {
 	FnName  string
 	Var     string
 	Sources map[*Source]Kind
+	// Rule is the id of the policy rule whose sink recorded the error
+	// (policy.RuleAssertSafe for assert(safe), policy.RuleKillPid for the
+	// implicit kill-pid sink, or a configured sink rule's id).
+	Rule string
 	// ControlOnly marks dependencies that are control-flow only — the
 	// class the paper identifies as requiring manual inspection (its false
 	// positives were all of this class).
@@ -194,12 +208,14 @@ type srcKey struct {
 	kind   SourceKind
 	region string
 	detail string
+	rule   string
 }
 
 type obligation struct {
 	pos    ctoken.Pos
 	fnName string
 	vbl    string
+	rule   string
 	par    kindSet
 }
 
@@ -466,13 +482,19 @@ func (a *analysis) fnDataOf(fn *ir.Function) *fnData {
 	return d
 }
 
-func (a *analysis) sourceFor(u *unit, in ir.Instr, region *shmflow.Region, kind SourceKind, detail string) *Source {
+// polShm reports whether the built-in Simplex shared-memory rules are
+// active: always without a configured policy, otherwise per its Shm flag.
+func (a *analysis) polShm() bool {
+	return a.cfg.Policy == nil || a.cfg.Policy.Shm
+}
+
+func (a *analysis) sourceFor(u *unit, pos ctoken.Pos, region *shmflow.Region, kind SourceKind, detail, rule string) *Source {
 	fn, ctxKey := u.fn, u.activeKey
 	regionName := ""
 	if region != nil {
 		regionName = region.Name
 	}
-	k := srcKey{pos: in.Pos(), kind: kind, region: regionName, detail: detail}
+	k := srcKey{pos: pos, kind: kind, region: regionName, detail: detail, rule: rule}
 	if a.track {
 		u.recSrc(k, fn.Name, ctxKey)
 	}
@@ -482,10 +504,11 @@ func (a *analysis) sourceFor(u *unit, in ir.Instr, region *shmflow.Region, kind 
 	if !ok {
 		s = &Source{
 			Kind:     kind,
-			Pos:      in.Pos(),
+			Pos:      pos,
 			FnName:   fn.Name,
 			Region:   region,
 			Detail:   detail,
+			Rule:     rule,
 			Contexts: make(map[string]bool),
 			id:       len(a.srcList),
 		}
@@ -516,8 +539,9 @@ func (a *analysis) solveUnit(u *unit) bool {
 	fd.solver.Transfer = func(in ir.Instr, get func(ir.Value) Taint) (Taint, bool) {
 		return a.transfer(u, in, get, local, fd.deps)
 	}
+	seeds := a.policyParamSeeds(u, fd.seeds)
 	for inner := 0; inner < maxInnerRounds; inner++ {
-		facts := fd.solver.Solve(fd.seeds)
+		facts := fd.solver.Solve(seeds)
 		memChanged := a.applyEffectsPass(u, facts, local, fd.deps, &newSum)
 		if !memChanged {
 			break
@@ -534,6 +558,33 @@ func (a *analysis) solveUnit(u *unit) bool {
 	return false
 }
 
+// policyParamSeeds extends a function's parameter seeds with the
+// configured param-source rules targeting it: the rule's parameter
+// additionally carries a concrete SrcPolicy source. The base seeds are
+// never mutated (fnData is shared across the function's units).
+func (a *analysis) policyParamSeeds(u *unit, base []dataflow.Seed[Taint]) []dataflow.Seed[Taint] {
+	p := a.cfg.Policy
+	if p == nil {
+		return base
+	}
+	rules := p.ParamSources(u.fn.Name)
+	if len(rules) == 0 {
+		return base
+	}
+	seeds := append(make([]dataflow.Seed[Taint], 0, len(base)+len(rules)), base...)
+	for _, r := range rules {
+		if r.Param >= len(u.fn.Params) {
+			continue
+		}
+		prm := u.fn.Params[r.Param]
+		src := a.sourceFor(u, u.fn.Pos, nil, SrcPolicy, "parameter "+prm.Name+" of "+u.fn.Name, r.ID)
+		var t Taint
+		t.addSource(src.id, KindData)
+		seeds = append(seeds, dataflow.Seed[Taint]{Val: prm, Fact: t})
+	}
+	return seeds
+}
+
 // transfer computes the taint of one instruction's result.
 func (a *analysis) transfer(u *unit, in ir.Instr, get func(ir.Value) Taint, local *memStore, deps map[*ir.Block][]cfgraph.ControlDep) (Taint, bool) {
 	fn := u.fn
@@ -543,8 +594,8 @@ func (a *analysis) transfer(u *unit, in ir.Instr, get func(ir.Value) Taint, loca
 		fact := a.cfg.SF.FactOf(fn, x.Addr)
 		if !fact.Empty() {
 			for region, iv := range fact {
-				if region.NonCore && !u.active.covers(region, iv, x.Type().Size()) {
-					src := a.sourceFor(u, x, region, SrcUnmonitoredRead, iv.String())
+				if region.NonCore && a.polShm() && !u.active.covers(region, iv, x.Type().Size()) {
+					src := a.sourceFor(u, x.Pos(), region, SrcUnmonitoredRead, iv.String(), policy.RuleShmRead)
 					t.addSource(src.id, KindData)
 				}
 			}
@@ -592,10 +643,24 @@ func (a *analysis) transfer(u *unit, in ir.Instr, get func(ir.Value) Taint, loca
 
 func (a *analysis) transferCall(u *unit, call *ir.Call, get func(ir.Value) Taint, deps map[*ir.Block][]cfgraph.ControlDep) (Taint, bool) {
 	callee := call.Callee
+	if p := a.cfg.Policy; p != nil {
+		// Policy rules take precedence over every built-in modeling of the
+		// callee: a sanitizer's result is clean, a configured source's
+		// result carries a fresh policy source.
+		if p.IsSanitizer(callee.Name) {
+			return Taint{}, true
+		}
+		if r, ok := p.SourceCall(callee.Name); ok {
+			src := a.sourceFor(u, call.Pos(), nil, SrcPolicy, "call to "+callee.Name, r.ID)
+			t := Taint{}
+			t.addSource(src.id, KindData)
+			return t, true
+		}
+	}
 	switch {
 	case callee.Name == irgen.AssertIntrinsic:
 		return Taint{}, false
-	case callee.Name == "recv" || callee.Name == "read":
+	case (callee.Name == "recv" || callee.Name == "read") && a.polShm():
 		if len(call.Args) > 0 && a.isNonCoreDescriptor(u, call.Args[0]) {
 			// A monitored receive (the buffer is named by a core
 			// assumption, §3.4.3) covers the whole operation, including
@@ -603,7 +668,7 @@ func (a *analysis) transferCall(u *unit, call *ir.Call, get func(ir.Value) Taint
 			if len(call.Args) > 1 && a.bufferAssumedCore(u, call.Args[1]) {
 				return Taint{}, true
 			}
-			src := a.sourceFor(u, call, nil, SrcNonCoreRecv, callee.Name+" on noncore descriptor")
+			src := a.sourceFor(u, call.Pos(), nil, SrcNonCoreRecv, callee.Name+" on noncore descriptor", policy.RuleNonCoreRecv)
 			t := Taint{}
 			t.addSource(src.id, KindData)
 			return t, true
@@ -620,7 +685,7 @@ func (a *analysis) transferCall(u *unit, call *ir.Call, get func(ir.Value) Taint
 			// The callee's defining unit was skipped by the recovering
 			// front end: its behavior is unknown, so the result carries an
 			// unknown-taint source in addition to the argument deps.
-			src := a.sourceFor(u, call, nil, SrcSkippedDef, callee.Name)
+			src := a.sourceFor(u, call.Pos(), nil, SrcSkippedDef, callee.Name, policy.RuleSkippedDef)
 			t.addSource(src.id, KindData)
 		}
 		return t, true
@@ -737,6 +802,63 @@ func (a *analysis) applyCallEffects(u *unit, call *ir.Call, get func(ir.Value) T
 	callee := call.Callee
 	localChanged := false
 
+	if p := a.cfg.Policy; p != nil {
+		if p.IsSanitizer(callee.Name) {
+			return false
+		}
+		if r, ok := p.Sink(callee.Name); ok {
+			// A configured sink: every checked argument that carries taint
+			// is an error under the sink's rule; symbolic parameter deps
+			// become obligations the callers instantiate.
+			args := r.Args
+			if len(args) == 0 {
+				args = make([]int, len(call.Args))
+				for i := range args {
+					args[i] = i
+				}
+			}
+			for _, i := range args {
+				if i >= len(call.Args) {
+					continue
+				}
+				t := joinTaint(get(call.Args[i]), ctrl)
+				vbl := fmt.Sprintf("%s(arg %d)", callee.Name, i)
+				if t.HasSources() {
+					a.recordError(u, call.Pos(), u.fn.Name, vbl, t, r.ID)
+				}
+				if t.hasParams() {
+					sum.asserts = append(sum.asserts, obligation{
+						pos: call.Pos(), fnName: u.fn.Name, vbl: vbl, rule: r.ID, par: t.par,
+					})
+				}
+			}
+			return false
+		}
+		if r, ok := p.Propagator(callee.Name); ok {
+			// A declared propagator copies its from-arguments' taint into
+			// the memory reachable through the to-argument.
+			t := ctrl
+			for _, i := range r.From {
+				if i < len(call.Args) {
+					t = joinTaint(t, get(call.Args[i]))
+				}
+			}
+			if t.Empty() || r.To >= len(call.Args) {
+				return false
+			}
+			for _, ref := range a.cfg.PTS.PointsTo(call.Args[r.To]) {
+				if local.write(ref, t) {
+					localChanged = true
+				}
+				a.memWrite(u, ref, t.sourcesOnly())
+				if t.hasParams() {
+					sum.effects = append(sum.effects, effect{ref: ref, par: t.par})
+				}
+			}
+			return localChanged
+		}
+	}
+
 	switch {
 	case callee.Name == irgen.AssertIntrinsic:
 		if len(call.Args) == 0 {
@@ -745,36 +867,36 @@ func (a *analysis) applyCallEffects(u *unit, call *ir.Call, get func(ir.Value) T
 		t := get(call.Args[0])
 		vbl := a.cfg.AssertVars[call]
 		if t.HasSources() {
-			a.recordError(u, call.Pos(), u.fn.Name, vbl, t)
+			a.recordError(u, call.Pos(), u.fn.Name, vbl, t, policy.RuleAssertSafe)
 		}
 		if t.hasParams() {
 			sum.asserts = append(sum.asserts, obligation{
-				pos: call.Pos(), fnName: u.fn.Name, vbl: vbl, par: t.par,
+				pos: call.Pos(), fnName: u.fn.Name, vbl: vbl, rule: policy.RuleAssertSafe, par: t.par,
 			})
 		}
 		return false
-	case callee.Name == "kill" && len(call.Args) > 0:
+	case callee.Name == "kill" && len(call.Args) > 0 && a.polShm():
 		// The paper asserts system-call arguments — specifically the pid
 		// argument of kill — as critical data implicitly. Invoking kill at
 		// all is the critical action, so the block's control taint joins
 		// the argument's value taint.
 		t := joinTaint(get(call.Args[0]), ctrl)
 		if t.HasSources() {
-			a.recordError(u, call.Pos(), u.fn.Name, "kill.pid", t)
+			a.recordError(u, call.Pos(), u.fn.Name, "kill.pid", t, policy.RuleKillPid)
 		}
 		if t.hasParams() {
 			sum.asserts = append(sum.asserts, obligation{
-				pos: call.Pos(), fnName: u.fn.Name, vbl: "kill.pid", par: t.par,
+				pos: call.Pos(), fnName: u.fn.Name, vbl: "kill.pid", rule: policy.RuleKillPid, par: t.par,
 			})
 		}
 		return false
-	case (callee.Name == "recv" || callee.Name == "read") && len(call.Args) > 1 && a.isNonCoreDescriptor(u, call.Args[0]):
+	case (callee.Name == "recv" || callee.Name == "read") && a.polShm() && len(call.Args) > 1 && a.isNonCoreDescriptor(u, call.Args[0]):
 		// The received buffer contents become unsafe unless a core
 		// assumption names the buffer (monitored receive).
 		if a.bufferAssumedCore(u, call.Args[1]) {
 			return false
 		}
-		src := a.sourceFor(u, call, nil, SrcNonCoreRecv, callee.Name+" buffer")
+		src := a.sourceFor(u, call.Pos(), nil, SrcNonCoreRecv, callee.Name+" buffer", policy.RuleNonCoreRecv)
 		t := Taint{}
 		t.addSource(src.id, KindData)
 		for _, ref := range a.cfg.PTS.PointsTo(call.Args[1]) {
@@ -788,7 +910,7 @@ func (a *analysis) applyCallEffects(u *unit, call *ir.Call, get func(ir.Value) T
 		if a.cfg.MissingDefs[callee.Name] {
 			// The callee's defining unit was skipped: assume it may write
 			// unknown values through every pointer argument.
-			src := a.sourceFor(u, call, nil, SrcSkippedDef, callee.Name)
+			src := a.sourceFor(u, call.Pos(), nil, SrcSkippedDef, callee.Name, policy.RuleSkippedDef)
 			t := Taint{}
 			t.addSource(src.id, KindData)
 			for _, arg := range call.Args {
@@ -836,11 +958,11 @@ func (a *analysis) applyCallEffects(u *unit, call *ir.Call, get func(ir.Value) T
 	for _, ob := range s.asserts {
 		t := resolve(ob.par)
 		if t.HasSources() {
-			a.recordError(u, ob.pos, ob.fnName, ob.vbl, t)
+			a.recordError(u, ob.pos, ob.fnName, ob.vbl, t, ob.rule)
 		}
 		if t.hasParams() {
 			sum.asserts = append(sum.asserts, obligation{
-				pos: ob.pos, fnName: ob.fnName, vbl: ob.vbl, par: t.par,
+				pos: ob.pos, fnName: ob.fnName, vbl: ob.vbl, rule: ob.rule, par: t.par,
 			})
 		}
 	}
@@ -876,11 +998,11 @@ func (a *analysis) memWrite(u *unit, ref pointsto.Ref, t Taint) {
 }
 
 // recordError merges the taint's concrete sources into the error keyed by
-// (position, variable). Ids resolve through srcList first (srcMu), then
-// the error map is updated (errMu) — the lock order every path uses.
-func (a *analysis) recordError(u *unit, pos ctoken.Pos, fnName, vbl string, t Taint) {
+// (position, variable, rule). Ids resolve through srcList first (srcMu),
+// then the error map is updated (errMu) — the lock order every path uses.
+func (a *analysis) recordError(u *unit, pos ctoken.Pos, fnName, vbl string, t Taint, rule string) {
 	if a.track {
-		u.recError(pos, fnName, vbl, t)
+		u.recError(pos, fnName, vbl, rule, t)
 	}
 	type srcKind struct {
 		s *Source
@@ -892,12 +1014,12 @@ func (a *analysis) recordError(u *unit, pos ctoken.Pos, fnName, vbl string, t Ta
 	t.src.ctrl.forEach(func(id int) { resolved = append(resolved, srcKind{a.srcList[id], KindCtrl}) })
 	a.srcMu.Unlock()
 
-	key := pos.String() + "|" + vbl
+	key := pos.String() + "|" + vbl + "|" + rule
 	a.errMu.Lock()
 	defer a.errMu.Unlock()
 	e, ok := a.errors[key]
 	if !ok {
-		e = &ErrorDep{Pos: pos, FnName: fnName, Var: vbl, Sources: make(map[*Source]Kind)}
+		e = &ErrorDep{Pos: pos, FnName: fnName, Var: vbl, Rule: rule, Sources: make(map[*Source]Kind)}
 		a.errors[key] = e
 	}
 	for _, r := range resolved {
@@ -936,7 +1058,7 @@ func summaryEqual(a, b summary) bool {
 		}
 	}
 	obKey := func(o obligation) string {
-		return o.pos.String() + "|" + o.vbl + "|" + paramsKey(o.par)
+		return o.pos.String() + "|" + o.vbl + "|" + o.rule + "|" + paramsKey(o.par)
 	}
 	ao, bo := make(map[string]bool), make(map[string]bool)
 	for _, o := range a.asserts {
@@ -1052,7 +1174,10 @@ func (a *analysis) finish() *Result {
 		if ei.Pos != ej.Pos {
 			return posLess(ei.Pos, ej.Pos)
 		}
-		return ei.Var < ej.Var
+		if ei.Var != ej.Var {
+			return ei.Var < ej.Var
+		}
+		return ei.Rule < ej.Rule
 	})
 	return res
 }
@@ -1086,5 +1211,8 @@ func sourceLess(a, b *Source) bool {
 	if an != bn {
 		return an < bn
 	}
-	return a.Detail < b.Detail
+	if a.Detail != b.Detail {
+		return a.Detail < b.Detail
+	}
+	return a.Rule < b.Rule
 }

@@ -43,6 +43,7 @@ import (
 	"safeflow/internal/guard"
 	"safeflow/internal/metrics"
 	"safeflow/internal/pointsto"
+	"safeflow/internal/policy"
 	"safeflow/internal/remotecache"
 	"safeflow/internal/report"
 	"safeflow/internal/restrict"
@@ -296,3 +297,32 @@ func WriteTable1(w io.Writer, reps []*Report) { report.WriteTable1(w, reps) }
 
 // WriteReportJSON renders the report as indented JSON for tooling.
 func WriteReportJSON(w io.Writer, rep *Report) error { return report.WriteJSON(w, rep) }
+
+// WriteReportSARIF renders the report as SARIF 2.1.0 for code-scanning
+// integrations. Unlike the text and JSON forms, SARIF always attributes
+// findings to policy rule ids.
+func WriteReportSARIF(w io.Writer, rep *Report) error { return report.WriteSARIF(w, rep) }
+
+// Policy is a compiled taint policy; set Options.Policy to analyze
+// under it. A nil Options.Policy runs the default simplex-shm policy.
+type Policy = policy.Compiled
+
+// SuppressedFinding is one audit-trail entry for a finding matched by
+// an inline `// safeflow:ignore <rule-id> <reason>` directive.
+type SuppressedFinding = core.SuppressedFinding
+
+// SuppressionIssue is a structured diagnostic for a suppression
+// directive the analysis cannot honor (missing or unknown rule id).
+type SuppressionIssue = core.SuppressionIssue
+
+// LoadPolicy resolves a policy argument the way `safeflow -policy`
+// does: a builtin name (simplex-shm, credential-leak, pii-to-log), a
+// .safeflow-policy.json path, or "path#name" to pick one policy out of
+// a multi-policy file.
+func LoadPolicy(arg string) (*Policy, error) { return policy.Load(arg) }
+
+// BuiltinPolicy returns a builtin policy by name.
+func BuiltinPolicy(name string) (*Policy, bool) { return policy.Builtin(name) }
+
+// BuiltinPolicyNames lists the builtin policy names in stable order.
+func BuiltinPolicyNames() []string { return policy.BuiltinNames() }

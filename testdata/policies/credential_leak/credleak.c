@@ -1,0 +1,46 @@
+/*
+ * credleak.c — exercises the credential-leak taint policy: credentials
+ * obtained from secret stores (getpass, read_secret) must not reach a
+ * network send or the log unless laundered through hash_secret/redact.
+ *
+ * The program seeds two findings (a credential reaching send through a
+ * helper function's summary, and a token logged directly), one
+ * sanitized flow that must stay clean, and one reviewed finding kept
+ * quiet with a safeflow:ignore directive so the suppression audit trail
+ * is exercised end to end.
+ */
+
+int sessionCount;
+
+/* transmit forwards the payload to the peer; the credential reaches the
+ * net_send() data argument through this function's summary, so the policy
+ * gate must report the leak interprocedurally. */
+void transmit(int sock, int payload)
+{
+    net_send(sock, payload);
+}
+
+void serveSession()
+{
+    int sock;
+    int pwd;
+    int token;
+    int digest;
+    int audit;
+
+    sock = socketOpen();
+    pwd = getpass();
+    token = read_secret();
+
+    transmit(sock, pwd);        /* cred-leak-send: credential to the network */
+    log_msg(token);             /* cred-leak-log: credential to the log */
+
+    digest = hash_secret(pwd);
+    log_msg(digest);            /* clean: hashed before logging */
+
+    audit = read_secret();
+    /* The audit token is encrypted at rest; logging it was reviewed. */
+    log_msg(audit); // safeflow:ignore cred-leak-log audit token is encrypted at rest (ticket SEC-142)
+
+    sessionCount = sessionCount + 1;
+}

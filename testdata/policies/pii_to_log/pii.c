@@ -1,0 +1,36 @@
+/*
+ * pii.c — exercises the pii-to-log taint policy: personally
+ * identifiable record data (read_user_record returns, the request
+ * parameter of handle_request) must be anonymized before it reaches the
+ * log. copy_buf is declared a propagator, so PII copied into a buffer
+ * keeps its taint through the copy.
+ */
+
+/* handle_request's first parameter is a configured param-source: the
+ * request carries PII no matter who the caller is. */
+void handle_request(int req)
+{
+    log_msg(req);               /* pii-to-log: request data to the log */
+}
+
+void processRecords()
+{
+    int rec;
+    int scratch;
+    int *buf;
+    int copied;
+    int anon;
+
+    rec = read_user_record();
+    log_msg(rec);               /* pii-to-log: raw record to the log */
+
+    buf = &scratch;
+    copy_buf(buf, rec);         /* propagator: scratch now carries PII */
+    copied = *buf;
+    log_msg(copied);            /* pii-to-log: PII through the copy */
+
+    anon = anonymize(rec);
+    log_msg(anon);              /* clean: anonymized first */
+
+    handle_request(rec);
+}
